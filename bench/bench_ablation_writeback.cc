@@ -1,0 +1,56 @@
+// Ablation A1 (DESIGN.md §5.3): why Bento beats the VFS C baseline on
+// large writes and untar — ->writepages batching. We run identical
+// sequential 1 MB writes on both kernel deployments and report throughput
+// together with journal-commit counts: the C baseline commits one log
+// transaction per 4 KiB page, Bento one per writeback batch.
+#include "common.h"
+#include "xv6fs/fs.h"
+#include "xv6fs_c/xv6c.h"
+
+using namespace bsim;
+using namespace bsim::bench;
+
+int main() {
+  reset_costs();
+  std::printf("Ablation A1: ->writepage vs ->writepages (seq 1MB writes)\n");
+  std::printf("%-10s %12s %14s %16s\n", "fs", "MBps", "log commits",
+              "blocks logged");
+
+  for (const auto& [label, fsname] :
+       std::vector<std::pair<std::string, std::string>>{
+           {"Bento", "xv6_bento"}, {"C-Kernel", "xv6_vfs"}}) {
+    wl::BedOptions opts;
+    opts.fs = fsname;
+    wl::TestBed bed(opts);
+    std::vector<std::unique_ptr<sim::Workload>> jobs;
+    wl::SharedFile file;
+    jobs.push_back(std::make_unique<wl::WriteMicro>(bed, file, true, 1 << 20,
+                                                    0, 42));
+    sim::RunnerOptions ropts;
+    ropts.horizon = 20 * sim::kSecond;
+    ropts.max_ops = 800;
+    auto stats = sim::run_workloads(jobs, ropts);
+
+    std::uint64_t commits = 0;
+    std::uint64_t blocks = 0;
+    auto* sb = bed.kernel().sb_at("/mnt");
+    if (fsname == "xv6_bento") {
+      auto& fs = static_cast<xv6::Xv6FileSystem&>(
+          bento::BentoModule::from(*sb)->fs());
+      commits = fs.log_stats().commits;
+      blocks = fs.log_stats().blocks_logged;
+    } else {
+      auto* mnt = static_cast<xv6c::Xv6cMount*>(sb->fs_info);
+      commits = mnt->log_stats().commits;
+      blocks = mnt->log_stats().blocks_logged;
+    }
+    std::printf("%-10s %12.1f %14llu %16llu\n", label.c_str(),
+                stats.mbytes_per_sec(),
+                static_cast<unsigned long long>(commits),
+                static_cast<unsigned long long>(blocks));
+  }
+  std::printf(
+      "\n(same data volume -> similar blocks logged; the commit-count gap is "
+      "the ->writepages batching advantage)\n");
+  return 0;
+}

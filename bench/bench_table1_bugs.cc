@@ -1,0 +1,14 @@
+// Tables 1 & 2: the bug study (§2.1) and the extensibility-mechanism
+// comparison (§2.2), regenerated from the categorized corpus by the
+// analysis pipeline in src/bugs.
+#include <cstdio>
+
+#include "bugs/bugs.h"
+
+int main() {
+  const auto records = bsim::bugs::corpus();
+  const auto analysis = bsim::bugs::analyze(records);
+  std::printf("%s\n", bsim::bugs::render_table1(analysis).c_str());
+  std::printf("%s\n", bsim::bugs::render_table2().c_str());
+  return 0;
+}

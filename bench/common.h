@@ -1,0 +1,69 @@
+// Shared benchmark harness: builds a TestBed per (file system, workload)
+// pair, runs it under the virtual-time Runner, and prints paper-style rows.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/cost_model.h"
+#include "sim/runner.h"
+#include "workloads/macro.h"
+#include "workloads/micro.h"
+#include "workloads/testbed.h"
+
+namespace bsim::bench {
+
+/// The deployments in the paper's naming.
+inline const std::vector<std::pair<std::string, std::string>> kKernelFses = {
+    {"Bento", "xv6_bento"}, {"C-Kernel", "xv6_vfs"}, {"FUSE", "xv6_fuse"}};
+inline const std::vector<std::pair<std::string, std::string>> kAllFses = {
+    {"Bento", "xv6_bento"},
+    {"C-Kernel", "xv6_vfs"},
+    {"FUSE", "xv6_fuse"},
+    {"Ext4", "ext4j"}};
+
+/// Reset the global cost model to defaults (benches that sweep a parameter
+/// mutate sim::costs() and must restore it).
+inline void reset_costs() { sim::costs() = sim::CostModel{}; }
+
+using WorkloadFactory =
+    std::function<std::unique_ptr<sim::Workload>(wl::TestBed&, int tid)>;
+
+struct BenchRun {
+  std::string fs;           // registered fs name
+  int nthreads = 1;
+  sim::Nanos horizon = 60 * sim::kSecond;
+  std::uint64_t max_ops = 0;
+  std::uint64_t device_blocks = 262'144;  // 1 GiB
+  std::string mount_opts;
+  blk::DeviceParams device;  // latency model (nblocks overridden)
+};
+
+inline sim::RunStats run_bench(const BenchRun& cfg,
+                               const WorkloadFactory& factory) {
+  wl::BedOptions opts;
+  opts.fs = cfg.fs;
+  opts.device_blocks = cfg.device_blocks;
+  opts.mount_opts = cfg.mount_opts;
+  opts.device = cfg.device;
+  wl::TestBed bed(opts);
+  std::vector<std::unique_ptr<sim::Workload>> jobs;
+  jobs.reserve(static_cast<std::size_t>(cfg.nthreads));
+  for (int t = 0; t < cfg.nthreads; ++t) jobs.push_back(factory(bed, t));
+  sim::RunnerOptions ropts;
+  ropts.horizon = cfg.horizon;
+  ropts.max_ops = cfg.max_ops;
+  return sim::run_workloads(jobs, ropts);
+}
+
+inline void print_header(const char* title, const char* unit) {
+  std::printf("\n%s  [%s]\n", title, unit);
+  std::printf("%-12s", "");
+}
+
+inline void print_row_label(const char* label) { std::printf("%-12s", label); }
+
+}  // namespace bsim::bench

@@ -1,0 +1,103 @@
+// A mail-server-shaped scenario (the workload class the paper's varmail
+// macrobenchmark models): fsync-heavy small-file churn, run against two
+// deployments of the *same* file-system code — kernel Bento and FUSE — to
+// show the §6.4 effect end to end, with device-level I/O statistics.
+//
+// Build & run:   cmake --build build && ./build/examples/mailserver
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bento/bentofs.h"
+#include "fuse/fuse.h"
+#include "kernel/kernel.h"
+#include "sim/rng.h"
+#include "sim/thread.h"
+#include "xv6fs/fs.h"
+#include "xv6fs/layout.h"
+
+using namespace bsim;
+
+namespace {
+
+struct MailStats {
+  double virtual_seconds = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t device_writes = 0;
+  std::uint64_t device_flushes = 0;
+};
+
+MailStats run_mailserver(const char* fstype) {
+  sim::SimThread thread(0);
+  sim::ScopedThread in(thread);
+
+  kern::Kernel kernel;
+  blk::DeviceParams params;
+  params.nblocks = 65536;  // 256 MiB
+  auto& dev = kernel.add_device("ssd0", params);
+  xv6::mkfs(dev, 4096);
+  bento::register_bento_fs(kernel, "xv6_bento", [] {
+    return std::make_unique<xv6::Xv6FileSystem>();
+  });
+  fuse::register_fuse_fs(kernel, "xv6_fuse", [] {
+    return std::make_unique<xv6::Xv6FileSystem>();
+  });
+  if (kernel.mount(fstype, "ssd0", "/mail") != kern::Err::Ok) {
+    std::fprintf(stderr, "mount %s failed\n", fstype);
+    std::exit(1);
+  }
+
+  auto& p = kernel.proc();
+  (void)kernel.mkdir(p, "/mail/spool");
+  sim::Rng rng(2026);
+  std::vector<std::byte> message(8192, std::byte{'m'});
+
+  const sim::Nanos start = sim::now();
+  std::uint64_t delivered = 0;
+  // Deliver mail: write + fsync (the mail server durability contract),
+  // then occasionally expunge old messages.
+  for (int i = 0; i < 400; ++i) {
+    const std::string path = "/mail/spool/msg" + std::to_string(i);
+    auto fd = kernel.open(p, path, kern::kOCreat | kern::kOWrOnly);
+    if (!fd.ok()) break;
+    const std::size_t len = static_cast<std::size_t>(rng.range(512, 8192));
+    (void)kernel.write(p, fd.value(),
+                       std::span<const std::byte>(message.data(), len));
+    (void)kernel.fsync(p, fd.value());  // mail must not be lost
+    (void)kernel.close(p, fd.value());
+    delivered += 1;
+    if (i >= 50 && rng.chance(0.4)) {
+      (void)kernel.unlink(p, "/mail/spool/msg" + std::to_string(i - 50));
+    }
+  }
+
+  MailStats stats;
+  stats.virtual_seconds = sim::to_seconds(sim::now() - start);
+  stats.delivered = delivered;
+  stats.device_writes = dev.stats().writes;
+  stats.device_flushes = dev.stats().flushes;
+  (void)kernel.umount("/mail");
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("mail-server scenario: 400 durable deliveries + expunges\n\n");
+  std::printf("%-12s %14s %14s %12s %12s\n", "deployment", "deliveries/s",
+              "virtual time", "dev writes", "dev flushes");
+  for (const char* fs : {"xv6_bento", "xv6_fuse"}) {
+    const auto s = run_mailserver(fs);
+    std::printf("%-12s %14.1f %12.2fs %12llu %12llu\n", fs,
+                static_cast<double>(s.delivered) / s.virtual_seconds,
+                s.virtual_seconds,
+                static_cast<unsigned long long>(s.device_writes),
+                static_cast<unsigned long long>(s.device_flushes));
+  }
+  std::printf(
+      "\nSame file-system code in both rows; the gap is the deployment: "
+      "in-kernel block writes vs per-block pwrite+fsync from userspace "
+      "(paper §6.4).\n");
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Online upgrade (paper §4.8): replace a running file system with a new
+// version — without unmounting, while files are open — via Bento's
+// TransferableState mechanism. This is the paper's headline "high velocity"
+// feature; the paper left it as future work and this reproduction
+// implements it.
+//
+// The demo upgrades xv6fs-v1 to a v2 that adds an operation-counting
+// feature, mid-workload, with an open file descriptor surviving the swap.
+//
+// Build & run:   cmake --build build && ./build/examples/online_upgrade
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bento/bentofs.h"
+#include "kernel/kernel.h"
+#include "sim/thread.h"
+#include "xv6fs/fs.h"
+#include "xv6fs/layout.h"
+
+using namespace bsim;
+
+namespace {
+
+/// "v2" of the file system: same on-disk format, plus a new in-memory
+/// feature (an op counter a hypothetical new ioctl could expose). It
+/// inherits everything and participates in state transfer.
+class Xv6V2 final : public xv6::Xv6FileSystem {
+ public:
+  Xv6V2()
+      : xv6::Xv6FileSystem([] {
+          Options o;
+          o.version = "xv6fs-v2+opcount";
+          return o;
+        }()) {}
+
+  bento::Result<std::uint32_t> write(const bento::Request& req,
+                                     bento::SbRef sb, bento::Ino ino,
+                                     std::uint64_t fh, std::uint64_t off,
+                                     std::span<const std::byte> in) override {
+    writes_observed_ += 1;  // the new v2 feature
+    return xv6::Xv6FileSystem::write(req, std::move(sb), ino, fh, off, in);
+  }
+
+  bento::Result<std::uint32_t> write_bulk(
+      const bento::Request& req, bento::SbRef sb, bento::Ino ino,
+      std::uint64_t off,
+      std::span<const std::span<const std::byte>> pages) override {
+    writes_observed_ += 1;  // batched writeback counts too
+    return xv6::Xv6FileSystem::write_bulk(req, std::move(sb), ino, off,
+                                          pages);
+  }
+
+  [[nodiscard]] std::uint64_t writes_observed() const {
+    return writes_observed_;
+  }
+
+ private:
+  std::uint64_t writes_observed_ = 0;
+};
+
+std::span<const std::byte> bytes_of(std::string_view s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+
+}  // namespace
+
+int main() {
+  sim::SimThread thread(0);
+  sim::ScopedThread in(thread);
+
+  kern::Kernel kernel;
+  blk::DeviceParams params;
+  params.nblocks = 32768;
+  auto& dev = kernel.add_device("ssd0", params);
+  xv6::mkfs(dev, 2048);
+  bento::register_bento_fs(kernel, "xv6_bento", [] {
+    return std::make_unique<xv6::Xv6FileSystem>();
+  });
+  (void)kernel.mount("xv6_bento", "ssd0", "/mnt");
+
+  auto& p = kernel.proc();
+  auto* module = bento::BentoModule::from(*kernel.sb_at("/mnt"));
+  std::printf("running version: %s\n",
+              std::string(module->fs().version()).c_str());
+
+  // An application starts writing a log file and KEEPS IT OPEN.
+  auto fd = kernel.open(p, "/mnt/app.log", kern::kOCreat | kern::kORdWr);
+  (void)kernel.write(p, fd.value(), bytes_of("written under v1\n"));
+
+  // Build up some state so the transfer is non-trivial.
+  for (int i = 0; i < 100; ++i) {
+    auto f = kernel.open(p, "/mnt/data" + std::to_string(i),
+                         kern::kOCreat | kern::kOWrOnly);
+    (void)kernel.write(p, f.value(), bytes_of("payload"));
+    (void)kernel.close(p, f.value());
+  }
+  auto before = kernel.statfs(p, "/mnt");
+
+  // ---- the online upgrade ----
+  const sim::Nanos t0 = sim::now();
+  const kern::Err e = module->upgrade(std::make_unique<Xv6V2>());
+  const sim::Nanos upgrade_latency = sim::now() - t0;
+  std::printf("upgrade: %s in %.1f us (application saw only this delay)\n",
+              e == kern::Err::Ok ? "OK" : kern::err_name(e),
+              static_cast<double>(upgrade_latency) / sim::kMicrosecond);
+  std::printf("running version: %s\n",
+              std::string(module->fs().version()).c_str());
+
+  auto& v2 = static_cast<Xv6V2&>(module->fs());
+  std::printf("state transferred (not re-scanned): %s\n",
+              v2.restored_from_transfer() ? "yes" : "no");
+
+  // The open file descriptor keeps working across the swap.
+  (void)kernel.write(p, fd.value(), bytes_of("written under v2\n"));
+  (void)kernel.fsync(p, fd.value());
+  std::vector<std::byte> buf(128);
+  auto n = kernel.pread(p, fd.value(), buf, 0);
+  std::printf("open fd survived; file now reads:\n%.*s",
+              static_cast<int>(n.value()),
+              reinterpret_cast<const char*>(buf.data()));
+  (void)kernel.close(p, fd.value());
+
+  // Allocation accounting carried over exactly; the new feature is live.
+  auto after = kernel.statfs(p, "/mnt");
+  std::printf("free blocks before/after upgrade: %llu / %llu\n",
+              static_cast<unsigned long long>(before.value().free_blocks),
+              static_cast<unsigned long long>(after.value().free_blocks));
+  std::printf("v2 feature active: observed %llu write ops since upgrade\n",
+              static_cast<unsigned long long>(v2.writes_observed()));
+
+  (void)kernel.umount("/mnt");
+  return 0;
+}

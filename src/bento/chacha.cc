@@ -1,0 +1,106 @@
+#include "bento/chacha.h"
+
+#include <cstring>
+
+namespace bsim::bento {
+
+namespace {
+
+inline std::uint32_t rotl32(std::uint32_t v, int n) {
+  return (v << n) | (v >> (32 - n));
+}
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                          std::uint32_t& d) {
+  a += b; d ^= a; d = rotl32(d, 16);
+  c += d; b ^= c; b = rotl32(b, 12);
+  a += b; d ^= a; d = rotl32(d, 8);
+  c += d; b ^= c; b = rotl32(b, 7);
+}
+
+inline std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+inline void store_le32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+}  // namespace
+
+std::array<std::uint8_t, 64> chacha20_block(const ChaChaKey& key,
+                                            const ChaChaNonce& nonce,
+                                            std::uint32_t counter) {
+  // "expand 32-byte k" || key || counter || nonce (RFC 8439 §2.3).
+  std::array<std::uint32_t, 16> input;
+  input[0] = 0x61707865;
+  input[1] = 0x3320646e;
+  input[2] = 0x79622d32;
+  input[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) input[4 + i] = load_le32(&key[4 * i]);
+  input[12] = counter;
+  for (int i = 0; i < 3; ++i) input[13 + i] = load_le32(&nonce[4 * i]);
+
+  std::array<std::uint32_t, 16> x = input;
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+
+  std::array<std::uint8_t, 64> out;
+  for (int i = 0; i < 16; ++i) store_le32(&out[4 * i], x[i] + input[i]);
+  return out;
+}
+
+void chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce,
+                  std::uint64_t stream_off, std::span<std::byte> data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const std::uint64_t pos = stream_off + done;
+    const auto counter = static_cast<std::uint32_t>(pos / 64);
+    const std::size_t within = static_cast<std::size_t>(pos % 64);
+    const std::size_t chunk = std::min<std::size_t>(64 - within,
+                                                    data.size() - done);
+    const auto ks = chacha20_block(key, nonce, counter);
+    for (std::size_t i = 0; i < chunk; ++i) {
+      data[done + i] ^= static_cast<std::byte>(ks[within + i]);
+    }
+    done += chunk;
+  }
+}
+
+ChaChaKey derive_key(std::string_view passphrase, std::string_view salt,
+                     int iterations) {
+  // Absorb passphrase and salt into the initial key/nonce material, then
+  // iterate the block function, feeding each output back in as the key.
+  ChaChaKey key{};
+  for (std::size_t i = 0; i < passphrase.size(); ++i) {
+    key[i % key.size()] ^= static_cast<std::uint8_t>(
+        static_cast<unsigned char>(passphrase[i]) + 0x9e * (i / key.size() + 1));
+  }
+  ChaChaNonce nonce{};
+  for (std::size_t i = 0; i < salt.size(); ++i) {
+    nonce[i % nonce.size()] ^=
+        static_cast<std::uint8_t>(static_cast<unsigned char>(salt[i]));
+  }
+  for (int it = 0; it < iterations; ++it) {
+    const auto block =
+        chacha20_block(key, nonce, static_cast<std::uint32_t>(it));
+    std::memcpy(key.data(), block.data(), key.size());
+  }
+  return key;
+}
+
+}  // namespace bsim::bento

@@ -1,0 +1,84 @@
+#include "bento/kernel_services.h"
+
+#include "sim/cost_model.h"
+#include "sim/thread.h"
+
+namespace bsim::bento {
+
+BufferHeadHandle BlockBackend::make_handle(BlockBackend& owner, void* impl,
+                                           std::uint64_t blockno) {
+  return BufferHeadHandle(owner, impl, blockno);
+}
+
+std::span<std::byte> BufferHeadHandle::data() {
+  assert(owner_ != nullptr && "use of empty BufferHeadHandle");
+  sim::charge(sim::costs().bento_wrapper_check);
+  return owner_->bh_data(impl_);
+}
+
+std::span<const std::byte> BufferHeadHandle::data() const {
+  assert(owner_ != nullptr && "use of empty BufferHeadHandle");
+  sim::charge(sim::costs().bento_wrapper_check);
+  return owner_->bh_data(impl_);
+}
+
+void BufferHeadHandle::set_dirty() {
+  assert(owner_ != nullptr);
+  owner_->bh_set_dirty(impl_);
+}
+
+void BufferHeadHandle::sync() {
+  assert(owner_ != nullptr);
+  owner_->bh_sync(impl_);
+}
+
+void BufferHeadHandle::reset() {
+  if (owner_ != nullptr) {
+    owner_->bh_release(impl_);
+    owner_ = nullptr;
+    impl_ = nullptr;
+  }
+}
+
+void KernelBlockBackend::flush_all() {
+  cache_->sync_all();
+  cache_->issue_flush();
+}
+
+kern::Result<BufferHeadHandle> KernelBlockBackend::bread(
+    std::uint64_t blockno) {
+  auto r = cache_->bread(blockno);
+  if (!r.ok()) return r.error();
+  return make_handle(*this, r.value(), blockno);
+}
+
+kern::Result<BufferHeadHandle> KernelBlockBackend::getblk(
+    std::uint64_t blockno) {
+  auto r = cache_->getblk(blockno);
+  if (!r.ok()) return r.error();
+  return make_handle(*this, r.value(), blockno);
+}
+
+std::span<std::byte> KernelBlockBackend::bh_data(void* impl) {
+  return static_cast<kern::BufferHead*>(impl)->bytes();
+}
+
+void KernelBlockBackend::bh_set_dirty(void* impl) {
+  cache_->mark_dirty(static_cast<kern::BufferHead*>(impl));
+}
+
+void KernelBlockBackend::bh_sync(void* impl) {
+  cache_->sync_dirty_buffer(static_cast<kern::BufferHead*>(impl));
+}
+
+void KernelBlockBackend::bh_release(void* impl) {
+  cache_->brelse(static_cast<kern::BufferHead*>(impl));
+}
+
+std::unique_ptr<SuperBlockCap> CapTestAccess::make(BlockBackend& backend) {
+  return std::make_unique<SuperBlockCap>(SuperBlockCap::Key{}, backend);
+}
+
+sim::Nanos ktime() { return sim::now(); }
+
+}  // namespace bsim::bento

@@ -1,0 +1,219 @@
+// BentoKS: the kernel services API (paper §4.5–§4.7).
+//
+// File systems written against Bento never touch kernel pointers. They
+// receive *capability types* — SuperBlockCap, BufferHeadHandle — whose
+// creation is restricted to the framework (passkey idiom standing in for
+// Rust's module privacy). A BufferHeadHandle is the paper's BufferHead
+// wrapper: data() yields a correctly-sized memory region, and the
+// destructor calls brelse so "memory leaks are possible but difficult".
+//
+// The same capability surface is implemented by two backends:
+//   KernelBlockBackend  — over the in-kernel buffer cache (kernel Bento)
+//   UserBlockBackend    — over a /dev file opened O_DIRECT (userspace Bento
+//                         for FUSE deployment and debugging, §4.9)
+// which is what lets one file-system implementation run in both worlds.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "kernel/buffer_cache.h"
+#include "kernel/errno.h"
+#include "sim/sync.h"
+
+namespace bsim::bento {
+
+class SuperBlockCap;
+class BufferHeadHandle;
+
+/// Where block I/O goes: the two implementations embody the kernel/user
+/// split of Figure 1.
+class BlockBackend {
+ public:
+  virtual ~BlockBackend() = default;
+
+  [[nodiscard]] virtual std::uint64_t nblocks() const = 0;
+
+  /// Durability barrier for everything previously written (device FLUSH in
+  /// the kernel; fsync of the disk file from userspace).
+  virtual void flush_all() = 0;
+
+ protected:
+  friend class SuperBlockCap;
+  friend class BufferHeadHandle;
+  virtual kern::Result<BufferHeadHandle> bread(std::uint64_t blockno) = 0;
+  virtual kern::Result<BufferHeadHandle> getblk(std::uint64_t blockno) = 0;
+  virtual std::span<std::byte> bh_data(void* impl) = 0;
+  virtual void bh_set_dirty(void* impl) = 0;
+  /// Synchronous durable write of this block (sync_dirty_buffer in the
+  /// kernel; pwrite + whole-file fsync from userspace — §6.4).
+  virtual void bh_sync(void* impl) = 0;
+  virtual void bh_release(void* impl) = 0;
+
+  /// For subclasses constructing handles.
+  static BufferHeadHandle make_handle(BlockBackend& owner, void* impl,
+                                      std::uint64_t blockno);
+};
+
+/// RAII capability for one cached block (the paper's BufferHead wrapper).
+class BufferHeadHandle {
+ public:
+  BufferHeadHandle() = default;
+
+  BufferHeadHandle(BufferHeadHandle&& o) noexcept { steal(o); }
+  BufferHeadHandle& operator=(BufferHeadHandle&& o) noexcept {
+    if (this != &o) {
+      reset();
+      steal(o);
+    }
+    return *this;
+  }
+  BufferHeadHandle(const BufferHeadHandle&) = delete;
+  BufferHeadHandle& operator=(const BufferHeadHandle&) = delete;
+
+  ~BufferHeadHandle() { reset(); }
+
+  [[nodiscard]] explicit operator bool() const { return owner_ != nullptr; }
+  [[nodiscard]] std::uint64_t blockno() const { return blockno_; }
+
+  /// The block's contents as a correctly-sized region (§4.7). The small
+  /// runtime check the paper describes for wrapping abstractions is charged
+  /// here.
+  [[nodiscard]] std::span<std::byte> data();
+  [[nodiscard]] std::span<const std::byte> data() const;
+
+  /// Mark the buffer dirty (mark_buffer_dirty).
+  void set_dirty();
+
+  /// Synchronously make this block durable.
+  void sync();
+
+  /// Explicit early release (otherwise the destructor does it).
+  void reset();
+
+ private:
+  friend class BlockBackend;
+  BufferHeadHandle(BlockBackend& owner, void* impl, std::uint64_t blockno)
+      : owner_(&owner), impl_(impl), blockno_(blockno) {}
+
+  void steal(BufferHeadHandle& o) {
+    owner_ = o.owner_;
+    impl_ = o.impl_;
+    blockno_ = o.blockno_;
+    o.owner_ = nullptr;
+    o.impl_ = nullptr;
+  }
+
+  BlockBackend* owner_ = nullptr;
+  void* impl_ = nullptr;
+  std::uint64_t blockno_ = 0;
+};
+
+/// Capability for the mounted superblock (§4.6): possession proves access
+/// to a valid kernel super_block; creation is framework-only.
+class SuperBlockCap {
+ public:
+  /// Passkey: only framework mount paths can mint a SuperBlockCap.
+  class Key {
+   private:
+    Key() = default;
+    friend class BentoModule;       // kernel BentoFS mount
+    friend class UserMount;         // userspace Bento (FUSE daemon / debug)
+    friend struct CapTestAccess;    // tests & the A4 overhead ablation
+  };
+
+  SuperBlockCap(Key, BlockBackend& backend) : backend_(&backend) {}
+
+  SuperBlockCap(const SuperBlockCap&) = delete;
+  SuperBlockCap& operator=(const SuperBlockCap&) = delete;
+
+  [[nodiscard]] std::uint64_t nblocks() const { return backend_->nblocks(); }
+  [[nodiscard]] std::uint32_t blocksize() const { return blk::kBlockSize; }
+
+  /// Read a block through the (kernel or userspace) cache.
+  kern::Result<BufferHeadHandle> bread(std::uint64_t blockno) {
+    return backend_->bread(blockno);
+  }
+  /// Get a block that will be fully overwritten.
+  kern::Result<BufferHeadHandle> getblk(std::uint64_t blockno) {
+    return backend_->getblk(blockno);
+  }
+  /// Durability barrier.
+  void flush_all() { backend_->flush_all(); }
+
+ private:
+  BlockBackend* backend_;
+};
+
+/// Test/bench-only escape hatch for minting a capability without a mount
+/// (used by unit tests and the A4 zero-overhead ablation, which measure
+/// the capability surface in isolation).
+struct CapTestAccess {
+  static std::unique_ptr<SuperBlockCap> make(BlockBackend& backend);
+};
+
+/// Kernel-side backend over the buffer cache.
+class KernelBlockBackend final : public BlockBackend {
+ public:
+  explicit KernelBlockBackend(kern::BufferCache& cache) : cache_(&cache) {}
+
+  [[nodiscard]] std::uint64_t nblocks() const override {
+    return cache_->device().nblocks();
+  }
+  void flush_all() override;
+
+  [[nodiscard]] kern::BufferCache& cache() { return *cache_; }
+
+ protected:
+  kern::Result<BufferHeadHandle> bread(std::uint64_t blockno) override;
+  kern::Result<BufferHeadHandle> getblk(std::uint64_t blockno) override;
+  std::span<std::byte> bh_data(void* impl) override;
+  void bh_set_dirty(void* impl) override;
+  void bh_sync(void* impl) override;
+  void bh_release(void* impl) override;
+
+ private:
+  kern::BufferCache* cache_;
+};
+
+/// Semaphore wrapper exposed to file systems (kernel semaphore in the
+/// kernel build, std::sync-style mutex at user level — identical API).
+class Semaphore {
+ public:
+  void acquire() { mu_.lock(); }
+  void release() { mu_.unlock(); }
+
+ private:
+  sim::SimMutex mu_;
+};
+
+/// RAII guard for Semaphore.
+class SemGuard {
+ public:
+  explicit SemGuard(Semaphore& s) : s_(s) { s_.acquire(); }
+  ~SemGuard() { s_.release(); }
+  SemGuard(const SemGuard&) = delete;
+  SemGuard& operator=(const SemGuard&) = delete;
+
+ private:
+  Semaphore& s_;
+};
+
+/// Reader-writer semaphore wrapper.
+class RwSemaphore {
+ public:
+  void down_read() { rw_.lock_shared(); }
+  void up_read() { rw_.unlock_shared(); }
+  void down_write() { rw_.lock(); }
+  void up_write() { rw_.unlock(); }
+
+ private:
+  sim::SimRwLock rw_;
+};
+
+/// Current kernel time (ktime_get analogue) in virtual nanoseconds.
+sim::Nanos ktime();
+
+}  // namespace bsim::bento

@@ -1,0 +1,94 @@
+// The ownership model of the Bento file-operations API (paper §4.4).
+//
+// Ownership of an object never crosses the interface; objects are
+// *borrowed*. In the paper the Rust compiler enforces the callee half of
+// the contract (no escape, no use outside the borrow window). C++ cannot
+// prove that at compile time, so this port enforces what it can in the type
+// system (Borrowed<T> is move-only and cannot be copied into long-lived
+// storage) and verifies the rest dynamically: every borrow is counted in a
+// BorrowLedger, and the framework asserts after each call into the file
+// system that all borrows it handed out have been returned.
+#pragma once
+
+#include <cassert>
+#include <utility>
+
+namespace bsim::bento {
+
+/// Counts outstanding borrows handed across the interface.
+class BorrowLedger {
+ public:
+  [[nodiscard]] int outstanding() const { return outstanding_; }
+  [[nodiscard]] long total() const { return total_; }
+
+  /// True iff every borrow has been returned (checked by the framework
+  /// after each file-system call; a violation means the callee stashed a
+  /// borrowed object, which safe Rust would reject at compile time).
+  [[nodiscard]] bool balanced() const { return outstanding_ == 0; }
+
+ private:
+  template <class T> friend class Borrowed;
+  int outstanding_ = 0;
+  long total_ = 0;
+};
+
+/// An immutable-or-mutable borrow of a framework-owned object. Move-only;
+/// destroying it returns the borrow. The callee may use the object for the
+/// duration of the call but can never own or free it.
+template <class T>
+class Borrowed {
+ public:
+  Borrowed(T& obj, BorrowLedger& ledger) : obj_(&obj), ledger_(&ledger) {
+    ledger_->outstanding_ += 1;
+    ledger_->total_ += 1;
+  }
+
+  Borrowed(Borrowed&& o) noexcept : obj_(o.obj_), ledger_(o.ledger_) {
+    o.obj_ = nullptr;
+    o.ledger_ = nullptr;
+  }
+  Borrowed& operator=(Borrowed&& o) noexcept {
+    if (this != &o) {
+      release();
+      obj_ = std::exchange(o.obj_, nullptr);
+      ledger_ = std::exchange(o.ledger_, nullptr);
+    }
+    return *this;
+  }
+
+  Borrowed(const Borrowed&) = delete;
+  Borrowed& operator=(const Borrowed&) = delete;
+
+  ~Borrowed() { release(); }
+
+  [[nodiscard]] T* operator->() const {
+    assert(obj_ != nullptr && "use of released borrow");
+    return obj_;
+  }
+
+  /// Reborrow: a fresh borrow of the same object for a nested call (the
+  /// C++ rendering of Rust's implicit reborrowing of &mut).
+  [[nodiscard]] Borrowed reborrow() const {
+    assert(obj_ != nullptr && ledger_ != nullptr);
+    return Borrowed(*obj_, *ledger_);
+  }
+  [[nodiscard]] T& get() const {
+    assert(obj_ != nullptr && "use of released borrow");
+    return *obj_;
+  }
+
+ private:
+  void release() {
+    if (ledger_ != nullptr) {
+      ledger_->outstanding_ -= 1;
+      assert(ledger_->outstanding_ >= 0);
+    }
+    obj_ = nullptr;
+    ledger_ = nullptr;
+  }
+
+  T* obj_;
+  BorrowLedger* ledger_;
+};
+
+}  // namespace bsim::bento

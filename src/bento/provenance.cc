@@ -1,0 +1,409 @@
+#include "bento/provenance.h"
+
+#include <algorithm>
+#include <deque>
+#include <utility>
+
+#include "sim/cost_model.h"
+#include "sim/thread.h"
+
+namespace bsim::bento {
+
+using kern::Err;
+
+// ---- ProvenanceStore ----
+
+void ProvenanceStore::register_process(std::uint32_t pid, std::string image) {
+  auto& p = procs_[pid];
+  p.image = std::move(image);
+  p.read_set.clear();
+}
+
+void ProvenanceStore::forget_process(std::uint32_t pid) { procs_.erase(pid); }
+
+ProvenanceStore::FileRecord& ProvenanceStore::file(Ino ino) {
+  auto& rec = files_[ino];
+  if (rec.versions.empty()) rec.versions.emplace_back();
+  return rec;
+}
+
+ProvenanceStore::Version& ProvenanceStore::current(Ino ino) {
+  auto& rec = file(ino);
+  return rec.versions.back();
+}
+
+void ProvenanceStore::on_read(std::uint32_t pid, Ino ino) {
+  auto& rec = file(ino);
+  const std::uint64_t seq = rec.versions.size() - 1;
+  rec.versions[seq].ever_read = true;
+  procs_[pid].read_set.insert(ProvSource::file(ino, seq));
+}
+
+void ProvenanceStore::on_write(std::uint32_t pid, Ino ino,
+                               const SnapshotFn& snapshot) {
+  auto& rec = file(ino);
+  Version* cur = &rec.versions.back();
+
+  // Version transition: the current version was published (barrier) or
+  // belongs to a different writer. The outgoing version's contents are
+  // retained iff provenance can still need them — someone read them (the
+  // read may yet become an edge) or an edge already exists.
+  const bool transition =
+      !cur->open || (cur->writer_pid != 0 && cur->writer_pid != pid);
+  if (transition && (cur->open || !cur->inputs.empty() || cur->ever_read)) {
+    if (cur->ever_read && !cur->snapshot.has_value()) {
+      cur->snapshot = snapshot();
+      retained_bytes_ += cur->snapshot->size();
+    }
+    rec.versions.emplace_back();
+    cur = &rec.versions.back();
+  }
+
+  cur->open = true;
+  cur->writer_pid = pid;
+  auto it = procs_.find(pid);
+  if (it != procs_.end()) {
+    // Self-edges (a process appending to a file it read) are dropped: a
+    // version cannot be its own input.
+    for (const auto& src : it->second.read_set) {
+      if (src.kind == ProvSource::Kind::FileVersion && src.ino == ino &&
+          src.seq == rec.versions.size() - 1) {
+        continue;
+      }
+      cur->inputs.insert(src);
+    }
+    if (!it->second.image.empty()) {
+      cur->inputs.insert(ProvSource::img(it->second.image));
+    }
+  }
+}
+
+void ProvenanceStore::version_barrier(Ino ino) {
+  auto it = files_.find(ino);
+  if (it == files_.end() || it->second.versions.empty()) return;
+  it->second.versions.back().open = false;
+}
+
+void ProvenanceStore::on_unlink(Ino ino) {
+  auto it = files_.find(ino);
+  if (it == files_.end()) return;
+  it->second.live = false;
+  it->second.versions.back().open = false;
+}
+
+std::uint64_t ProvenanceStore::current_seq(Ino ino) const {
+  auto it = files_.find(ino);
+  if (it == files_.end() || it->second.versions.empty()) return 0;
+  return it->second.versions.size() - 1;
+}
+
+std::set<ProvSource> ProvenanceStore::sources_of(Ino ino) const {
+  return sources_of(ino, current_seq(ino));
+}
+
+std::set<ProvSource> ProvenanceStore::sources_of(Ino ino,
+                                                 std::uint64_t seq) const {
+  auto it = files_.find(ino);
+  if (it == files_.end() || seq >= it->second.versions.size()) return {};
+  return it->second.versions[seq].inputs;
+}
+
+std::set<ProvSource> ProvenanceStore::lineage_of(Ino ino) const {
+  std::set<ProvSource> seen;
+  std::deque<ProvSource> frontier;
+  for (const auto& s : sources_of(ino)) {
+    if (seen.insert(s).second) frontier.push_back(s);
+  }
+  while (!frontier.empty()) {
+    const ProvSource s = frontier.front();
+    frontier.pop_front();
+    if (s.kind != ProvSource::Kind::FileVersion) continue;
+    for (const auto& next : sources_of(s.ino, s.seq)) {
+      if (seen.insert(next).second) frontier.push_back(next);
+    }
+  }
+  return seen;
+}
+
+std::set<Ino> ProvenanceStore::tainted_by(Ino source_ino) const {
+  std::set<Ino> out;
+  for (const auto& [ino, rec] : files_) {
+    if (!rec.live || ino == source_ino) continue;
+    for (const auto& s : lineage_of(ino)) {
+      if (s.kind == ProvSource::Kind::FileVersion && s.ino == source_ino) {
+        out.insert(ino);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::set<Ino> ProvenanceStore::tainted_by_image(std::string_view image) const {
+  std::set<Ino> out;
+  for (const auto& [ino, rec] : files_) {
+    if (!rec.live) continue;
+    for (const auto& s : lineage_of(ino)) {
+      if (s.kind == ProvSource::Kind::Image && s.image == image) {
+        out.insert(ino);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<std::vector<std::byte>> ProvenanceStore::read_version(
+    Ino ino, std::uint64_t seq) const {
+  auto it = files_.find(ino);
+  if (it == files_.end() || seq >= it->second.versions.size()) {
+    return std::nullopt;
+  }
+  return it->second.versions[seq].snapshot;
+}
+
+std::uint64_t ProvenanceStore::gc() {
+  // Mark: every version reachable from a live file's latest version.
+  std::set<std::pair<Ino, std::uint64_t>> marked;
+  std::deque<std::pair<Ino, std::uint64_t>> frontier;
+  for (const auto& [ino, rec] : files_) {
+    if (!rec.live) continue;
+    const std::uint64_t seq = rec.versions.size() - 1;
+    if (marked.insert({ino, seq}).second) frontier.push_back({ino, seq});
+  }
+  while (!frontier.empty()) {
+    const auto [ino, seq] = frontier.front();
+    frontier.pop_front();
+    for (const auto& s : sources_of(ino, seq)) {
+      if (s.kind != ProvSource::Kind::FileVersion) continue;
+      if (marked.insert({s.ino, s.seq}).second) {
+        frontier.push_back({s.ino, s.seq});
+      }
+    }
+  }
+
+  // Sweep: drop snapshots of unmarked versions; drop dead files whose
+  // versions are all unmarked.
+  std::uint64_t reclaimed = 0;
+  for (auto it = files_.begin(); it != files_.end();) {
+    auto& [ino, rec] = *it;
+    bool any_marked = false;
+    for (std::uint64_t seq = 0; seq < rec.versions.size(); ++seq) {
+      auto& v = rec.versions[seq];
+      if (marked.contains({ino, seq})) {
+        any_marked = true;
+        continue;
+      }
+      if (v.snapshot.has_value()) {
+        reclaimed += v.snapshot->size();
+        retained_bytes_ -= v.snapshot->size();
+        v.snapshot.reset();
+      }
+    }
+    if (!rec.live && !any_marked) {
+      it = files_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return reclaimed;
+}
+
+// ---- ProvenanceFs ----
+
+namespace {
+void charge_track() {
+  if (sim::current_or_null() != nullptr) sim::charge(sim::costs().prov_track);
+}
+}  // namespace
+
+ProvenanceFs::ProvenanceFs(std::unique_ptr<UserMount> lower)
+    : lower_(std::move(lower)), store_(std::make_unique<ProvenanceStore>()) {}
+
+ProvenanceFs::~ProvenanceFs() = default;
+
+Err ProvenanceFs::init(const Request&, SbRef) { return Err::Ok; }
+
+void ProvenanceFs::destroy(const Request&, SbRef) {
+  if (lower_ == nullptr) return;  // state already transferred (§4.8)
+  (void)lower_fs().sync_fs(lower_->mkreq(), lower_->borrow());
+  lower_->check_borrows();
+}
+
+ProvenanceStore::SnapshotFn ProvenanceFs::snapshot_fn(Ino ino) {
+  return [this, ino]() -> std::vector<std::byte> {
+    auto attr = lower_fs().getattr(lower_->mkreq(), lower_->borrow(), ino);
+    lower_->check_borrows();
+    if (!attr.ok()) return {};
+    std::vector<std::byte> buf(attr.value().size);
+    auto r = lower_fs().read(lower_->mkreq(), lower_->borrow(), ino, 0, 0,
+                             buf);
+    lower_->check_borrows();
+    if (!r.ok()) return {};
+    buf.resize(r.value());
+    return buf;
+  };
+}
+
+Result<EntryOut> ProvenanceFs::lookup(const Request&, SbRef, Ino parent,
+                                      std::string_view name) {
+  auto r = lower_fs().lookup(lower_->mkreq(), lower_->borrow(), parent, name);
+  lower_->check_borrows();
+  return r;
+}
+
+Result<FileAttr> ProvenanceFs::getattr(const Request&, SbRef, Ino ino) {
+  auto r = lower_fs().getattr(lower_->mkreq(), lower_->borrow(), ino);
+  lower_->check_borrows();
+  return r;
+}
+
+Result<FileAttr> ProvenanceFs::setattr(const Request&, SbRef, Ino ino,
+                                       const SetAttrIn& attr) {
+  auto r = lower_fs().setattr(lower_->mkreq(), lower_->borrow(), ino, attr);
+  lower_->check_borrows();
+  return r;
+}
+
+Result<EntryOut> ProvenanceFs::create(const Request&, SbRef, Ino parent,
+                                      std::string_view name,
+                                      std::uint32_t mode) {
+  auto r = lower_fs().create(lower_->mkreq(), lower_->borrow(), parent, name,
+                             mode);
+  lower_->check_borrows();
+  return r;
+}
+
+Result<EntryOut> ProvenanceFs::mkdir(const Request&, SbRef, Ino parent,
+                                     std::string_view name,
+                                     std::uint32_t mode) {
+  auto r = lower_fs().mkdir(lower_->mkreq(), lower_->borrow(), parent, name,
+                            mode);
+  lower_->check_borrows();
+  return r;
+}
+
+Err ProvenanceFs::unlink(const Request&, SbRef, Ino parent,
+                         std::string_view name) {
+  // Resolve first so the store learns which ino died.
+  auto looked =
+      lower_fs().lookup(lower_->mkreq(), lower_->borrow(), parent, name);
+  lower_->check_borrows();
+  auto r = lower_fs().unlink(lower_->mkreq(), lower_->borrow(), parent, name);
+  lower_->check_borrows();
+  if (r == Err::Ok && looked.ok()) {
+    charge_track();
+    store_->on_unlink(looked.value().ino);
+  }
+  return r;
+}
+
+Err ProvenanceFs::rmdir(const Request&, SbRef, Ino parent,
+                        std::string_view name) {
+  auto r = lower_fs().rmdir(lower_->mkreq(), lower_->borrow(), parent, name);
+  lower_->check_borrows();
+  return r;
+}
+
+Err ProvenanceFs::rename(const Request&, SbRef, Ino old_parent,
+                         std::string_view old_name, Ino new_parent,
+                         std::string_view new_name) {
+  auto r = lower_fs().rename(lower_->mkreq(), lower_->borrow(), old_parent,
+                             old_name, new_parent, new_name);
+  lower_->check_borrows();
+  return r;
+}
+
+Result<std::uint64_t> ProvenanceFs::open(const Request&, SbRef, Ino ino,
+                                         int flags) {
+  auto r = lower_fs().open(lower_->mkreq(), lower_->borrow(), ino, flags);
+  lower_->check_borrows();
+  return r;
+}
+
+Err ProvenanceFs::release(const Request&, SbRef, Ino ino, std::uint64_t fh) {
+  auto r = lower_fs().release(lower_->mkreq(), lower_->borrow(), ino, fh);
+  lower_->check_borrows();
+  charge_track();
+  store_->version_barrier(ino);
+  return r;
+}
+
+Result<std::uint32_t> ProvenanceFs::read(const Request& req, SbRef, Ino ino,
+                                         std::uint64_t fh, std::uint64_t off,
+                                         std::span<std::byte> out) {
+  auto r = lower_fs().read(lower_->mkreq(), lower_->borrow(), ino, fh, off,
+                           out);
+  lower_->check_borrows();
+  if (r.ok()) {
+    charge_track();
+    store_->on_read(req.pid, ino);
+  }
+  return r;
+}
+
+Result<std::uint32_t> ProvenanceFs::write(const Request& req, SbRef, Ino ino,
+                                          std::uint64_t fh, std::uint64_t off,
+                                          std::span<const std::byte> in) {
+  charge_track();
+  store_->on_write(req.pid, ino, snapshot_fn(ino));
+  auto r = lower_fs().write(lower_->mkreq(), lower_->borrow(), ino, fh, off,
+                            in);
+  lower_->check_borrows();
+  return r;
+}
+
+Err ProvenanceFs::fsync(const Request&, SbRef, Ino ino, std::uint64_t fh,
+                        bool datasync) {
+  auto r =
+      lower_fs().fsync(lower_->mkreq(), lower_->borrow(), ino, fh, datasync);
+  lower_->check_borrows();
+  charge_track();
+  store_->version_barrier(ino);
+  return r;
+}
+
+Err ProvenanceFs::readdir(const Request&, SbRef, Ino ino, std::uint64_t& pos,
+                          const DirFiller& fill) {
+  auto r =
+      lower_fs().readdir(lower_->mkreq(), lower_->borrow(), ino, pos, fill);
+  lower_->check_borrows();
+  return r;
+}
+
+Result<StatfsOut> ProvenanceFs::statfs(const Request&, SbRef) {
+  auto r = lower_fs().statfs(lower_->mkreq(), lower_->borrow());
+  lower_->check_borrows();
+  return r;
+}
+
+Err ProvenanceFs::sync_fs(const Request&, SbRef) {
+  if (lower_ == nullptr) return Err::Ok;  // state already transferred (§4.8)
+  auto r = lower_fs().sync_fs(lower_->mkreq(), lower_->borrow());
+  lower_->check_borrows();
+  return r;
+}
+
+TransferableState ProvenanceFs::prepare_transfer(const Request& req,
+                                                 SbRef sb) {
+  destroy(req, sb.reborrow());
+  TransferableState state;
+  state.put("provenance.store", std::exchange(store_, nullptr));
+  state.put("provenance.lower", std::exchange(lower_, nullptr));
+  return state;
+}
+
+Err ProvenanceFs::restore_state(const Request&, SbRef,
+                                TransferableState state) {
+  auto* store = state.get<std::shared_ptr<ProvenanceStore>>("provenance.store");
+  auto* lower = state.get<std::shared_ptr<UserMount>>("provenance.lower");
+  if (store == nullptr || *store == nullptr || lower == nullptr ||
+      *lower == nullptr) {
+    return Err::Inval;
+  }
+  store_ = std::move(*store);
+  lower_ = std::move(*lower);
+  return Err::Ok;
+}
+
+}  // namespace bsim::bento

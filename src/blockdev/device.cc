@@ -1,0 +1,128 @@
+#include "blockdev/device.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+#include "sim/thread.h"
+
+namespace bsim::blk {
+
+BlockDevice::BlockDevice(DeviceParams params)
+    : params_(params),
+      blocks_(params.nblocks),
+      channel_free_(static_cast<std::size_t>(std::max(params.channels, 1)), 0) {}
+
+BlockData& BlockDevice::slot(std::uint64_t blockno) {
+  if (blockno >= params_.nblocks) throw std::out_of_range("blockno beyond device");
+  auto& p = blocks_[blockno];
+  if (!p) {
+    p = std::make_unique<BlockData>();
+    p->fill(std::byte{0});
+  }
+  return *p;
+}
+
+sim::Nanos BlockDevice::service(sim::Nanos latency) {
+  // Pick the channel that frees up first; queue behind it if busy.
+  auto it = std::min_element(channel_free_.begin(), channel_free_.end());
+  const sim::Nanos start = std::max(*it, sim::now());
+  const sim::Nanos done = start + latency;
+  *it = done;
+  stats_.busy += latency;
+  return done;
+}
+
+void BlockDevice::read(std::uint64_t blockno, std::span<std::byte> out) {
+  assert(out.size() >= kBlockSize);
+  const bool sequential = blockno == last_block_read_ + 1;
+  last_block_read_ = blockno;
+  const sim::Nanos done =
+      service(sequential ? params_.read_lat_seq : params_.read_lat_rand);
+  sim::current().wait_until(done);
+  stats_.reads += 1;
+  std::memcpy(out.data(), slot(blockno).data(), kBlockSize);
+}
+
+void BlockDevice::write(std::uint64_t blockno, std::span<const std::byte> in) {
+  assert(in.size() >= kBlockSize);
+  // Forced destage when the volatile cache is full: the write behaves like
+  // a media program instead of a cache transfer.
+  sim::Nanos latency = params_.write_xfer;
+  if (dirty_.size() >= params_.write_cache_blocks) {
+    latency += params_.destage_per_block;
+    // Oldest-written semantics are irrelevant for timing; make one slot
+    // durable to bound the dirty set.
+    if (!dirty_.empty()) {
+      stats_.blocks_destaged += 1;
+      dirty_.erase(dirty_.begin());
+    }
+  }
+  const sim::Nanos done = service(latency);
+  sim::current().wait_until(done);
+  stats_.writes += 1;
+
+  if (kill_armed_) {
+    if (kill_countdown_ == 0) dead_ = true;
+    else kill_countdown_ -= 1;
+  }
+  if (dead_) return;  // power died: the write never reached the device
+
+  auto& dst = slot(blockno);
+  if (!dirty_.contains(blockno)) {
+    std::unique_ptr<BlockData> pre;
+    if (crash_tracking_) pre = std::make_unique<BlockData>(dst);
+    dirty_.emplace(blockno, std::move(pre));
+  }
+  std::memcpy(dst.data(), in.data(), kBlockSize);
+}
+
+void BlockDevice::flush() {
+  // FLUSH is a barrier: it starts after all in-flight requests and blocks
+  // the whole device until the cache is destaged.
+  const sim::Nanos cost =
+      params_.flush_base +
+      static_cast<sim::Nanos>(dirty_.size()) * params_.destage_per_block;
+  sim::Nanos start = sim::now();
+  for (const sim::Nanos busy : channel_free_) start = std::max(start, busy);
+  const sim::Nanos done = start + cost;
+  for (auto& ch : channel_free_) ch = done;
+  stats_.busy += cost;
+  sim::current().wait_until(done);
+  stats_.flushes += 1;
+  if (dead_) return;  // dead device: nothing destages
+  stats_.blocks_destaged += dirty_.size();
+  dirty_.clear();
+}
+
+void BlockDevice::read_untimed(std::uint64_t blockno, std::span<std::byte> out) {
+  assert(out.size() >= kBlockSize);
+  std::memcpy(out.data(), slot(blockno).data(), kBlockSize);
+}
+
+void BlockDevice::write_untimed(std::uint64_t blockno,
+                                std::span<const std::byte> in) {
+  assert(in.size() >= kBlockSize);
+  std::memcpy(slot(blockno).data(), in.data(), kBlockSize);
+}
+
+void BlockDevice::enable_crash_tracking() { crash_tracking_ = true; }
+
+void BlockDevice::kill_after(std::uint64_t n) {
+  kill_armed_ = true;
+  kill_countdown_ = n;
+}
+
+void BlockDevice::crash(double survive_p, sim::Rng& rng) {
+  assert(crash_tracking_ && "crash() requires enable_crash_tracking()");
+  dead_ = false;
+  kill_armed_ = false;
+  for (auto& [blockno, pre] : dirty_) {
+    if (rng.chance(survive_p)) continue;  // this block made it to media
+    if (pre) std::memcpy(slot(blockno).data(), pre->data(), kBlockSize);
+  }
+  dirty_.clear();
+}
+
+}  // namespace bsim::blk

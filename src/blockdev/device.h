@@ -1,0 +1,109 @@
+// NVMe-like simulated block device (the paper's Samsung PM981 SSD).
+//
+// Data is stored for real (sparse, 4 KiB blocks) so file systems above it
+// are functionally exercised; service times are charged to the current
+// simulated thread. The device has:
+//   - bounded internal parallelism (channels),
+//   - distinct sequential vs random read service times,
+//   - a volatile write cache: writes complete once transferred; they become
+//     durable only on FLUSH (or forced destage when the cache fills),
+//   - an explicit FLUSH whose cost grows with the dirty-block count.
+// Crash tracking (for journal crash-consistency tests) can revert all
+// non-durable writes, optionally keeping a caller-chosen subset to model
+// partially persisted write caches.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace bsim::blk {
+
+inline constexpr std::uint32_t kBlockSize = 4096;
+
+using BlockData = std::array<std::byte, kBlockSize>;
+
+struct DeviceParams {
+  std::uint64_t nblocks = 262'144;  // 1 GiB default
+  int channels = 8;                 // internal parallelism
+  sim::Nanos read_lat_rand = sim::usec(80);  // 4 KiB random read, QD1
+  sim::Nanos read_lat_seq = sim::usec(12);   // 4 KiB sequential read
+  sim::Nanos write_xfer = sim::usec(6);      // transfer into write cache
+  sim::Nanos flush_base = sim::usec(800);    // FLUSH on consumer NVMe (no PLP)
+  sim::Nanos destage_per_block = sim::usec(9);  // per dirty block on FLUSH
+  std::uint64_t write_cache_blocks = 4096;   // 16 MiB volatile cache
+};
+
+struct DeviceStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t flushes = 0;
+  std::uint64_t blocks_destaged = 0;
+  sim::Nanos busy = 0;
+};
+
+class BlockDevice {
+ public:
+  explicit BlockDevice(DeviceParams params);
+
+  BlockDevice(const BlockDevice&) = delete;
+  BlockDevice& operator=(const BlockDevice&) = delete;
+
+  [[nodiscard]] std::uint64_t nblocks() const { return params_.nblocks; }
+  [[nodiscard]] std::uint32_t block_size() const { return kBlockSize; }
+  [[nodiscard]] const DeviceStats& stats() const { return stats_; }
+  [[nodiscard]] const DeviceParams& params() const { return params_; }
+  [[nodiscard]] std::uint64_t dirty_blocks() const { return dirty_.size(); }
+
+  /// Read one block into `out` (timed).
+  void read(std::uint64_t blockno, std::span<std::byte> out);
+
+  /// Write one block from `in` into the volatile write cache (timed).
+  void write(std::uint64_t blockno, std::span<const std::byte> in);
+
+  /// FLUSH: destage the write cache and make everything durable (timed).
+  void flush();
+
+  /// Untimed access for mkfs-style tooling and tests.
+  void read_untimed(std::uint64_t blockno, std::span<std::byte> out);
+  void write_untimed(std::uint64_t blockno, std::span<const std::byte> in);
+
+  // ---- Crash simulation ----
+  /// Start recording pre-images of non-durable writes.
+  void enable_crash_tracking();
+  /// Kill the device after `n` more write commands: later writes and
+  /// flushes are accepted (and timed) but never change media state — the
+  /// instant-power-death model used by the torn-commit crash sweep.
+  void kill_after(std::uint64_t n);
+  [[nodiscard]] bool dead() const { return dead_; }
+  /// Simulate power loss: every write since the last flush() is reverted,
+  /// except that each non-durable block independently survives with
+  /// probability `survive_p` (0 = lose all volatile state). Deterministic
+  /// under the given rng. Clears the dirty set; the device is then "clean".
+  void crash(double survive_p, sim::Rng& rng);
+
+ private:
+  BlockData& slot(std::uint64_t blockno);
+  sim::Nanos service(sim::Nanos latency);
+
+  DeviceParams params_;
+  std::vector<std::unique_ptr<BlockData>> blocks_;
+  std::vector<sim::Nanos> channel_free_;
+  // Non-durable blocks -> pre-image (only populated when crash tracking is
+  // on; otherwise the map holds nullptr values and acts as a dirty set).
+  std::unordered_map<std::uint64_t, std::unique_ptr<BlockData>> dirty_;
+  bool crash_tracking_ = false;
+  bool dead_ = false;
+  std::uint64_t kill_countdown_ = 0;
+  bool kill_armed_ = false;
+  std::uint64_t last_block_read_ = ~0ULL;
+  DeviceStats stats_;
+};
+
+}  // namespace bsim::blk

@@ -1,0 +1,63 @@
+// Byte-addressable non-volatile memory (paper §3): the substrate for the
+// Strata-style operation log. "Systems such as Strata [17] have shown
+// that prepending an operation log stored in NVM can dramatically improve
+// write performance" — this models the NVM those systems assume
+// (Optane-DC-class): cacheline-granular persistent stores buffered in the
+// write-pending queue, made durable by an explicit persist barrier
+// (CLWB + SFENCE), with no block abstraction and no FLUSH command.
+//
+// Crash model: stores issued since the last persist_barrier() may be lost
+// on power failure; barriered stores are durable. crash() reverts to the
+// last barriered image, which is how the op-log recovery tests simulate
+// power loss.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace bsim::blk {
+
+struct NvmParams {
+  std::size_t bytes = 64ull << 20;           // region size (64 MiB)
+  sim::Nanos write_per_line = 60;            // store + WPQ, per 64 B line
+  sim::Nanos read_per_line = 100;            // media read, per 64 B line
+  sim::Nanos barrier = 500;                  // CLWB + SFENCE drain
+};
+
+class NvmRegion {
+ public:
+  explicit NvmRegion(NvmParams params);
+
+  [[nodiscard]] std::size_t size() const { return working_.size(); }
+
+  /// Timed store into the region (working image).
+  void write(std::size_t off, std::span<const std::byte> data);
+  /// Timed load. Normal op-log operation reads its own DRAM copies; this
+  /// is the recovery/replay path.
+  void read(std::size_t off, std::span<std::byte> out) const;
+  /// Make every prior store durable.
+  void persist_barrier();
+
+  /// Power failure: unbarriered stores are lost.
+  void crash();
+
+  struct Stats {
+    std::uint64_t bytes_written = 0;
+    std::uint64_t barriers = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  NvmParams params_;
+  std::vector<std::byte> working_;  // what stores see
+  std::vector<std::byte> stable_;   // what survives a crash
+  /// Byte ranges stored since the last barrier; a barrier commits (and a
+  /// crash reverts) only these, keeping both O(dirty), not O(region).
+  std::vector<std::pair<std::size_t, std::size_t>> dirty_;
+  Stats stats_;
+};
+
+}  // namespace bsim::blk

@@ -1,0 +1,205 @@
+#include "bugs/bugs.h"
+
+#include <array>
+#include <sstream>
+
+namespace bsim::bugs {
+
+namespace {
+
+struct Marginal {
+  Subcategory sub;
+  int count;
+};
+
+// The paper's Table 1 counts.
+constexpr std::array<Marginal, 15> kMarginals = {{
+    {Subcategory::UseBeforeAllocate, 6},
+    {Subcategory::DoubleFree, 4},
+    {Subcategory::NullDereference, 5},
+    {Subcategory::UseAfterFree, 3},
+    {Subcategory::OverAllocation, 1},
+    {Subcategory::OutOfBounds, 4},
+    {Subcategory::DanglingPointer, 1},
+    {Subcategory::MissingFree, 18},
+    {Subcategory::ReferenceCountLeak, 7},
+    {Subcategory::OtherMemory, 1},
+    {Subcategory::Deadlock, 5},
+    {Subcategory::RaceCondition, 5},
+    {Subcategory::OtherConcurrency, 1},
+    {Subcategory::UncheckedErrorValue, 5},
+    {Subcategory::OtherTypeError, 8},
+}};
+
+constexpr std::array<const char*, 3> kExtensions = {"AppArmor",
+                                                    "OVS datapath",
+                                                    "OverlayFS"};
+
+}  // namespace
+
+std::vector<BugRecord> corpus() {
+  std::vector<BugRecord> records;
+  int spread = 0;
+  for (const auto& m : kMarginals) {
+    for (int i = 0; i < m.count; ++i) {
+      BugRecord r;
+      r.extension = kExtensions[static_cast<std::size_t>(spread) %
+                                kExtensions.size()];
+      r.year = 2014 + spread % 5;
+      r.subcategory = m.sub;
+      records.push_back(std::move(r));
+      spread += 1;
+    }
+  }
+  return records;
+}
+
+Category category_of(Subcategory s) {
+  switch (s) {
+    case Subcategory::UseBeforeAllocate:
+    case Subcategory::DoubleFree:
+    case Subcategory::NullDereference:
+    case Subcategory::UseAfterFree:
+    case Subcategory::OverAllocation:
+    case Subcategory::OutOfBounds:
+    case Subcategory::DanglingPointer:
+    case Subcategory::MissingFree:
+    case Subcategory::ReferenceCountLeak:
+    case Subcategory::OtherMemory:
+      return Category::Memory;
+    case Subcategory::Deadlock:
+    case Subcategory::RaceCondition:
+    case Subcategory::OtherConcurrency:
+      return Category::Concurrency;
+    case Subcategory::UncheckedErrorValue:
+    case Subcategory::OtherTypeError:
+      return Category::Type;
+  }
+  return Category::Type;
+}
+
+Effect effect_of(Subcategory s) {
+  switch (s) {
+    case Subcategory::UseBeforeAllocate: return Effect::LikelyOops;
+    case Subcategory::DoubleFree: return Effect::Undefined;
+    case Subcategory::NullDereference: return Effect::Oops;
+    case Subcategory::UseAfterFree: return Effect::LikelyOops;
+    case Subcategory::OverAllocation: return Effect::Overutilization;
+    case Subcategory::OutOfBounds: return Effect::LikelyOops;
+    case Subcategory::DanglingPointer: return Effect::LikelyOops;
+    case Subcategory::MissingFree: return Effect::MemoryLeak;
+    case Subcategory::ReferenceCountLeak: return Effect::MemoryLeak;
+    case Subcategory::OtherMemory: return Effect::Variable;
+    case Subcategory::Deadlock: return Effect::Deadlock;
+    case Subcategory::RaceCondition: return Effect::Variable;
+    case Subcategory::OtherConcurrency: return Effect::Variable;
+    case Subcategory::UncheckedErrorValue: return Effect::Variable;
+    case Subcategory::OtherTypeError: return Effect::Variable;
+  }
+  return Effect::Variable;
+}
+
+bool rust_prevents(Subcategory s) {
+  // §2.1: "93% would be prevented by using Rust. The remaining 7% ... were
+  // primarily deadlocks."
+  return s != Subcategory::Deadlock;
+}
+
+std::string_view subcategory_name(Subcategory s) {
+  switch (s) {
+    case Subcategory::UseBeforeAllocate: return "Use Before Allocate";
+    case Subcategory::DoubleFree: return "Double Free";
+    case Subcategory::NullDereference: return "NULL Dereference";
+    case Subcategory::UseAfterFree: return "Use After Free";
+    case Subcategory::OverAllocation: return "Over Allocation";
+    case Subcategory::OutOfBounds: return "Out of Bounds";
+    case Subcategory::DanglingPointer: return "Dangling Pointer";
+    case Subcategory::MissingFree: return "Missing Free";
+    case Subcategory::ReferenceCountLeak: return "Reference Count Leak";
+    case Subcategory::OtherMemory: return "Other Memory";
+    case Subcategory::Deadlock: return "Deadlock";
+    case Subcategory::RaceCondition: return "Race Condition";
+    case Subcategory::OtherConcurrency: return "Other Concurrency";
+    case Subcategory::UncheckedErrorValue: return "Unchecked Error Value";
+    case Subcategory::OtherTypeError: return "Other Type Error";
+  }
+  return "?";
+}
+
+std::string_view effect_name(Effect e) {
+  switch (e) {
+    case Effect::LikelyOops: return "Likely oops";
+    case Effect::Oops: return "oops";
+    case Effect::Undefined: return "Undefined";
+    case Effect::Overutilization: return "Overutilization";
+    case Effect::MemoryLeak: return "Memory Leak";
+    case Effect::Deadlock: return "Deadlock";
+    case Effect::Variable: return "Variable";
+  }
+  return "?";
+}
+
+Analysis analyze(const std::vector<BugRecord>& records) {
+  Analysis a;
+  for (const auto& m : kMarginals) {
+    TableRow row;
+    row.subcategory = m.sub;
+    row.effect = effect_of(m.sub);
+    a.rows.push_back(row);
+  }
+  for (const auto& r : records) {
+    a.total += 1;
+    for (auto& row : a.rows) {
+      if (row.subcategory == r.subcategory) row.count += 1;
+    }
+    switch (category_of(r.subcategory)) {
+      case Category::Memory: a.memory += 1; break;
+      case Category::Concurrency: a.concurrency += 1; break;
+      case Category::Type: a.type += 1; break;
+    }
+    const Effect e = effect_of(r.subcategory);
+    if (e == Effect::MemoryLeak) a.leaks += 1;
+    if (e == Effect::Oops || e == Effect::LikelyOops) a.oops += 1;
+    if (rust_prevents(r.subcategory)) a.rust_preventable += 1;
+  }
+  return a;
+}
+
+std::string render_table1(const Analysis& a) {
+  std::ostringstream os;
+  os << "Table 1: Count of analyzed bugs with effects of each bug\n";
+  os << "---------------------------------------------------------\n";
+  os << "Bug                      Number   Effect on Kernel\n";
+  for (const auto& row : a.rows) {
+    std::string name{subcategory_name(row.subcategory)};
+    name.resize(25, ' ');
+    os << name << row.count << "        " << effect_name(row.effect) << "\n";
+  }
+  os << "---------------------------------------------------------\n";
+  const double pct = 100.0 / a.total;
+  os << "total low-level bugs:      " << a.total << "\n";
+  os << "memory bugs:               " << a.memory << " ("
+     << static_cast<int>(a.memory * pct + 0.5) << "%)\n";
+  os << "  of which leak-class:     " << a.leaks << " ("
+     << static_cast<int>(a.leaks * pct + 0.5) << "% of all)\n";
+  os << "concurrency bugs:          " << a.concurrency << "\n";
+  os << "type errors:               " << a.type << "\n";
+  os << "cause a kernel oops:       " << a.oops << " ("
+     << static_cast<int>(a.oops * pct + 0.5) << "%)\n";
+  os << "prevented by safe Rust:    " << a.rust_preventable << " ("
+     << static_cast<int>(a.rust_preventable * pct + 0.5) << "%)\n";
+  return os.str();
+}
+
+std::string render_table2() {
+  return
+      "Table 2: Linux file system extensibility mechanisms\n"
+      "----------------------------------------------------------------\n"
+      "          Safety   Performance   Generality   Online Upgrade\n"
+      "VFS       no       yes           yes          no\n"
+      "FUSE      yes      no            yes          no\n"
+      "eBPF      yes      yes           no           no\n"
+      "Bento     yes      yes           yes          yes (this repo: §4.8)\n";
+}
+
+}  // namespace bsim::bugs

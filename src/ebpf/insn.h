@@ -1,0 +1,77 @@
+// eBPF-flavoured instruction set (paper §2.2, §7.2).
+//
+// The paper positions eBPF as the third extensibility mechanism: safe and
+// fast but limited to "short extensions with limited control flow and
+// written in a restricted language". This module reproduces that design
+// point so Table 2's comparison can be *run*, not just asserted: a
+// register VM with a verifier that enforces the restrictions (bounded
+// size, forward-only jumps, initialized registers, bounded context
+// access) and a small helper surface (hash maps), which is exactly enough
+// to build ExtFUSE-style caches (extfuse.h) and demonstrably not enough
+// to build a file system.
+//
+// The encoding is a simplification of real eBPF (one struct per insn, no
+// byte-level encoding), keeping the semantics that matter: 64-bit
+// registers r0..r9, an implicit context buffer addressed by Ld/StCtx
+// (standing in for verified pointer access), helpers called by id.
+#pragma once
+
+#include <cstdint>
+
+namespace bsim::ebpf {
+
+inline constexpr int kNumRegs = 10;       // r0..r9
+inline constexpr int kMaxInsns = 4096;    // verifier program-size bound
+inline constexpr int kMaxCtxSize = 4096;  // context buffer bound
+
+enum class Op : std::uint8_t {
+  MovImm,   // dst = imm
+  MovReg,   // dst = src
+  AddImm,   // dst += imm
+  AddReg,   // dst += src
+  SubImm,   // dst -= imm
+  SubReg,   // dst -= src
+  MulImm,   // dst *= imm
+  AndImm,   // dst &= imm
+  OrImm,    // dst |= imm
+  XorImm,   // dst ^= imm
+  XorReg,   // dst ^= src
+  LshImm,   // dst <<= imm (imm masked to 0..63)
+  RshImm,   // dst >>= imm (logical)
+  LdCtx8,   // dst = *(u64*)(ctx + off)
+  StCtx8,   // *(u64*)(ctx + off) = src
+  StCtxImm, // *(u64*)(ctx + off) = imm
+  Ja,       // pc += off (forward only)
+  JeqImm,   // if (dst == imm) pc += off
+  JneImm,   // if (dst != imm) pc += off
+  JgtImm,   // if (dst >  imm) pc += off (unsigned)
+  JgeImm,   // if (dst >= imm) pc += off (unsigned)
+  JltImm,   // if (dst <  imm) pc += off (unsigned)
+  JeqReg,   // if (dst == src) pc += off
+  JneReg,   // if (dst != src) pc += off
+  Call,     // call helper imm; args r1..r5, result r0, r1..r5 clobbered
+  Exit,     // return r0
+};
+
+struct Insn {
+  Op op = Op::Exit;
+  std::uint8_t dst = 0;
+  std::uint8_t src = 0;
+  std::int16_t off = 0;   // jump displacement or ctx offset
+  std::int64_t imm = 0;
+};
+
+/// Helper ids (the bpf_helper surface).
+enum : std::int64_t {
+  /// r1=map id, r2=ctx offset of key, r3=ctx offset for the value copy.
+  /// r0 = 1 on hit (value copied into ctx), 0 on miss.
+  kHelperMapLookup = 1,
+  /// r1=map id, r2=ctx offset of key, r3=ctx offset of value. r0 = 0, or
+  /// (u64)-1 when the map is full.
+  kHelperMapUpdate = 2,
+  /// r1=map id, r2=ctx offset of key. r0 = 1 if an entry was removed.
+  kHelperMapDelete = 3,
+  kHelperMax = 3,
+};
+
+}  // namespace bsim::ebpf

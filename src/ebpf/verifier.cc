@@ -1,0 +1,171 @@
+#include "ebpf/verifier.h"
+
+#include <vector>
+
+namespace bsim::ebpf {
+
+namespace {
+
+using RegMask = std::uint16_t;  // bit i = register i initialized
+
+struct Checker {
+  std::span<const Insn> prog;
+  std::size_t ctx_size;
+  VerifyResult fail(int pc, std::string msg) {
+    VerifyResult r;
+    r.ok = false;
+    r.error = std::move(msg);
+    r.error_pc = pc;
+    return r;
+  }
+};
+
+bool reads_dst(Op op) {
+  switch (op) {
+    case Op::AddImm: case Op::AddReg: case Op::SubImm: case Op::SubReg:
+    case Op::MulImm: case Op::AndImm: case Op::OrImm: case Op::XorImm:
+    case Op::XorReg: case Op::LshImm: case Op::RshImm:
+    case Op::JeqImm: case Op::JneImm: case Op::JgtImm: case Op::JgeImm:
+    case Op::JltImm: case Op::JeqReg: case Op::JneReg:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool reads_src(Op op) {
+  switch (op) {
+    case Op::MovReg: case Op::AddReg: case Op::SubReg: case Op::XorReg:
+    case Op::StCtx8: case Op::JeqReg: case Op::JneReg:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool writes_dst(Op op) {
+  switch (op) {
+    case Op::MovImm: case Op::MovReg: case Op::AddImm: case Op::AddReg:
+    case Op::SubImm: case Op::SubReg: case Op::MulImm: case Op::AndImm:
+    case Op::OrImm: case Op::XorImm: case Op::XorReg: case Op::LshImm:
+    case Op::RshImm: case Op::LdCtx8:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_jump(Op op) {
+  switch (op) {
+    case Op::Ja: case Op::JeqImm: case Op::JneImm: case Op::JgtImm:
+    case Op::JgeImm: case Op::JltImm: case Op::JeqReg: case Op::JneReg:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+VerifyResult verify(std::span<const Insn> prog, std::size_t ctx_size) {
+  Checker c{prog, ctx_size};
+  const int n = static_cast<int>(prog.size());
+  if (n == 0) return c.fail(-1, "empty program");
+  if (n > kMaxInsns) return c.fail(-1, "program exceeds instruction limit");
+  if (ctx_size > kMaxCtxSize) return c.fail(-1, "context too large");
+  if (prog[static_cast<std::size_t>(n - 1)].op != Op::Exit) {
+    return c.fail(n - 1, "program must end with Exit");
+  }
+
+  // Because jumps are forward-only, a single in-order pass computes the
+  // initialized-register set at each pc: the state flowing into a jump
+  // target is the intersection (conservative meet) of every inbound edge.
+  constexpr RegMask kUnreached = 0xffff;  // top: everything "initialized"
+  std::vector<RegMask> in(static_cast<std::size_t>(n), kUnreached);
+  std::vector<bool> reached(static_cast<std::size_t>(n), false);
+  in[0] = 0;  // entry: nothing initialized (the context is implicit)
+  reached[0] = true;
+
+  for (int pc = 0; pc < n; ++pc) {
+    if (!reached[static_cast<std::size_t>(pc)]) continue;
+    const Insn& insn = prog[static_cast<std::size_t>(pc)];
+    RegMask regs = in[static_cast<std::size_t>(pc)];
+
+    // ---- structural checks ----
+    if (insn.dst >= kNumRegs) return c.fail(pc, "bad dst register");
+    if (insn.src >= kNumRegs) return c.fail(pc, "bad src register");
+    if (is_jump(insn.op)) {
+      if (insn.off <= 0) return c.fail(pc, "backward or self jump (loop)");
+      const int target = pc + 1 + insn.off;
+      if (target >= n) return c.fail(pc, "jump out of range");
+    }
+    if (insn.op == Op::LdCtx8 || insn.op == Op::StCtx8 ||
+        insn.op == Op::StCtxImm) {
+      if (insn.off < 0 ||
+          static_cast<std::size_t>(insn.off) + 8 > ctx_size) {
+        return c.fail(pc, "context access out of bounds");
+      }
+      if (insn.off % 8 != 0) return c.fail(pc, "unaligned context access");
+    }
+    if (insn.op == Op::Call) {
+      if (insn.imm < 1 || insn.imm > kHelperMax) {
+        return c.fail(pc, "unknown helper");
+      }
+    }
+    if ((insn.op == Op::LshImm || insn.op == Op::RshImm) &&
+        (insn.imm < 0 || insn.imm > 63)) {
+      return c.fail(pc, "shift amount out of range");
+    }
+
+    // ---- register initialization ----
+    if (reads_dst(insn.op) && (regs & (1u << insn.dst)) == 0) {
+      return c.fail(pc, "read of uninitialized register (dst)");
+    }
+    if (reads_src(insn.op) && (regs & (1u << insn.src)) == 0) {
+      return c.fail(pc, "read of uninitialized register (src)");
+    }
+    if (insn.op == Op::Exit && (regs & 1u) == 0) {
+      return c.fail(pc, "Exit with uninitialized r0");
+    }
+    if (insn.op == Op::Call) {
+      // Helper ABI: r1..r3 must be set up (we require all used args
+      // initialized; helpers take up to three).
+      for (int r = 1; r <= 3; ++r) {
+        if ((regs & (1u << r)) == 0) {
+          return c.fail(pc, "helper call with uninitialized argument");
+        }
+      }
+    }
+
+    // ---- transfer ----
+    RegMask out = regs;
+    if (writes_dst(insn.op)) out |= static_cast<RegMask>(1u << insn.dst);
+    if (insn.op == Op::Call) {
+      out |= 1u;  // r0 = result
+      for (int r = 1; r <= 5; ++r) {
+        out &= static_cast<RegMask>(~(1u << r));  // caller-saved clobber
+      }
+    }
+
+    auto flow = [&](int target, RegMask mask) {
+      auto& slot = in[static_cast<std::size_t>(target)];
+      slot = reached[static_cast<std::size_t>(target)]
+                 ? static_cast<RegMask>(slot & mask)
+                 : mask;
+      reached[static_cast<std::size_t>(target)] = true;
+    };
+    if (insn.op == Op::Exit) continue;  // no fallthrough
+    if (insn.op == Op::Ja) {
+      flow(pc + 1 + insn.off, out);
+      continue;
+    }
+    if (is_jump(insn.op)) flow(pc + 1 + insn.off, out);
+    if (pc + 1 < n) flow(pc + 1, out);
+  }
+
+  VerifyResult ok;
+  ok.ok = true;
+  return ok;
+}
+
+}  // namespace bsim::ebpf

@@ -1,0 +1,30 @@
+// The eBPF verifier: static admission control for extension programs.
+//
+// This is the mechanism that gives eBPF its safety column in Table 2 —
+// and its ✗ in the generality column. A program is rejected unless it
+// provably terminates (forward-only jumps: no loops at all, stricter than
+// but in the spirit of the kernel's bounded-loop analysis), never reads
+// an uninitialized register, never touches memory outside its context
+// buffer, and calls only known helpers. The same properties Rust gives
+// Bento file systems at compile time, but bought by restricting the
+// language instead of typing it (§2.2: "the restrictions placed on eBPF
+// extensions make it very difficult to implement whole file systems").
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "ebpf/insn.h"
+
+namespace bsim::ebpf {
+
+struct VerifyResult {
+  bool ok = false;
+  std::string error;     // empty iff ok
+  int error_pc = -1;     // instruction index of the violation
+};
+
+/// Statically verify `prog` against a context buffer of `ctx_size` bytes.
+VerifyResult verify(std::span<const Insn> prog, std::size_t ctx_size);
+
+}  // namespace bsim::ebpf

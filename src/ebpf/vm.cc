@@ -1,0 +1,219 @@
+#include "ebpf/vm.h"
+
+#include <cstring>
+
+#include "sim/cost_model.h"
+#include "sim/thread.h"
+
+namespace bsim::ebpf {
+
+namespace {
+
+std::string key_string(std::span<const std::byte> key) {
+  return {reinterpret_cast<const char*>(key.data()), key.size()};
+}
+
+void charge(sim::Nanos cost) {
+  if (sim::current_or_null() != nullptr) sim::charge(cost);
+}
+
+}  // namespace
+
+// ---- BpfMap ----
+
+std::span<const std::byte> BpfMap::lookup(
+    std::span<const std::byte> key) const {
+  if (key.size() != key_size_) return {};
+  auto it = entries_.find(key_string(key));
+  if (it == entries_.end()) return {};
+  return it->second;
+}
+
+bool BpfMap::update(std::span<const std::byte> key,
+                    std::span<const std::byte> val) {
+  if (key.size() != key_size_ || val.size() != value_size_) return false;
+  auto it = entries_.find(key_string(key));
+  if (it != entries_.end()) {
+    it->second.assign(val.begin(), val.end());
+    return true;
+  }
+  if (entries_.size() >= max_entries_) return false;
+  entries_.emplace(key_string(key),
+                   std::vector<std::byte>(val.begin(), val.end()));
+  return true;
+}
+
+bool BpfMap::erase(std::span<const std::byte> key) {
+  if (key.size() != key_size_) return false;
+  return entries_.erase(key_string(key)) > 0;
+}
+
+// ---- Vm ----
+
+std::int64_t Vm::add_map(std::size_t key_size, std::size_t value_size,
+                         std::size_t max_entries) {
+  maps_.push_back(std::make_unique<BpfMap>(key_size, value_size, max_entries));
+  return static_cast<std::int64_t>(maps_.size());  // ids start at 1
+}
+
+BpfMap* Vm::map(std::int64_t id) {
+  if (id < 1 || static_cast<std::size_t>(id) > maps_.size()) return nullptr;
+  return maps_[static_cast<std::size_t>(id - 1)].get();
+}
+
+Vm::LoadResult Vm::load(std::vector<Insn> prog, std::size_t ctx_size) {
+  LoadResult r;
+  const VerifyResult v = verify(prog, ctx_size);
+  if (!v.ok) {
+    r.error = v.error + " @pc=" + std::to_string(v.error_pc);
+    return r;
+  }
+  prog_ = std::move(prog);
+  ctx_size_ = ctx_size;
+  r.ok = true;
+  return r;
+}
+
+kern::Result<std::uint64_t> Vm::run(std::span<std::byte> ctx) {
+  if (prog_.empty() || ctx.size() != ctx_size_) return kern::Err::Inval;
+  stats_.runs += 1;
+
+  std::uint64_t reg[kNumRegs] = {};
+  std::size_t pc = 0;
+  std::uint64_t executed = 0;
+
+  for (;;) {
+    const Insn& insn = prog_[pc];
+    executed += 1;
+
+    switch (insn.op) {
+      case Op::MovImm: reg[insn.dst] = static_cast<std::uint64_t>(insn.imm); break;
+      case Op::MovReg: reg[insn.dst] = reg[insn.src]; break;
+      case Op::AddImm: reg[insn.dst] += static_cast<std::uint64_t>(insn.imm); break;
+      case Op::AddReg: reg[insn.dst] += reg[insn.src]; break;
+      case Op::SubImm: reg[insn.dst] -= static_cast<std::uint64_t>(insn.imm); break;
+      case Op::SubReg: reg[insn.dst] -= reg[insn.src]; break;
+      case Op::MulImm: reg[insn.dst] *= static_cast<std::uint64_t>(insn.imm); break;
+      case Op::AndImm: reg[insn.dst] &= static_cast<std::uint64_t>(insn.imm); break;
+      case Op::OrImm:  reg[insn.dst] |= static_cast<std::uint64_t>(insn.imm); break;
+      case Op::XorImm: reg[insn.dst] ^= static_cast<std::uint64_t>(insn.imm); break;
+      case Op::XorReg: reg[insn.dst] ^= reg[insn.src]; break;
+      case Op::LshImm: reg[insn.dst] <<= insn.imm; break;
+      case Op::RshImm: reg[insn.dst] >>= insn.imm; break;
+      case Op::LdCtx8:
+        std::memcpy(&reg[insn.dst], ctx.data() + insn.off, 8);
+        break;
+      case Op::StCtx8:
+        std::memcpy(ctx.data() + insn.off, &reg[insn.src], 8);
+        break;
+      case Op::StCtxImm: {
+        const auto v = static_cast<std::uint64_t>(insn.imm);
+        std::memcpy(ctx.data() + insn.off, &v, 8);
+        break;
+      }
+      case Op::Ja:
+        pc += static_cast<std::size_t>(insn.off);
+        break;
+      case Op::JeqImm:
+        if (reg[insn.dst] == static_cast<std::uint64_t>(insn.imm)) {
+          pc += static_cast<std::size_t>(insn.off);
+        }
+        break;
+      case Op::JneImm:
+        if (reg[insn.dst] != static_cast<std::uint64_t>(insn.imm)) {
+          pc += static_cast<std::size_t>(insn.off);
+        }
+        break;
+      case Op::JgtImm:
+        if (reg[insn.dst] > static_cast<std::uint64_t>(insn.imm)) {
+          pc += static_cast<std::size_t>(insn.off);
+        }
+        break;
+      case Op::JgeImm:
+        if (reg[insn.dst] >= static_cast<std::uint64_t>(insn.imm)) {
+          pc += static_cast<std::size_t>(insn.off);
+        }
+        break;
+      case Op::JltImm:
+        if (reg[insn.dst] < static_cast<std::uint64_t>(insn.imm)) {
+          pc += static_cast<std::size_t>(insn.off);
+        }
+        break;
+      case Op::JeqReg:
+        if (reg[insn.dst] == reg[insn.src]) {
+          pc += static_cast<std::size_t>(insn.off);
+        }
+        break;
+      case Op::JneReg:
+        if (reg[insn.dst] != reg[insn.src]) {
+          pc += static_cast<std::size_t>(insn.off);
+        }
+        break;
+
+      case Op::Call: {
+        stats_.map_ops += 1;
+        charge(sim::costs().ebpf_map_op);
+        BpfMap* m = map(static_cast<std::int64_t>(reg[1]));
+        if (m == nullptr) {
+          stats_.traps += 1;
+          return kern::Err::Inval;
+        }
+        auto ctx_slice = [&](std::uint64_t off, std::size_t len)
+            -> std::span<std::byte> {
+          if (off > ctx.size() || len > ctx.size() - off) return {};
+          return ctx.subspan(static_cast<std::size_t>(off), len);
+        };
+        switch (insn.imm) {
+          case kHelperMapLookup: {
+            auto key = ctx_slice(reg[2], m->key_size());
+            auto dst = ctx_slice(reg[3], m->value_size());
+            if (key.empty() || dst.empty()) {
+              stats_.traps += 1;
+              return kern::Err::Inval;
+            }
+            auto val = m->lookup(key);
+            if (val.empty()) {
+              reg[0] = 0;
+            } else {
+              std::memcpy(dst.data(), val.data(), val.size());
+              reg[0] = 1;
+            }
+            break;
+          }
+          case kHelperMapUpdate: {
+            auto key = ctx_slice(reg[2], m->key_size());
+            auto val = ctx_slice(reg[3], m->value_size());
+            if (key.empty() || val.empty()) {
+              stats_.traps += 1;
+              return kern::Err::Inval;
+            }
+            reg[0] = m->update(key, val) ? 0 : ~0ULL;
+            break;
+          }
+          case kHelperMapDelete: {
+            auto key = ctx_slice(reg[2], m->key_size());
+            if (key.empty()) {
+              stats_.traps += 1;
+              return kern::Err::Inval;
+            }
+            reg[0] = m->erase(key) ? 1 : 0;
+            break;
+          }
+          default:
+            stats_.traps += 1;
+            return kern::Err::Inval;
+        }
+        for (int r = 1; r <= 5; ++r) reg[r] = 0;  // caller-saved clobber
+        break;
+      }
+
+      case Op::Exit:
+        stats_.insns += executed;
+        charge(static_cast<sim::Nanos>(executed) * sim::costs().ebpf_insn);
+        return reg[0];
+    }
+    pc += 1;
+  }
+}
+
+}  // namespace bsim::ebpf

@@ -1,0 +1,92 @@
+// The eBPF virtual machine: maps, helper dispatch, and the interpreter.
+//
+// Programs must pass the verifier before they can be attached; run() then
+// executes without runtime checks for the properties the verifier proved
+// (jump bounds, register initialization, ctx bounds) — the same
+// trust-the-verifier structure as the kernel. Map helper arguments that
+// the verifier cannot see (key/value offsets arriving in registers) are
+// checked dynamically and trap the program.
+//
+// Costs: a verified program is assumed JIT-compiled, so each executed
+// instruction charges ~1 ns of virtual time; map operations charge a hash
+// probe. This is what makes the ExtFUSE design point fast (§2.2: "safe
+// extensibility without significant performance overhead").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ebpf/insn.h"
+#include "ebpf/verifier.h"
+#include "kernel/errno.h"
+
+namespace bsim::ebpf {
+
+/// A BPF_MAP_TYPE_HASH analogue with fixed-size keys and values.
+class BpfMap {
+ public:
+  BpfMap(std::size_t key_size, std::size_t value_size,
+         std::size_t max_entries)
+      : key_size_(key_size), value_size_(value_size),
+        max_entries_(max_entries) {}
+
+  [[nodiscard]] std::size_t key_size() const { return key_size_; }
+  [[nodiscard]] std::size_t value_size() const { return value_size_; }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Returns the stored value bytes or empty span on miss.
+  [[nodiscard]] std::span<const std::byte> lookup(
+      std::span<const std::byte> key) const;
+  /// Insert or overwrite. Fails (false) when full and the key is new.
+  bool update(std::span<const std::byte> key, std::span<const std::byte> val);
+  /// Returns true if an entry was removed.
+  bool erase(std::span<const std::byte> key);
+  void clear() { entries_.clear(); }
+
+ private:
+  std::size_t key_size_;
+  std::size_t value_size_;
+  std::size_t max_entries_;
+  std::unordered_map<std::string, std::vector<std::byte>> entries_;
+};
+
+/// A loaded-and-verified program plus the maps it may use.
+class Vm {
+ public:
+  /// Create a map; returns its id (for helper r1 arguments).
+  std::int64_t add_map(std::size_t key_size, std::size_t value_size,
+                       std::size_t max_entries);
+  [[nodiscard]] BpfMap* map(std::int64_t id);
+
+  /// Verify and install a program. Rejections carry the verifier message.
+  struct LoadResult {
+    bool ok = false;
+    std::string error;
+  };
+  LoadResult load(std::vector<Insn> prog, std::size_t ctx_size);
+
+  /// Execute the loaded program over `ctx`. The span size must equal the
+  /// ctx_size the program was verified against. Returns r0, or Err::Inval
+  /// if a helper trapped (bad dynamic offset) or no program is loaded.
+  kern::Result<std::uint64_t> run(std::span<std::byte> ctx);
+
+  struct Stats {
+    std::uint64_t runs = 0;
+    std::uint64_t insns = 0;
+    std::uint64_t map_ops = 0;
+    std::uint64_t traps = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  std::vector<Insn> prog_;
+  std::size_t ctx_size_ = 0;
+  std::vector<std::unique_ptr<BpfMap>> maps_;
+  Stats stats_;
+};
+
+}  // namespace bsim::ebpf

@@ -1,0 +1,154 @@
+// The ext4-flavoured comparator file system (VFS-native, data=journal).
+// See layout.h for what is and is not reproduced relative to real ext4.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ext4/layout.h"
+#include "kernel/kernel.h"
+
+namespace bsim::ext4 {
+
+struct JournalStats {
+  std::uint64_t commits = 0;
+  std::uint64_t blocks_journaled = 0;
+  std::uint64_t shared_commits = 0;  // fsyncs satisfied by group commit
+  std::uint64_t recoveries = 0;
+};
+
+class Ext4Mount final : public kern::InodeOps,
+                        public kern::FileOps,
+                        public kern::SuperOps,
+                        public kern::AddressSpaceOps {
+ public:
+  explicit Ext4Mount(kern::SuperBlock& sb) : sb_(&sb) {}
+
+  kern::Err mount_init();
+  void dispose_inode(kern::Inode& inode);
+
+  [[nodiscard]] const JournalStats& journal_stats() const { return jstats_; }
+  [[nodiscard]] std::uint64_t free_blocks_total() const;
+  [[nodiscard]] std::uint64_t free_inodes_total() const;
+
+  // InodeOps
+  kern::Result<kern::Inode*> lookup(kern::Inode& dir,
+                                    std::string_view name) override;
+  kern::Result<kern::Inode*> create(kern::Inode& dir, std::string_view name,
+                                    std::uint32_t mode) override;
+  kern::Err unlink(kern::Inode& dir, std::string_view name) override;
+  kern::Result<kern::Inode*> mkdir(kern::Inode& dir, std::string_view name,
+                                   std::uint32_t mode) override;
+  kern::Err rmdir(kern::Inode& dir, std::string_view name) override;
+  kern::Err rename(kern::Inode& old_dir, std::string_view old_name,
+                   kern::Inode& new_dir, std::string_view new_name) override;
+  kern::Err setattr(kern::Inode& inode, const kern::SetAttr& attr) override;
+
+  // FileOps
+  kern::Result<std::uint64_t> read(kern::Inode& inode, kern::FileHandle& fh,
+                                   std::uint64_t off,
+                                   std::span<std::byte> out) override;
+  kern::Result<std::uint64_t> write(kern::Inode& inode, kern::FileHandle& fh,
+                                    std::uint64_t off,
+                                    std::span<const std::byte> in) override;
+  kern::Err fsync(kern::Inode& inode, kern::FileHandle& fh,
+                  bool datasync) override;
+  kern::Err flush(kern::Inode& inode, kern::FileHandle& fh) override;
+  kern::Err readdir(kern::Inode& inode, std::uint64_t& pos,
+                    const kern::DirFiller& fill) override;
+
+  // SuperOps
+  kern::Err sync_fs(kern::SuperBlock& sb, bool wait) override;
+  kern::Err statfs(kern::SuperBlock& sb, kern::StatFs& out) override;
+  void put_super(kern::SuperBlock& sb) override;
+  void evict_inode(kern::Inode& inode) override;
+
+  // AddressSpaceOps: batched writepages (like real ext4).
+  kern::Err readpage(kern::Inode& inode, std::uint64_t pgoff,
+                     std::span<std::byte> out) override;
+  kern::Err writepage(kern::Inode& inode, std::uint64_t pgoff,
+                      std::span<const std::byte> in) override;
+  kern::Err writepages(kern::Inode& inode,
+                       std::span<const kern::PageRun> runs) override;
+  [[nodiscard]] bool has_writepages() const override { return true; }
+
+ private:
+  struct EInode {
+    std::uint32_t inum = 0;
+    Dinode d;
+  };
+
+  // ---- JBD2-style journal ----
+  /// Tag a modified (cached, dirty) block into the running transaction.
+  void j_write(std::uint32_t blockno);
+  /// Commit the running transaction (journal writes + commit record +
+  /// checkpoint home blocks). Returns the commit-completion time.
+  kern::Err j_commit(bool flush_device);
+  /// fsync path: make everything up to now durable; joins an in-flight
+  /// group commit when possible.
+  kern::Err j_force(std::uint64_t op_seq);
+  kern::Err j_recover();
+
+  kern::Err read_super();
+  kern::Result<GroupDesc*> group(std::uint32_t g);
+  kern::Err gdt_update(std::uint32_t g);
+
+  kern::Result<kern::Inode*> iget(std::uint32_t inum);
+  static EInode* ei(kern::Inode& inode) {
+    return static_cast<EInode*>(inode.fs_priv);
+  }
+  [[nodiscard]] std::uint32_t inode_block(std::uint32_t inum) const;
+  kern::Err iupdate(kern::Inode& inode);
+  kern::Result<std::uint32_t> ialloc(std::uint16_t type, std::uint32_t mode,
+                                     std::uint32_t parent_group);
+  kern::Err ifree(std::uint32_t inum);
+  kern::Result<std::uint32_t> balloc(std::uint32_t goal_group);
+  kern::Err bfree(std::uint32_t blockno);
+  kern::Result<std::uint32_t> bmap(kern::Inode& inode, std::uint64_t bn,
+                                   bool alloc);
+  kern::Err itrunc(kern::Inode& inode, std::uint64_t new_size);
+  kern::Err zero_block_tail(kern::Inode& inode, std::uint64_t from);
+  [[nodiscard]] std::uint32_t group_of_block(std::uint32_t blockno) const;
+  [[nodiscard]] std::uint32_t group_of_inode(std::uint32_t inum) const;
+
+  // ---- directories with an in-memory index (htree stand-in) ----
+  struct DirIndex {
+    std::unordered_map<std::string, std::uint32_t> entries;
+    bool built = false;
+  };
+  kern::Result<DirIndex*> dir_index(kern::Inode& dir);
+  kern::Result<std::uint32_t> dir_lookup(kern::Inode& dir,
+                                         std::string_view name);
+  kern::Err dir_link(kern::Inode& dir, std::string_view name,
+                     std::uint32_t inum);
+  kern::Err dir_unlink(kern::Inode& dir, std::string_view name);
+  kern::Err write_through_journal(kern::Inode& inode, std::uint64_t off,
+                                  std::span<const std::byte> in);
+
+  kern::SuperBlock* sb_;
+  Super super_;
+  std::vector<GroupDesc> groups_;  // in-core GDT
+  sim::SimMutex journal_lock_;
+  sim::SimMutex alloc_lock_;
+  std::vector<std::uint32_t> running_txn_;   // tagged home blocknos
+  std::uint64_t txn_first_op_ = 0;           // op seq opening the txn
+  std::uint64_t op_seq_ = 0;                 // advances per mutating op
+  std::uint64_t committed_seq_ = 0;          // ops covered by last commit
+  sim::Nanos last_commit_end_ = 0;
+  std::uint32_t jseq_ = 1;
+  // Group commit: the interval of the most recent device flush. fsyncs
+  // whose commit lands while a flush is in flight ride its completion
+  // (JBD2's transaction batching) instead of issuing their own.
+  sim::Nanos flush_start_ = -1;
+  sim::Nanos flush_end_ = -1;
+  JournalStats jstats_;
+  std::unordered_map<std::uint32_t, DirIndex> dir_indexes_;
+  std::uint32_t alloc_cursor_ = 0;  // round-robin group goal
+};
+
+/// Register the comparator ("ext4j" — data=journal) with the kernel.
+void register_ext4(kern::Kernel& kernel, std::string name = "ext4j");
+
+}  // namespace bsim::ext4

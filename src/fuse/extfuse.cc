@@ -1,0 +1,165 @@
+#include "fuse/extfuse.h"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "sim/cost_model.h"
+#include "sim/thread.h"
+
+namespace bsim::fuse {
+
+namespace {
+
+using ebpf::Insn;
+using ebpf::Op;
+
+static_assert(std::is_trivially_copyable_v<kern::Stat>);
+static_assert(std::is_trivially_copyable_v<bento::EntryOut>);
+static_assert(sizeof(kern::Stat) <= ExtFuseCtx::kSize - ExtFuseCtx::kReplyOff);
+static_assert(sizeof(bento::EntryOut) <=
+              ExtFuseCtx::kSize - ExtFuseCtx::kReplyOff);
+
+/// The stock ExtFUSE program: route by ctx.op to the entry or attr map,
+/// copy a hit into the reply area, flag ctx.handled. See extfuse.h for
+/// the ctx layout. Every jump is forward (verifier rule); both maps are
+/// consulted with the key the driver serialized at kKeyOff.
+std::vector<Insn> stock_program(std::int64_t entry_map, std::int64_t attr_map) {
+  constexpr auto kOp = static_cast<std::int16_t>(ExtFuseCtx::kOpOff);
+  constexpr auto kKey = static_cast<std::int64_t>(ExtFuseCtx::kKeyOff);
+  constexpr auto kHandled = static_cast<std::int16_t>(ExtFuseCtx::kHandledOff);
+  constexpr auto kReply = static_cast<std::int64_t>(ExtFuseCtx::kReplyOff);
+  return {
+      /* 0*/ {Op::LdCtx8, 4, 0, kOp, 0},
+      /* 1*/ {Op::JeqImm, 4, 0, +7, ExtFuseCtx::kOpGetattr},  // -> 9
+      // lookup path: entry cache
+      /* 2*/ {Op::MovImm, 1, 0, 0, entry_map},
+      /* 3*/ {Op::MovImm, 2, 0, 0, kKey},
+      /* 4*/ {Op::MovImm, 3, 0, 0, kReply},
+      /* 5*/ {Op::Call, 0, 0, 0, ebpf::kHelperMapLookup},
+      /* 6*/ {Op::JeqImm, 0, 0, +10, 0},                      // miss -> 17
+      /* 7*/ {Op::StCtxImm, 0, 0, kHandled, 1},
+      /* 8*/ {Op::Ja, 0, 0, +6, 0},                           // -> 15
+      // getattr path: attr cache
+      /* 9*/ {Op::MovImm, 1, 0, 0, attr_map},
+      /*10*/ {Op::MovImm, 2, 0, 0, kKey},
+      /*11*/ {Op::MovImm, 3, 0, 0, kReply},
+      /*12*/ {Op::Call, 0, 0, 0, ebpf::kHelperMapLookup},
+      /*13*/ {Op::JeqImm, 0, 0, +3, 0},                       // miss -> 17
+      /*14*/ {Op::StCtxImm, 0, 0, kHandled, 1},
+      // hit exit
+      /*15*/ {Op::MovImm, 0, 0, 0, 1},
+      /*16*/ {Op::Exit, 0, 0, 0, 0},
+      // miss exit
+      /*17*/ {Op::StCtxImm, 0, 0, kHandled, 0},
+      /*18*/ {Op::MovImm, 0, 0, 0, 0},
+      /*19*/ {Op::Exit, 0, 0, 0, 0},
+  };
+}
+
+void charge_bpf_syscall() {
+  // Daemon-side bpf(2) call for installs: one crossing.
+  if (sim::current_or_null() != nullptr) sim::charge(sim::costs().syscall);
+}
+
+}  // namespace
+
+std::uint64_t ExtFuseFilter::name_hash(std::string_view name) {
+  // FNV-1a, the usual in-kernel string hash stand-in.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char ch : name) {
+    h ^= static_cast<std::uint8_t>(ch);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+ExtFuseFilter::ExtFuseFilter() {
+  entry_map_ = vm_.add_map(/*key=*/16, sizeof(bento::EntryOut), 16384);
+  attr_map_ = vm_.add_map(/*key=*/8, sizeof(kern::Stat), 16384);
+  auto loaded = vm_.load(stock_program(entry_map_, attr_map_),
+                         ExtFuseCtx::kSize);
+  if (!loaded.ok) {
+    throw std::runtime_error("ExtFUSE stock program rejected: " +
+                             loaded.error);
+  }
+}
+
+bool ExtFuseFilter::run_prog(std::uint64_t op, std::uint64_t key0,
+                             std::uint64_t key1, std::span<std::byte> reply) {
+  std::array<std::byte, ExtFuseCtx::kSize> ctx{};
+  std::memcpy(ctx.data() + ExtFuseCtx::kOpOff, &op, 8);
+  std::memcpy(ctx.data() + ExtFuseCtx::kKeyOff, &key0, 8);
+  std::memcpy(ctx.data() + ExtFuseCtx::kKeyOff + 8, &key1, 8);
+  auto r = vm_.run(ctx);
+  if (!r.ok() || r.value() == 0) return false;
+  std::memcpy(reply.data(), ctx.data() + ExtFuseCtx::kReplyOff, reply.size());
+  return true;
+}
+
+bool ExtFuseFilter::getattr_hit(kern::Ino ino, kern::Stat& out) {
+  std::array<std::byte, sizeof(kern::Stat)> reply;
+  if (!run_prog(ExtFuseCtx::kOpGetattr, ino, 0, reply)) {
+    stats_.attr_misses += 1;
+    return false;
+  }
+  std::memcpy(&out, reply.data(), sizeof out);
+  stats_.attr_hits += 1;
+  return true;
+}
+
+bool ExtFuseFilter::lookup_hit(kern::Ino parent, std::string_view name,
+                               bento::EntryOut& out) {
+  std::array<std::byte, sizeof(bento::EntryOut)> reply;
+  if (!run_prog(ExtFuseCtx::kOpLookup, parent, name_hash(name), reply)) {
+    stats_.entry_misses += 1;
+    return false;
+  }
+  std::memcpy(&out, reply.data(), sizeof out);
+  stats_.entry_hits += 1;
+  return true;
+}
+
+void ExtFuseFilter::install_attr(kern::Ino ino, const kern::Stat& attr) {
+  charge_bpf_syscall();
+  std::array<std::byte, 8> key;
+  std::memcpy(key.data(), &ino, 8);
+  std::array<std::byte, sizeof(kern::Stat)> val;
+  std::memcpy(val.data(), &attr, sizeof attr);
+  (void)vm_.map(attr_map_)->update(key, val);
+  stats_.installs += 1;
+}
+
+void ExtFuseFilter::install_entry(kern::Ino parent, std::string_view name,
+                                  const bento::EntryOut& entry) {
+  charge_bpf_syscall();
+  std::array<std::byte, 16> key;
+  const std::uint64_t hash = name_hash(name);
+  std::memcpy(key.data(), &parent, 8);
+  std::memcpy(key.data() + 8, &hash, 8);
+  std::array<std::byte, sizeof(bento::EntryOut)> val;
+  std::memcpy(val.data(), &entry, sizeof entry);
+  (void)vm_.map(entry_map_)->update(key, val);
+  stats_.installs += 1;
+}
+
+void ExtFuseFilter::invalidate_attr(kern::Ino ino) {
+  if (sim::current_or_null() != nullptr) {
+    sim::charge(sim::costs().ebpf_map_op);
+  }
+  std::array<std::byte, 8> key;
+  std::memcpy(key.data(), &ino, 8);
+  if (vm_.map(attr_map_)->erase(key)) stats_.invalidations += 1;
+}
+
+void ExtFuseFilter::invalidate_entry(kern::Ino parent, std::string_view name) {
+  if (sim::current_or_null() != nullptr) {
+    sim::charge(sim::costs().ebpf_map_op);
+  }
+  std::array<std::byte, 16> key;
+  const std::uint64_t hash = name_hash(name);
+  std::memcpy(key.data(), &parent, 8);
+  std::memcpy(key.data() + 8, &hash, 8);
+  if (vm_.map(entry_map_)->erase(key)) stats_.invalidations += 1;
+}
+
+}  // namespace bsim::fuse

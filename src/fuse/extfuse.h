@@ -1,0 +1,90 @@
+// ExtFUSE-style eBPF acceleration of the FUSE driver (paper §2.2, [5]).
+//
+// "a project (ExtFUSE) has provided support for parts of a FUSE file
+// system to be run in the kernel using eBPF" — this module is that design
+// point, built on src/ebpf: verified bytecode programs attached to the
+// FUSE driver's lookup and getattr paths consult BPF hash maps populated
+// by the (simulated) userspace daemon. A map hit answers in the kernel —
+// no request marshalling, no crossings, no daemon — at the cost of a few
+// VM instructions and a hash probe. A miss passes through to the daemon,
+// whose reply installs the entry (one extra bpf(2) syscall, as in real
+// ExtFUSE), and the kernel driver invalidates entries on every mutation.
+//
+// The generality boundary (Table 2's eBPF row) is structural: the
+// programs can only route between "answer from this map" and "pass
+// through"; data-plane ops, allocation, journaling — the body of a file
+// system — cannot be expressed under the verifier's rules (see
+// VerifierRejects* tests), which is why ExtFUSE caches metadata and
+// nothing more.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "bento/api.h"
+#include "ebpf/vm.h"
+#include "kernel/types.h"
+
+namespace bsim::fuse {
+
+/// Context-buffer layout shared between the driver and the programs.
+/// All fields are u64-aligned; the reply area must fit the largest cached
+/// value (EntryOut for lookup, Stat for getattr).
+struct ExtFuseCtx {
+  static constexpr std::size_t kOpOff = 0;
+  static constexpr std::size_t kKeyOff = 8;     // {ino} or {parent, namehash}
+  static constexpr std::size_t kHandledOff = 24;
+  static constexpr std::size_t kReplyOff = 32;
+  static constexpr std::size_t kSize = 32 + 128;
+
+  enum : std::uint64_t { kOpLookup = 1, kOpGetattr = 2 };
+};
+
+/// The eBPF programs + maps attached to one FUSE mount.
+class ExtFuseFilter {
+ public:
+  /// Builds the attr and entry caches and loads the two stock programs.
+  /// Throws std::runtime_error if the programs fail verification (cannot
+  /// happen for the stock programs; exercised by tests that load their
+  /// own).
+  ExtFuseFilter();
+
+  /// Kernel-side fast path. Returns true on hit, filling `out`.
+  bool getattr_hit(kern::Ino ino, kern::Stat& out);
+  bool lookup_hit(kern::Ino parent, std::string_view name,
+                  bento::EntryOut& out);
+
+  /// Daemon-side install after a passthrough reply (bpf(2) map update).
+  void install_attr(kern::Ino ino, const kern::Stat& attr);
+  void install_entry(kern::Ino parent, std::string_view name,
+                     const bento::EntryOut& entry);
+
+  /// Kernel-side invalidation on mutation.
+  void invalidate_attr(kern::Ino ino);
+  void invalidate_entry(kern::Ino parent, std::string_view name);
+
+  struct Stats {
+    std::uint64_t attr_hits = 0;
+    std::uint64_t attr_misses = 0;
+    std::uint64_t entry_hits = 0;
+    std::uint64_t entry_misses = 0;
+    std::uint64_t installs = 0;
+    std::uint64_t invalidations = 0;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] ebpf::Vm& vm() { return vm_; }
+
+  static std::uint64_t name_hash(std::string_view name);
+
+ private:
+  bool run_prog(std::uint64_t op, std::uint64_t key0, std::uint64_t key1,
+                std::span<std::byte> reply);
+
+  ebpf::Vm vm_;
+  std::int64_t attr_map_ = 0;
+  std::int64_t entry_map_ = 0;
+  Stats stats_;
+};
+
+}  // namespace bsim::fuse

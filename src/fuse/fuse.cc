@@ -1,0 +1,240 @@
+#include "fuse/fuse.h"
+
+#include <algorithm>
+
+#include "sim/cost_model.h"
+#include "sim/thread.h"
+
+namespace bsim::fuse {
+
+using kern::Err;
+
+FuseModule::FuseModule(kern::SuperBlock& sb,
+                       std::unique_ptr<bento::FileSystem> fs,
+                       std::unique_ptr<bento::BlockBackend> backend,
+                       std::unique_ptr<kern::Process> daemon, int devfd)
+    : BentoModule(sb, std::move(fs), std::move(backend)),
+      daemon_(std::move(daemon)),
+      devfd_(devfd) {}
+
+void FuseModule::channel(std::size_t payload_in, std::size_t payload_out) {
+  const auto& c = sim::costs();
+  const std::size_t pages_in = (payload_in + kern::kPageSize - 1) / kern::kPageSize;
+  const std::size_t pages_out =
+      (payload_out + kern::kPageSize - 1) / kern::kPageSize;
+  // Request path: marshal, wake the daemon (crossing), copy the payload in;
+  // reply path: copy the payload out, wake the caller (crossing).
+  sim::charge(c.fuse_request_base + 2 * c.fuse_crossing +
+              static_cast<sim::Nanos>(pages_in + pages_out) *
+                  c.fuse_copy_per_page);
+  conn_.requests += 1;
+  conn_.payload_bytes += payload_in + payload_out;
+}
+
+// ---- ExtFUSE fast paths ----
+
+namespace {
+
+bento::EntryOut entry_from_inode(const kern::Inode& inode) {
+  bento::EntryOut e;
+  e.ino = inode.ino();
+  e.attr.ino = inode.ino();
+  e.attr.kind = inode.type;
+  e.attr.mode = inode.mode;
+  e.attr.nlink = inode.nlink;
+  e.attr.size = inode.size;
+  e.attr.blocks = (inode.size + 511) / 512;
+  e.attr.atime = inode.atime;
+  e.attr.mtime = inode.mtime;
+  e.attr.ctime = inode.ctime;
+  return e;
+}
+
+kern::Stat stat_from_inode(const kern::Inode& inode) {
+  kern::Stat st;
+  st.ino = inode.ino();
+  st.type = inode.type;
+  st.mode = inode.mode;
+  st.nlink = inode.nlink;
+  st.size = inode.size;
+  st.blocks = (inode.size + 511) / 512;
+  st.atime = inode.atime;
+  st.mtime = inode.mtime;
+  st.ctime = inode.ctime;
+  return st;
+}
+
+}  // namespace
+
+void FuseModule::install_from(kern::Inode& inode, kern::Ino parent,
+                              std::string_view name) {
+  filter_->install_entry(parent, name, entry_from_inode(inode));
+  filter_->install_attr(inode.ino(), stat_from_inode(inode));
+}
+
+kern::Result<kern::Inode*> FuseModule::lookup(kern::Inode& dir,
+                                              std::string_view name) {
+  if (filter_ != nullptr) {
+    bento::EntryOut entry;
+    if (filter_->lookup_hit(dir.ino(), name, entry)) {
+      return &materialize(entry);  // answered in the kernel, no daemon
+    }
+  }
+  auto r = BentoModule::lookup(dir, name);
+  if (filter_ != nullptr && r.ok()) {
+    install_from(*r.value(), dir.ino(), name);
+  }
+  return r;
+}
+
+Err FuseModule::getattr(kern::Inode& inode, kern::Stat& out) {
+  if (filter_ != nullptr && filter_->getattr_hit(inode.ino(), out)) {
+    // Same page-cache-ahead rule as the passthrough path.
+    out.size = std::max(out.size, inode.size);
+    return Err::Ok;
+  }
+  Err e = BentoModule::getattr(inode, out);
+  if (filter_ != nullptr && e == Err::Ok) {
+    filter_->install_attr(inode.ino(), out);
+  }
+  return e;
+}
+
+Err FuseModule::setattr(kern::Inode& inode, const kern::SetAttr& attr) {
+  if (filter_ != nullptr) filter_->invalidate_attr(inode.ino());
+  return BentoModule::setattr(inode, attr);
+}
+
+kern::Result<kern::Inode*> FuseModule::create(kern::Inode& dir,
+                                              std::string_view name,
+                                              std::uint32_t mode) {
+  if (filter_ != nullptr) {
+    filter_->invalidate_entry(dir.ino(), name);
+    filter_->invalidate_attr(dir.ino());
+  }
+  return BentoModule::create(dir, name, mode);
+}
+
+kern::Result<kern::Inode*> FuseModule::mkdir(kern::Inode& dir,
+                                             std::string_view name,
+                                             std::uint32_t mode) {
+  if (filter_ != nullptr) {
+    filter_->invalidate_entry(dir.ino(), name);
+    filter_->invalidate_attr(dir.ino());
+  }
+  return BentoModule::mkdir(dir, name, mode);
+}
+
+Err FuseModule::unlink(kern::Inode& dir, std::string_view name) {
+  if (filter_ != nullptr) {
+    filter_->invalidate_entry(dir.ino(), name);
+    kern::Inode* victim = super().dcache_lookup(dir, name);
+    if (victim != nullptr) {
+      filter_->invalidate_attr(victim->ino());
+      super().iput(victim);
+    }
+  }
+  return BentoModule::unlink(dir, name);
+}
+
+Err FuseModule::rmdir(kern::Inode& dir, std::string_view name) {
+  if (filter_ != nullptr) filter_->invalidate_entry(dir.ino(), name);
+  return BentoModule::rmdir(dir, name);
+}
+
+Err FuseModule::rename(kern::Inode& old_dir, std::string_view old_name,
+                       kern::Inode& new_dir, std::string_view new_name) {
+  if (filter_ != nullptr) {
+    filter_->invalidate_entry(old_dir.ino(), old_name);
+    filter_->invalidate_entry(new_dir.ino(), new_name);
+  }
+  return BentoModule::rename(old_dir, old_name, new_dir, new_name);
+}
+
+kern::Result<std::uint64_t> FuseModule::write(kern::Inode& inode,
+                                              kern::FileHandle& fh,
+                                              std::uint64_t off,
+                                              std::span<const std::byte> in) {
+  if (filter_ != nullptr) filter_->invalidate_attr(inode.ino());
+  return BentoModule::write(inode, fh, off, in);
+}
+
+Err FuseModule::writepage(kern::Inode& inode, std::uint64_t pgoff,
+                          std::span<const std::byte> in) {
+  if (filter_ != nullptr) filter_->invalidate_attr(inode.ino());
+  return BentoModule::writepage(inode, pgoff, in);
+}
+
+Err FuseModule::writepages(kern::Inode& inode,
+                           std::span<const kern::PageRun> runs) {
+  if (filter_ != nullptr) filter_->invalidate_attr(inode.ino());
+  // Split each run into FUSE-sized write requests (max_pages per request);
+  // the base implementation then issues one request per (sub-)run.
+  std::vector<kern::PageRun> chunked;
+  for (const auto& run : runs) {
+    std::size_t i = 0;
+    while (i < run.pages.size()) {
+      const std::size_t n = std::min(kMaxWritePages, run.pages.size() - i);
+      kern::PageRun sub;
+      sub.first_pgoff = run.first_pgoff + i;
+      sub.pages.assign(run.pages.begin() + static_cast<std::ptrdiff_t>(i),
+                       run.pages.begin() + static_cast<std::ptrdiff_t>(i + n));
+      chunked.push_back(std::move(sub));
+      i += n;
+    }
+  }
+  return BentoModule::writepages(inode, chunked);
+}
+
+kern::Result<kern::SuperBlock*> FuseFsType::mount(blk::BlockDevice& dev,
+                                                  std::string_view opts) {
+  // The daemon opens the disk with O_DIRECT, like the paper's baseline.
+  auto daemon = kernel_->new_process();
+  const std::string devname = kernel_->device_name_of(&dev);
+  if (devname.empty()) return Err::NoDev;
+  auto fd = kernel_->open(*daemon, "/dev/" + devname,
+                          kern::kORdWr | kern::kODirect);
+  if (!fd.ok()) return fd.error();
+
+  // "-o io_uring": the daemon batches its block I/O submissions (§8.1).
+  const bool use_uring = opts.find("io_uring") != std::string_view::npos;
+
+  auto sb = std::make_unique<kern::SuperBlock>(dev, /*buffer_cache=*/16384);
+  sb->fs_name = name_;
+  auto backend = std::make_unique<bento::UserBlockBackend>(
+      *kernel_, *daemon, fd.value(), dev.nblocks(), /*cache_blocks=*/4096,
+      use_uring);
+  auto module =
+      std::make_unique<FuseModule>(*sb, factory_(), std::move(backend),
+                                   std::move(daemon), fd.value());
+  // "-o extfuse": attach the eBPF metadata caches (paper §2.2, [5]).
+  if (opts.find("extfuse") != std::string_view::npos) {
+    module->attach_extfuse(std::make_unique<ExtFuseFilter>());
+  }
+  sb->fs_info = static_cast<bento::BentoModule*>(module.get());
+  sb->s_op = module.get();
+  Err e = module->mount_init();
+  if (e != Err::Ok) return e;
+  module.release();  // owned via sb->fs_info, reclaimed in kill_sb
+  return sb.release();
+}
+
+void FuseFsType::kill_sb(kern::SuperBlock* sb) {
+  if (sb == nullptr) return;
+  std::unique_ptr<kern::SuperBlock> owned_sb(sb);
+  std::unique_ptr<FuseModule> module(
+      static_cast<FuseModule*>(bento::BentoModule::from(*sb)));
+  sb->sync_all();
+  module->put_super(*sb);
+  (void)kernel_->close(module->daemon(), module->devfd());
+  sb->fs_info = nullptr;
+  sb->s_op = nullptr;
+}
+
+void register_fuse_fs(kern::Kernel& kernel, std::string name,
+                      bento::FsFactory factory) {
+  kernel.register_fs(std::make_unique<FuseFsType>(kernel, std::move(name),
+                                                  std::move(factory)));
+}
+
+}  // namespace bsim::fuse

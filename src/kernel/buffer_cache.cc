@@ -1,0 +1,155 @@
+#include "kernel/buffer_cache.h"
+
+#include <cassert>
+
+#include "sim/cost_model.h"
+#include "sim/thread.h"
+
+namespace bsim::kern {
+
+BufferCache::BufferCache(blk::BlockDevice& dev, std::size_t capacity)
+    : dev_(dev), capacity_(capacity) {}
+
+BufferCache::~BufferCache() = default;
+
+Result<BufferHead*> BufferCache::bread(std::uint64_t blockno) {
+  auto r = lookup_or_create(blockno);
+  if (!r.ok()) return r;
+  BufferHead* bh = r.value();
+  if (!bh->uptodate) {
+    dev_.read(blockno, bh->bytes());
+    bh->uptodate = true;
+  }
+  return bh;
+}
+
+Result<BufferHead*> BufferCache::getblk(std::uint64_t blockno) {
+  auto r = lookup_or_create(blockno);
+  if (!r.ok()) return r;
+  r.value()->uptodate = true;  // caller fully overwrites; see header
+  return r;
+}
+
+Result<BufferHead*> BufferCache::lookup_or_create(std::uint64_t blockno) {
+  if (blockno >= dev_.nblocks()) return Err::Io;
+  sim::ScopedLock guard(lock_);
+  sim::charge(sim::costs().buffer_lookup);
+
+  auto it = map_.find(blockno);
+  if (it != map_.end()) {
+    stats_.hits += 1;
+    auto pos = lru_pos_.find(blockno);
+    if (pos != lru_pos_.end()) lru_.erase(pos->second);
+    lru_.push_front(blockno);
+    lru_pos_[blockno] = lru_.begin();
+    it->second->refcount += 1;
+    outstanding_refs_ += 1;
+    return it->second.get();
+  }
+
+  stats_.misses += 1;
+  evict_if_needed();
+  auto bh = std::make_unique<BufferHead>();
+  bh->blockno = blockno;
+  bh->cache = this;
+  bh->refcount = 1;
+  outstanding_refs_ += 1;
+  BufferHead* raw = bh.get();
+  map_.emplace(blockno, std::move(bh));
+  lru_.push_front(blockno);
+  lru_pos_[blockno] = lru_.begin();
+  return raw;
+}
+
+void BufferCache::brelse(BufferHead* bh) {
+  assert(bh != nullptr && bh->cache == this);
+  assert(bh->refcount > 0 && "brelse without matching bread/getblk");
+  bh->refcount -= 1;
+  assert(outstanding_refs_ > 0);
+  outstanding_refs_ -= 1;
+}
+
+void BufferCache::sync_dirty_buffer(BufferHead* bh) {
+  assert(bh != nullptr && bh->cache == this);
+  dev_.write(bh->blockno, bh->bytes());
+  bh->dirty = false;
+  stats_.writebacks += 1;
+}
+
+void BufferCache::sync_all() {
+  for (auto& [blockno, bh] : map_) {
+    if (bh->dirty) {
+      dev_.write(blockno, bh->bytes());
+      bh->dirty = false;
+      stats_.writebacks += 1;
+    }
+  }
+}
+
+void BufferCache::issue_flush() { dev_.flush(); }
+
+void BufferCache::invalidate() {
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (it->second->refcount == 0 && !it->second->dirty) {
+      auto pos = lru_pos_.find(it->first);
+      if (pos != lru_pos_.end()) {
+        lru_.erase(pos->second);
+        lru_pos_.erase(pos);
+      }
+      it = map_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void BufferCache::evict_if_needed() {
+  if (capacity_ == 0 || map_.size() < capacity_) return;
+  // Walk from the LRU end looking for an evictable (unreferenced) buffer.
+  for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+    const std::uint64_t blockno = *it;
+    auto mit = map_.find(blockno);
+    assert(mit != map_.end());
+    BufferHead* bh = mit->second.get();
+    if (bh->refcount > 0) continue;
+    if (bh->dirty) {
+      dev_.write(blockno, bh->bytes());
+      stats_.writebacks += 1;
+    }
+    stats_.evictions += 1;
+    lru_.erase(std::next(it).base());
+    lru_pos_.erase(blockno);
+    map_.erase(mit);
+    return;
+  }
+  // Everything referenced: allow temporary overshoot (kernel would block).
+}
+
+const char* err_name(Err e) {
+  switch (e) {
+    case Err::Ok: return "OK";
+    case Err::Perm: return "EPERM";
+    case Err::NoEnt: return "ENOENT";
+    case Err::Io: return "EIO";
+    case Err::BadF: return "EBADF";
+    case Err::Again: return "EAGAIN";
+    case Err::NoMem: return "ENOMEM";
+    case Err::Exist: return "EEXIST";
+    case Err::NotDir: return "ENOTDIR";
+    case Err::IsDir: return "EISDIR";
+    case Err::Inval: return "EINVAL";
+    case Err::FBig: return "EFBIG";
+    case Err::NoSpc: return "ENOSPC";
+    case Err::RoFs: return "EROFS";
+    case Err::NameTooLong: return "ENAMETOOLONG";
+    case Err::NotEmpty: return "ENOTEMPTY";
+    case Err::NoSys: return "ENOSYS";
+    case Err::Stale: return "ESTALE";
+    case Err::NoDev: return "ENODEV";
+    case Err::Busy: return "EBUSY";
+    case Err::MFile: return "EMFILE";
+  }
+  return "E?";
+}
+
+}  // namespace bsim::kern

@@ -1,0 +1,104 @@
+// The kernel buffer cache: the sb_bread / brelse / mark_buffer_dirty /
+// sync_dirty_buffer interface the paper's §4.5 example is built around.
+//
+// Buffers hold their own copy of block data (distinct from the device's
+// media state) so that a file system can modify a cached block without it
+// becoming "written" — the property journaling depends on and that the
+// crash-consistency property tests exercise.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <span>
+#include <unordered_map>
+
+#include "blockdev/device.h"
+#include "kernel/errno.h"
+#include "sim/sync.h"
+
+namespace bsim::kern {
+
+class BufferCache;
+
+/// One cached block. Reference-counted by the cache; file systems access
+/// buffers through pointers returned by bread/getblk and must brelse them
+/// (in Bento, the BufferHeadHandle capability does this automatically).
+struct BufferHead {
+  std::uint64_t blockno = 0;
+  bool uptodate = false;
+  bool dirty = false;
+  int refcount = 0;
+  BufferCache* cache = nullptr;
+  std::array<std::byte, blk::kBlockSize> data{};
+
+  [[nodiscard]] std::span<std::byte> bytes() { return {data.data(), data.size()}; }
+  [[nodiscard]] std::span<const std::byte> bytes() const {
+    return {data.data(), data.size()};
+  }
+};
+
+struct BufferCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t writebacks = 0;
+  std::uint64_t evictions = 0;
+};
+
+class BufferCache {
+ public:
+  /// `capacity` caps cached blocks; 0 means unbounded (tests).
+  BufferCache(blk::BlockDevice& dev, std::size_t capacity);
+  ~BufferCache();
+
+  BufferCache(const BufferCache&) = delete;
+  BufferCache& operator=(const BufferCache&) = delete;
+
+  /// Read a block through the cache (timed). Increments the refcount.
+  Result<BufferHead*> bread(std::uint64_t blockno);
+
+  /// Get a buffer without reading the device. The buffer is marked
+  /// uptodate: the caller is declaring it will fully overwrite the block,
+  /// and a later bread() must return the in-cache contents, never re-read
+  /// stale device state over them.
+  Result<BufferHead*> getblk(std::uint64_t blockno);
+
+  /// Drop one reference.
+  void brelse(BufferHead* bh);
+
+  void mark_dirty(BufferHead* bh) { bh->dirty = true; }
+
+  /// Synchronously write one buffer to the device (timed). Like Linux's
+  /// sync_dirty_buffer this waits for the transfer, not for a cache FLUSH.
+  void sync_dirty_buffer(BufferHead* bh);
+
+  /// Write back every dirty buffer (timed).
+  void sync_all();
+
+  /// Issue a device cache FLUSH (timed) — blkdev_issue_flush.
+  void issue_flush();
+
+  /// Drop all clean, unreferenced buffers (tests / remount).
+  void invalidate();
+
+  [[nodiscard]] const BufferCacheStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t cached_blocks() const { return map_.size(); }
+  [[nodiscard]] blk::BlockDevice& device() { return dev_; }
+  [[nodiscard]] std::uint64_t outstanding_refs() const { return outstanding_refs_; }
+
+ private:
+  Result<BufferHead*> lookup_or_create(std::uint64_t blockno);
+  void evict_if_needed();
+
+  blk::BlockDevice& dev_;
+  std::size_t capacity_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<BufferHead>> map_;
+  std::list<std::uint64_t> lru_;  // front = most recent
+  std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> lru_pos_;
+  sim::SimMutex lock_;
+  std::uint64_t outstanding_refs_ = 0;
+  BufferCacheStats stats_;
+};
+
+}  // namespace bsim::kern

@@ -1,0 +1,75 @@
+// Error codes (Linux-errno flavored) and a lightweight Result type.
+//
+// The VFS boundary and the file-operations API report failures by value,
+// kernel style: exceptions are reserved for programming errors (violated
+// invariants), matching both the Linux idiom the paper interposes on and
+// the Core Guidelines' advice to encapsulate messy constructs.
+#pragma once
+
+#include <cassert>
+#include <utility>
+
+namespace bsim::kern {
+
+enum class Err : int {
+  Ok = 0,
+  Perm,          // EPERM
+  NoEnt,         // ENOENT
+  Io,            // EIO
+  BadF,          // EBADF
+  Again,         // EAGAIN
+  NoMem,         // ENOMEM
+  Exist,         // EEXIST
+  NotDir,        // ENOTDIR
+  IsDir,         // EISDIR
+  Inval,         // EINVAL
+  FBig,          // EFBIG
+  NoSpc,         // ENOSPC
+  RoFs,          // EROFS
+  NameTooLong,   // ENAMETOOLONG
+  NotEmpty,      // ENOTEMPTY
+  NoSys,         // ENOSYS
+  Stale,         // ESTALE
+  NoDev,         // ENODEV
+  Busy,          // EBUSY
+  MFile,         // EMFILE
+};
+
+const char* err_name(Err e);
+
+/// Result<T>: either Err::Ok plus a value, or a failure code.
+/// T must be default-constructible (values are pointers, integers, or small
+/// structs throughout this codebase).
+template <class T>
+class [[nodiscard]] Result {
+ public:
+  Result(Err e) : err_(e) { assert(e != Err::Ok); }  // NOLINT(google-explicit-constructor)
+  Result(T v) : err_(Err::Ok), val_(std::move(v)) {} // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return err_ == Err::Ok; }
+  [[nodiscard]] Err error() const { return err_; }
+
+  [[nodiscard]] T& value() {
+    assert(ok());
+    return val_;
+  }
+  [[nodiscard]] const T& value() const {
+    assert(ok());
+    return val_;
+  }
+  /// Value or a default when failed (for optional lookups).
+  [[nodiscard]] T value_or(T alt) const { return ok() ? val_ : std::move(alt); }
+
+ private:
+  Err err_;
+  T val_{};
+};
+
+/// Early-return helper for Err-returning expressions.
+#define BSIM_TRY(expr)                         \
+  do {                                         \
+    const ::bsim::kern::Err _e = (expr);       \
+    if (_e != ::bsim::kern::Err::Ok) return _e; \
+  } while (0)
+
+}  // namespace bsim::kern

@@ -1,0 +1,141 @@
+#include "kernel/page_cache.h"
+
+#include <cstring>
+
+#include "sim/cost_model.h"
+#include "sim/thread.h"
+
+namespace bsim::kern {
+
+Err AddressSpaceOps::writepages(Inode& inode, std::span<const PageRun> runs) {
+  // Default implementation used by the generic writeback path when a file
+  // system opts in to batching but wants per-page behaviour anyway.
+  for (const auto& run : runs) {
+    std::uint64_t pgoff = run.first_pgoff;
+    for (const Page* page : run.pages) {
+      BSIM_TRY(writepage(inode, pgoff, page->bytes()));
+      pgoff += 1;
+    }
+  }
+  return Err::Ok;
+}
+
+Page* AddressSpace::find(std::uint64_t pgoff) {
+  sim::ScopedLock guard(tree_lock_);
+  sim::charge(sim::costs().page_lookup);
+  auto it = pages_.find(pgoff);
+  if (it == pages_.end()) {
+    stats_.misses += 1;
+    return nullptr;
+  }
+  stats_.hits += 1;
+  return &it->second;
+}
+
+Page& AddressSpace::find_or_alloc(std::uint64_t pgoff) {
+  sim::ScopedLock guard(tree_lock_);
+  sim::charge(sim::costs().page_lookup);
+  auto it = pages_.find(pgoff);
+  if (it != pages_.end()) {
+    stats_.hits += 1;
+    return it->second;
+  }
+  stats_.misses += 1;
+  sim::charge(sim::costs().page_alloc);
+  Page page;
+  page.data = std::make_unique<std::array<std::byte, kPageSize>>();
+  page.data->fill(std::byte{0});
+  auto [pos, inserted] = pages_.emplace(pgoff, std::move(page));
+  (void)inserted;
+  return pos->second;
+}
+
+Result<Page*> AddressSpace::read_page(Inode& inode, AddressSpaceOps& aops,
+                                      std::uint64_t pgoff) {
+  Page& page = find_or_alloc(pgoff);
+  if (!page.uptodate) {
+    BSIM_TRY(aops.readpage(inode, pgoff, page.bytes()));
+    page.uptodate = true;
+  }
+  return &page;
+}
+
+void AddressSpace::mark_dirty(std::uint64_t pgoff) {
+  auto it = pages_.find(pgoff);
+  if (it == pages_.end()) return;
+  if (!it->second.dirty) {
+    it->second.dirty = true;
+    dirty_pages_.insert(pgoff);
+    nr_dirty_ += 1;
+  }
+}
+
+Err AddressSpace::writeback(Inode& inode, AddressSpaceOps& aops) {
+  if (nr_dirty_ == 0) return Err::Ok;
+  stats_.writeback_calls += 1;
+
+  if (aops.has_writepages()) {
+    // Coalesce dirty pages into contiguous runs (the ->writepages path);
+    // the dirty-tag index makes this O(dirty), like a tagged radix walk.
+    std::vector<PageRun> runs;
+    for (const std::uint64_t pgoff : dirty_pages_) {
+      Page& page = pages_.at(pgoff);
+      if (runs.empty() ||
+          runs.back().first_pgoff + runs.back().pages.size() != pgoff) {
+        runs.push_back(PageRun{pgoff, {}});
+      }
+      runs.back().pages.push_back(&page);
+    }
+    const std::size_t npages = dirty_pages_.size();
+    sim::charge(sim::costs().writepages_batch_overhead +
+                static_cast<sim::Nanos>(npages) *
+                    sim::costs().writepages_per_page);
+    BSIM_TRY(aops.writepages(inode, runs));
+    for (const std::uint64_t pgoff : dirty_pages_) {
+      pages_.at(pgoff).dirty = false;
+    }
+    dirty_pages_.clear();
+    nr_dirty_ = 0;
+    stats_.writeback_pages += npages;
+    return Err::Ok;
+  }
+
+  // Unbatched ->writepage path: one call (and one charge) per dirty page.
+  for (const std::uint64_t pgoff : dirty_pages_) {
+    Page& page = pages_.at(pgoff);
+    sim::charge(sim::costs().writepage_overhead);
+    BSIM_TRY(aops.writepage(inode, pgoff, page.bytes()));
+    page.dirty = false;
+    stats_.writeback_pages += 1;
+  }
+  dirty_pages_.clear();
+  nr_dirty_ = 0;
+  return Err::Ok;
+}
+
+void AddressSpace::truncate_from(std::uint64_t from_pgoff) {
+  auto it = pages_.lower_bound(from_pgoff);
+  while (it != pages_.end()) {
+    if (it->second.dirty) nr_dirty_ -= 1;
+    it = pages_.erase(it);
+  }
+  dirty_pages_.erase(dirty_pages_.lower_bound(from_pgoff),
+                     dirty_pages_.end());
+}
+
+void AddressSpace::zero_tail(std::uint64_t size) {
+  const std::uint64_t pgoff = size / kPageSize;
+  const std::size_t within = static_cast<std::size_t>(size % kPageSize);
+  if (within == 0) return;
+  auto it = pages_.find(pgoff);
+  if (it == pages_.end()) return;
+  std::memset(it->second.data->data() + within, 0, kPageSize - within);
+}
+
+void AddressSpace::drop_all() {
+  pages_.clear();
+  dirty_pages_.clear();
+  nr_dirty_ = 0;
+}
+
+}  // namespace bsim::kern

@@ -1,0 +1,71 @@
+// Common kernel-facing value types: file kinds, attributes, directory
+// entries, statfs, open flags.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/time.h"
+
+namespace bsim::kern {
+
+using Ino = std::uint64_t;
+
+enum class FileType : std::uint8_t { None = 0, Regular, Directory, BlockDev };
+
+struct Stat {
+  Ino ino = 0;
+  FileType type = FileType::None;
+  std::uint32_t mode = 0;
+  std::uint32_t nlink = 0;
+  std::uint64_t size = 0;
+  std::uint64_t blocks = 0;  // 512B sectors, stat(2) convention
+  sim::Nanos atime = 0;
+  sim::Nanos mtime = 0;
+  sim::Nanos ctime = 0;
+};
+
+struct StatFs {
+  std::uint64_t total_blocks = 0;
+  std::uint64_t free_blocks = 0;
+  std::uint64_t total_inodes = 0;
+  std::uint64_t free_inodes = 0;
+  std::uint32_t block_size = 0;
+  std::string fs_name;
+};
+
+struct DirEnt {
+  Ino ino = 0;
+  FileType type = FileType::None;
+  std::string name;
+};
+
+/// Callback used by readdir to emit entries; return false to stop.
+using DirFiller = std::function<bool(const DirEnt&)>;
+
+/// Which attributes a setattr call changes.
+struct SetAttr {
+  bool set_size = false;
+  std::uint64_t size = 0;
+  bool set_mode = false;
+  std::uint32_t mode = 0;
+  bool set_mtime = false;
+  sim::Nanos mtime = 0;
+};
+
+// open(2) flags (subset).
+inline constexpr int kORdOnly = 0x0;
+inline constexpr int kOWrOnly = 0x1;
+inline constexpr int kORdWr = 0x2;
+inline constexpr int kOAccMask = 0x3;
+inline constexpr int kOCreat = 0x40;
+inline constexpr int kOExcl = 0x80;
+inline constexpr int kOTrunc = 0x200;
+inline constexpr int kOAppend = 0x400;
+inline constexpr int kODirect = 0x4000;
+
+inline constexpr std::size_t kPageSize = 4096;
+inline constexpr std::size_t kNameMax = 255;
+
+}  // namespace bsim::kern

@@ -1,0 +1,114 @@
+#include "kernel/uring.h"
+
+#include "sim/cost_model.h"
+#include "sim/thread.h"
+
+namespace bsim::kern {
+
+IoUring::IoUring(Kernel& kernel, Process& proc, unsigned sq_entries)
+    : kernel_(&kernel), proc_(&proc), sq_entries_(sq_entries) {}
+
+Err IoUring::push(Sqe sqe) {
+  if (sq_.size() >= sq_entries_) return Err::Again;  // SQ full: submit first
+  sq_.push_back(sqe);
+  return Err::Ok;
+}
+
+Err IoUring::prep_read(int fd, std::span<std::byte> out, std::uint64_t off,
+                       std::uint64_t user_data) {
+  Sqe sqe;
+  sqe.op = Sqe::Op::Read;
+  sqe.fd = fd;
+  sqe.off = off;
+  sqe.read_buf = out;
+  sqe.user_data = user_data;
+  return push(sqe);
+}
+
+Err IoUring::prep_write(int fd, std::span<const std::byte> in,
+                        std::uint64_t off, std::uint64_t user_data) {
+  Sqe sqe;
+  sqe.op = Sqe::Op::Write;
+  sqe.fd = fd;
+  sqe.off = off;
+  sqe.write_buf = in;
+  sqe.user_data = user_data;
+  return push(sqe);
+}
+
+Err IoUring::prep_fsync(int fd, bool datasync, std::uint64_t user_data) {
+  Sqe sqe;
+  sqe.op = Sqe::Op::Fsync;
+  sqe.fd = fd;
+  sqe.datasync = datasync;
+  sqe.user_data = user_data;
+  return push(sqe);
+}
+
+Result<unsigned> IoUring::submit() {
+  // One crossing for the whole batch — the io_uring_enter(2) trap.
+  sim::charge(sim::costs().syscall);
+  stats_.enters += 1;
+
+  unsigned consumed = 0;
+  while (!sq_.empty()) {
+    const Sqe sqe = sq_.front();
+    sq_.pop_front();
+    consumed += 1;
+    stats_.sqes += 1;
+
+    // Kernel-side SQE fetch + dispatch: cheaper than a trap + full VFS
+    // dispatch, but not free.
+    sim::charge(sim::costs().uring_sqe_dispatch);
+
+    Cqe cqe;
+    cqe.user_data = sqe.user_data;
+    auto f = kernel_->file_for(*proc_, sqe.fd);
+    if (!f.ok()) {
+      cqe.err = f.error();
+      cq_.push_back(cqe);
+      continue;
+    }
+    OpenFile& of = *f.value();
+    switch (sqe.op) {
+      case Sqe::Op::Read: {
+        auto r = of.bdev != nullptr
+                     ? kernel_->bdev_read(of, sqe.read_buf, sqe.off)
+                     : kernel_->file_read(of, sqe.read_buf, sqe.off);
+        if (r.ok()) {
+          cqe.res = r.value();
+        } else {
+          cqe.err = r.error();
+        }
+        break;
+      }
+      case Sqe::Op::Write: {
+        auto r = of.bdev != nullptr
+                     ? kernel_->bdev_write(of, sqe.write_buf, sqe.off)
+                     : kernel_->file_write(of, sqe.write_buf, sqe.off);
+        if (r.ok()) {
+          cqe.res = r.value();
+        } else {
+          cqe.err = r.error();
+        }
+        break;
+      }
+      case Sqe::Op::Fsync:
+        cqe.err = kernel_->do_fsync(of, sqe.datasync);
+        break;
+    }
+    cq_.push_back(cqe);
+  }
+  return consumed;
+}
+
+std::optional<Cqe> IoUring::pop_cqe() {
+  if (cq_.empty()) return std::nullopt;
+  sim::charge(sim::costs().uring_cqe_pop);
+  stats_.cqes += 1;
+  const Cqe cqe = cq_.front();
+  cq_.pop_front();
+  return cqe;
+}
+
+}  // namespace bsim::kern

@@ -1,0 +1,202 @@
+#include "kernel/vfs.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "sim/cost_model.h"
+#include "sim/thread.h"
+
+namespace bsim::kern {
+
+// ---- default op implementations (ENOSYS/no-op, like NULL fn pointers) ----
+
+Result<Inode*> InodeOps::create(Inode&, std::string_view, std::uint32_t) {
+  return Err::NoSys;
+}
+Err InodeOps::unlink(Inode&, std::string_view) { return Err::NoSys; }
+Result<Inode*> InodeOps::mkdir(Inode&, std::string_view, std::uint32_t) {
+  return Err::NoSys;
+}
+Err InodeOps::rmdir(Inode&, std::string_view) { return Err::NoSys; }
+Err InodeOps::rename(Inode&, std::string_view, Inode&, std::string_view) {
+  return Err::NoSys;
+}
+Err InodeOps::setattr(Inode&, const SetAttr&) { return Err::NoSys; }
+Err InodeOps::getattr(Inode& inode, Stat& out) {
+  out.ino = inode.ino();
+  out.type = inode.type;
+  out.mode = inode.mode;
+  out.nlink = inode.nlink;
+  out.size = inode.size;
+  out.blocks = (inode.size + 511) / 512;
+  out.atime = inode.atime;
+  out.mtime = inode.mtime;
+  out.ctime = inode.ctime;
+  return Err::Ok;
+}
+
+Err FileOps::open(Inode&, FileHandle&) { return Err::Ok; }
+Err FileOps::release(Inode&, FileHandle&) { return Err::Ok; }
+Err FileOps::flush(Inode&, FileHandle&) { return Err::Ok; }
+Err FileOps::readdir(Inode&, std::uint64_t&, const DirFiller&) {
+  return Err::NotDir;
+}
+
+// ---- SuperBlock: inode cache ----
+
+Inode* SuperBlock::iget_cached(Ino ino) {
+  auto it = icache_.find(ino);
+  if (it == icache_.end()) return nullptr;
+  it->second->refcount_ += 1;
+  return it->second.get();
+}
+
+Inode& SuperBlock::inew(Ino ino) {
+  assert(!icache_.contains(ino));
+  auto inode = std::make_unique<Inode>(*this, ino);
+  inode->refcount_ = 1;
+  Inode* raw = inode.get();
+  icache_.emplace(ino, std::move(inode));
+  return *raw;
+}
+
+void SuperBlock::iput(Inode* inode) {
+  if (inode == nullptr) return;
+  assert(inode->refcount_ > 0);
+  inode->refcount_ -= 1;
+  if (inode->refcount_ == 0 && inode->nlink == 0) {
+    if (s_op != nullptr) s_op->evict_inode(*inode);
+    icache_.erase(inode->ino());
+  }
+  // Inodes with links stay cached until unmount (icache pruning is not
+  // relevant to any measured behaviour).
+}
+
+// ---- SuperBlock: dentry cache ----
+
+std::string SuperBlock::dkey(Inode& dir, std::string_view name) {
+  std::string key = std::to_string(dir.ino());
+  key.push_back('/');
+  key.append(name);
+  return key;
+}
+
+Inode* SuperBlock::dcache_lookup(Inode& dir, std::string_view name) {
+  auto it = dcache_.find(dkey(dir, name));
+  if (it == dcache_.end()) return nullptr;
+  return iget_cached(it->second);
+}
+
+void SuperBlock::dcache_add(Inode& dir, std::string_view name, Ino child) {
+  dcache_[dkey(dir, name)] = child;
+}
+
+void SuperBlock::dcache_remove(Inode& dir, std::string_view name) {
+  dcache_.erase(dkey(dir, name));
+}
+
+void SuperBlock::dcache_drop_dir(Inode& dir) {
+  const std::string prefix = std::to_string(dir.ino()) + "/";
+  for (auto it = dcache_.begin(); it != dcache_.end();) {
+    if (it->first.starts_with(prefix)) it = dcache_.erase(it);
+    else ++it;
+  }
+}
+
+Err SuperBlock::sync_all() {
+  for (auto& [ino, inode] : icache_) {
+    if (inode->type == FileType::Regular && inode->aops != nullptr) {
+      BSIM_TRY(generic_writeback(*inode));
+    }
+  }
+  if (s_op != nullptr) BSIM_TRY(s_op->sync_fs(*this, /*wait=*/true));
+  return Err::Ok;
+}
+
+// ---- generic file read/write ----
+
+Result<std::uint64_t> generic_file_read(Inode& inode, std::uint64_t off,
+                                        std::span<std::byte> out) {
+  assert(inode.aops != nullptr);
+  if (off >= inode.size) return std::uint64_t{0};
+  const std::uint64_t want =
+      std::min<std::uint64_t>(out.size(), inode.size - off);
+
+  std::uint64_t done = 0;
+  while (done < want) {
+    const std::uint64_t pos = off + done;
+    const std::uint64_t pgoff = pos / kPageSize;
+    const std::size_t within = static_cast<std::size_t>(pos % kPageSize);
+    const std::size_t chunk =
+        static_cast<std::size_t>(std::min<std::uint64_t>(kPageSize - within,
+                                                         want - done));
+    // Hold the per-file lock across lookup + copy (see io_mutex()).
+    sim::ScopedLock io(inode.mapping.io_mutex());
+    auto page = inode.mapping.read_page(inode, *inode.aops, pgoff);
+    if (!page.ok()) return page.error();
+    sim::charge(sim::costs().page_copy * static_cast<sim::Nanos>(chunk) /
+                static_cast<sim::Nanos>(kPageSize));
+    std::memcpy(out.data() + done, page.value()->bytes().data() + within,
+                chunk);
+    done += chunk;
+  }
+  return done;
+}
+
+Result<std::uint64_t> generic_file_write(Inode& inode, std::uint64_t off,
+                                         std::span<const std::byte> in,
+                                         const GenericWriteOptions& opts) {
+  assert(inode.aops != nullptr);
+  std::uint64_t done = 0;
+  while (done < in.size()) {
+    const std::uint64_t pos = off + done;
+    const std::uint64_t pgoff = pos / kPageSize;
+    const std::size_t within = static_cast<std::size_t>(pos % kPageSize);
+    const std::size_t chunk = static_cast<std::size_t>(
+        std::min<std::uint64_t>(kPageSize - within, in.size() - done));
+
+    // Partial overwrite of an existing page within the file must read it
+    // first; full-page writes (or fresh extension) need not.
+    const bool full_page = within == 0 && chunk == kPageSize;
+    const bool beyond_eof = pos >= inode.size;
+    Page* page = nullptr;
+    if (full_page || beyond_eof) {
+      page = &inode.mapping.find_or_alloc(pgoff);
+      page->uptodate = true;  // fully (over)written or beyond old EOF
+    } else {
+      auto r = inode.mapping.read_page(inode, *inode.aops, pgoff);
+      if (!r.ok()) return r.error();
+      page = r.value();
+    }
+    sim::charge(sim::costs().page_copy * static_cast<sim::Nanos>(chunk) /
+                static_cast<sim::Nanos>(kPageSize));
+    std::memcpy(page->bytes().data() + within, in.data() + done, chunk);
+    inode.mapping.mark_dirty(pgoff);
+    done += chunk;
+  }
+  inode.size = std::max(inode.size, off + done);
+  inode.mtime = sim::now();
+
+  // balance_dirty_pages analogue: writers are throttled by doing writeback
+  // themselves once the inode accumulates enough dirty pages.
+  if (opts.dirty_threshold != 0 &&
+      inode.mapping.nr_dirty() >= opts.dirty_threshold) {
+    BSIM_TRY(generic_writeback(inode));
+  }
+  return done;
+}
+
+Err generic_writeback(Inode& inode) {
+  assert(inode.aops != nullptr);
+  return inode.mapping.writeback(inode, *inode.aops);
+}
+
+void generic_truncate_pagecache(Inode& inode, std::uint64_t new_size) {
+  const std::uint64_t first_gone = (new_size + kPageSize - 1) / kPageSize;
+  inode.mapping.truncate_from(first_gone);
+  inode.mapping.zero_tail(new_size);
+  inode.size = new_size;
+}
+
+}  // namespace bsim::kern

@@ -1,0 +1,208 @@
+// The simulated Linux VFS layer: superblocks, inodes, the operation tables
+// file systems implement, the inode and dentry caches, and the generic
+// page-cache-backed file read/write helpers.
+//
+// This is the interface the paper's §2.2 calls "complex and with few
+// guardrails": shared data structures (Inode, BufferHead) pass freely
+// across it. The C baseline (src/xv6fs_c) and the ext4 comparator implement
+// it directly; BentoFS (src/bento) interposes on it and exposes the safe
+// file-operations API instead.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "kernel/buffer_cache.h"
+#include "kernel/errno.h"
+#include "kernel/page_cache.h"
+#include "kernel/types.h"
+#include "sim/sync.h"
+
+namespace bsim::kern {
+
+class SuperBlock;
+class Inode;
+struct FileHandle;
+
+/// Per-open-file state handed to FileOps (like struct file's private_data).
+struct FileHandle {
+  std::uint64_t fh = 0;  // FS-private cookie
+  int flags = 0;
+};
+
+/// Inode operations (directory-level namespace ops live on the dir inode).
+class InodeOps {
+ public:
+  virtual ~InodeOps() = default;
+  virtual Result<Inode*> lookup(Inode& dir, std::string_view name) = 0;
+  virtual Result<Inode*> create(Inode& dir, std::string_view name,
+                                std::uint32_t mode);
+  virtual Err unlink(Inode& dir, std::string_view name);
+  virtual Result<Inode*> mkdir(Inode& dir, std::string_view name,
+                               std::uint32_t mode);
+  virtual Err rmdir(Inode& dir, std::string_view name);
+  virtual Err rename(Inode& old_dir, std::string_view old_name,
+                     Inode& new_dir, std::string_view new_name);
+  virtual Err setattr(Inode& inode, const SetAttr& attr);
+  virtual Err getattr(Inode& inode, Stat& out);
+};
+
+/// File operations.
+class FileOps {
+ public:
+  virtual ~FileOps() = default;
+  virtual Err open(Inode& inode, FileHandle& fh);
+  virtual Err release(Inode& inode, FileHandle& fh);
+  virtual Result<std::uint64_t> read(Inode& inode, FileHandle& fh,
+                                     std::uint64_t off,
+                                     std::span<std::byte> out) = 0;
+  virtual Result<std::uint64_t> write(Inode& inode, FileHandle& fh,
+                                      std::uint64_t off,
+                                      std::span<const std::byte> in) = 0;
+  virtual Err fsync(Inode& inode, FileHandle& fh, bool datasync) = 0;
+  /// Called when the last writer closes (the ->flush path); default no-op.
+  virtual Err flush(Inode& inode, FileHandle& fh);
+  virtual Err readdir(Inode& inode, std::uint64_t& pos,
+                      const DirFiller& fill);
+};
+
+/// Superblock operations.
+class SuperOps {
+ public:
+  virtual ~SuperOps() = default;
+  virtual Err sync_fs(SuperBlock& sb, bool wait) = 0;
+  virtual Err statfs(SuperBlock& sb, StatFs& out) = 0;
+  virtual void put_super(SuperBlock& sb) = 0;
+  /// Called when an unlinked inode loses its last reference.
+  virtual void evict_inode(Inode& inode) = 0;
+};
+
+/// An in-core inode. Owned by its superblock's inode cache.
+class Inode {
+ public:
+  Inode(SuperBlock& sb, Ino ino) : sb_(&sb), ino_(ino) {}
+
+  Inode(const Inode&) = delete;
+  Inode& operator=(const Inode&) = delete;
+
+  [[nodiscard]] SuperBlock& sb() { return *sb_; }
+  [[nodiscard]] Ino ino() const { return ino_; }
+
+  FileType type = FileType::None;
+  std::uint32_t mode = 0;
+  std::uint32_t nlink = 0;
+  std::uint64_t size = 0;
+  sim::Nanos atime = 0, mtime = 0, ctime = 0;
+
+  InodeOps* iop = nullptr;
+  FileOps* fop = nullptr;
+  AddressSpaceOps* aops = nullptr;
+  AddressSpace mapping;
+  sim::SimRwLock rwsem;  // i_rwsem: write path exclusion
+
+  /// FS-private in-core state (e.g. the xv6 in-memory dinode copy).
+  void* fs_priv = nullptr;
+
+  [[nodiscard]] int refcount() const { return refcount_; }
+
+ private:
+  friend class SuperBlock;
+  SuperBlock* sb_;
+  Ino ino_;
+  int refcount_ = 0;
+};
+
+/// An in-core superblock: one mounted file system instance.
+class SuperBlock {
+ public:
+  SuperBlock(blk::BlockDevice& dev, std::size_t buffer_cache_blocks)
+      : bufcache_(dev, buffer_cache_blocks) {}
+
+  SuperBlock(const SuperBlock&) = delete;
+  SuperBlock& operator=(const SuperBlock&) = delete;
+
+  SuperOps* s_op = nullptr;
+  Inode* root = nullptr;
+  void* fs_info = nullptr;  // FS-private superblock state
+  std::string fs_name;
+
+  [[nodiscard]] BufferCache& bufcache() { return bufcache_; }
+  [[nodiscard]] blk::BlockDevice& bdev() { return bufcache_.device(); }
+
+  // ---- inode cache ----
+  /// Look up an in-core inode; returns nullptr if not cached. Takes a ref.
+  Inode* iget_cached(Ino ino);
+  /// Create the in-core inode (must not exist). Takes a ref.
+  Inode& inew(Ino ino);
+  /// Take an additional reference.
+  static void ihold(Inode& inode) { inode.refcount_ += 1; }
+  /// Drop a reference; evicts (via s_op->evict_inode) when an unlinked
+  /// inode loses its last reference.
+  void iput(Inode* inode);
+  [[nodiscard]] std::size_t cached_inodes() const { return icache_.size(); }
+  /// Iterate all in-core inodes (unmount-time cleanup by file systems).
+  template <class F>
+  void for_each_inode(F&& f) {
+    for (auto& [ino, inode] : icache_) f(*inode);
+  }
+
+  // ---- dentry cache ----
+  /// Positive-entry dcache: (parent ino, name) -> child ino.
+  Inode* dcache_lookup(Inode& dir, std::string_view name);
+  void dcache_add(Inode& dir, std::string_view name, Ino child);
+  void dcache_remove(Inode& dir, std::string_view name);
+  void dcache_drop_dir(Inode& dir);
+
+  /// Write back all cached file pages + fs metadata (sync(2) path).
+  Err sync_all();
+
+ private:
+  static std::string dkey(Inode& dir, std::string_view name);
+
+  BufferCache bufcache_;
+  std::unordered_map<Ino, std::unique_ptr<Inode>> icache_;
+  std::unordered_map<std::string, Ino> dcache_;
+};
+
+/// A mountable file system type (registered with the Kernel).
+class FileSystemType {
+ public:
+  virtual ~FileSystemType() = default;
+  [[nodiscard]] virtual std::string_view name() const = 0;
+  /// Build a SuperBlock over `dev`. `opts` is a free-form option string.
+  virtual Result<SuperBlock*> mount(blk::BlockDevice& dev,
+                                    std::string_view opts) = 0;
+  /// Tear down a superblock produced by mount().
+  virtual void kill_sb(SuperBlock* sb) = 0;
+};
+
+// ---- Generic page-cache-backed file helpers (generic_file_read_iter /
+// generic_perform_write analogues). File systems whose FileOps use the page
+// cache call these; they handle partial pages, extension, and the dirty-
+// threshold writeback that models balance_dirty_pages. ----
+
+Result<std::uint64_t> generic_file_read(Inode& inode, std::uint64_t off,
+                                        std::span<std::byte> out);
+
+struct GenericWriteOptions {
+  /// Start synchronous writeback once this many pages are dirty.
+  std::size_t dirty_threshold = 256;
+};
+
+Result<std::uint64_t> generic_file_write(Inode& inode, std::uint64_t off,
+                                         std::span<const std::byte> in,
+                                         const GenericWriteOptions& opts = {});
+
+/// Flush the inode's dirty pages through its AddressSpaceOps.
+Err generic_writeback(Inode& inode);
+
+/// Truncate helper: drops/zeroes cached pages then updates inode size.
+void generic_truncate_pagecache(Inode& inode, std::uint64_t new_size);
+
+}  // namespace bsim::kern

@@ -1,0 +1,71 @@
+// Deterministic pseudo-random numbers for workloads (splitmix64 +
+// xoshiro256**). Benchmarks must be reproducible run-to-run, so all
+// randomness flows through explicitly seeded instances of this generator.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace bsim::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // splitmix64 seeding, as recommended by the xoshiro authors.
+    for (auto& word : s_) {
+      seed += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+
+  /// Uniform integer in [lo, hi].
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    return lo + below(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double unit() { return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  /// True with probability p.
+  bool chance(double p) { return unit() < p; }
+
+  /// Geometric-ish "file size" sampler around a mean (filebench uses a
+  /// gamma distribution; a clamped exponential matches the heavy tail).
+  std::uint64_t size_around(std::uint64_t mean, std::uint64_t max) {
+    double u = unit();
+    if (u < 1e-12) u = 1e-12;
+    double v = -static_cast<double>(mean) * 0.9 * std::log(u) +
+               static_cast<double>(mean) * 0.1;
+    auto n = static_cast<std::uint64_t>(v);
+    if (n < 1) n = 1;
+    if (n > max) n = max;
+    return n;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace bsim::sim

@@ -1,0 +1,83 @@
+#include "sim/runner.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "sim/cost_model.h"
+
+namespace bsim::sim {
+
+namespace {
+
+struct HeapEntry {
+  Nanos at;
+  int idx;
+  bool operator>(const HeapEntry& o) const { return at > o.at; }
+};
+
+}  // namespace
+
+RunStats run_workloads(std::span<const std::unique_ptr<Workload>> threads,
+                       const RunnerOptions& opts) {
+  const int cores = opts.cpu_cores > 0 ? opts.cpu_cores : costs().cpu_cores;
+  const int n = static_cast<int>(threads.size());
+
+  std::vector<SimThread> sims;
+  sims.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) sims.emplace_back(i);
+
+  // Setup runs in virtual time but is excluded from the measured interval
+  // (filebench likewise excludes its prealloc phase): the measurement epoch
+  // is the instant the last thread finishes setup. Clocks are NOT reset —
+  // device queues and lock timestamps must stay monotonic with the clocks.
+  for (int i = 0; i < n; ++i) {
+    ScopedThread in(sims[static_cast<std::size_t>(i)]);
+    threads[static_cast<std::size_t>(i)]->setup();
+  }
+  Nanos epoch = 0;
+  for (const auto& s : sims) epoch = std::max(epoch, s.now());
+  for (auto& s : sims) s.wait_until(epoch);
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, std::greater<>> heap;
+  for (int i = 0; i < n; ++i) heap.push({epoch, i});
+
+  int active = n;
+  const double scale0 =
+      active > cores ? static_cast<double>(active) / cores : 1.0;
+  for (auto& s : sims) s.set_cpu_scale(scale0);
+
+  RunStats stats;
+  Nanos last_completion = epoch;
+
+  while (!heap.empty()) {
+    const auto [at, idx] = heap.top();
+    heap.pop();
+    auto& sim = sims[static_cast<std::size_t>(idx)];
+    if (at >= epoch + opts.horizon) {
+      active -= 1;
+      continue;
+    }
+    if (opts.max_ops != 0 && stats.ops >= opts.max_ops) break;
+
+    ScopedThread in(sim);
+    const Nanos t0 = sim.now();
+    const std::int64_t bytes = threads[static_cast<std::size_t>(idx)]->step();
+    if (bytes < 0) {
+      active -= 1;
+      const double scale =
+          active > cores ? static_cast<double>(active) / cores : 1.0;
+      for (auto& s : sims) s.set_cpu_scale(scale);
+      continue;
+    }
+    stats.ops += 1;
+    stats.bytes += static_cast<std::uint64_t>(bytes);
+    stats.latency.record(sim.now() - t0);
+    last_completion = std::max(last_completion, sim.now());
+    heap.push({sim.now(), idx});
+  }
+
+  stats.elapsed = std::max<Nanos>(last_completion - epoch, 1);
+  return stats;
+}
+
+}  // namespace bsim::sim

@@ -1,0 +1,150 @@
+// Virtual-time synchronization primitives.
+//
+// Because simulated threads execute one at a time in global virtual-time
+// order (see thread.h), a lock never needs to block for real: acquiring a
+// lock that another simulated thread "holds" simply advances the caller's
+// clock to the lock's release time. This models serialization and convoy
+// effects while keeping the simulation deterministic.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/cost_model.h"
+#include "sim/thread.h"
+
+namespace bsim::sim {
+
+/// Mutual exclusion in virtual time.
+///
+/// Two flavours, matching how the kernel behaves under CPU contention. In
+/// both, the holder runs its critical section unscaled: a sleeping-lock
+/// holder has a core to itself because its waiters are asleep, and a
+/// spinlock holder keeps its core while waiters burn cycles on *other*
+/// cores. The flavours differ in the cost of a contended acquisition:
+///   Sleeping (default) — waiters pay scheduler wake-up latency.
+///   Spin — ownership transfer costs a cacheline handoff (queued-spinlock
+///       MCS-style); short sections like the page-tree lock.
+class SimMutex {
+ public:
+  enum class Kind { Sleeping, Spin };
+
+  SimMutex() = default;
+  explicit SimMutex(Kind kind) : kind_(kind) {}
+
+  void lock() {
+    auto& t = current();
+    const bool contended = t.now() < available_at_;
+    if (contended) {
+      contended_acquires_ += 1;
+      waited_ += available_at_ - t.now();
+      t.wait_until(available_at_);
+    }
+    t.enter_critical();
+    t.charge_cpu(costs().lock_uncontended);
+    if (contended) {
+      t.charge_cpu(kind_ == Kind::Spin ? costs().spin_handoff
+                                       : costs().sched_wakeup);
+    }
+    acquires_ += 1;
+  }
+
+  void unlock() {
+    available_at_ = std::max(available_at_, now());
+    current().exit_critical();
+  }
+
+  [[nodiscard]] std::uint64_t acquires() const { return acquires_; }
+  [[nodiscard]] std::uint64_t contended_acquires() const { return contended_acquires_; }
+  [[nodiscard]] Nanos total_wait() const { return waited_; }
+
+ private:
+  Kind kind_ = Kind::Sleeping;
+  Nanos available_at_ = 0;
+  Nanos waited_ = 0;
+  std::uint64_t acquires_ = 0;
+  std::uint64_t contended_acquires_ = 0;
+};
+
+/// RAII guard for SimMutex.
+class ScopedLock {
+ public:
+  explicit ScopedLock(SimMutex& m) : m_(m) { m_.lock(); }
+  ~ScopedLock() { m_.unlock(); }
+  ScopedLock(const ScopedLock&) = delete;
+  ScopedLock& operator=(const ScopedLock&) = delete;
+
+ private:
+  SimMutex& m_;
+};
+
+/// Readers-writer lock in virtual time. Readers proceed concurrently;
+/// writers serialize against both readers and writers.
+class SimRwLock {
+ public:
+  void lock_shared() {
+    auto& t = current();
+    t.wait_until(writer_release_);  // readers wait only for writers
+    t.charge_cpu(costs().lock_uncontended);
+    last_reader_release_ = std::max(last_reader_release_, t.now());
+  }
+
+  void unlock_shared() {
+    last_reader_release_ = std::max(last_reader_release_, now());
+  }
+
+  void lock() {
+    auto& t = current();
+    t.wait_until(std::max(writer_release_, last_reader_release_));
+    t.charge_cpu(costs().lock_uncontended);
+    t.enter_critical();
+  }
+
+  void unlock() {
+    writer_release_ = std::max(writer_release_, now());
+    current().exit_critical();
+  }
+
+ private:
+  Nanos writer_release_ = 0;
+  Nanos last_reader_release_ = 0;
+};
+
+/// Group-commit gate (DESIGN.md §5): callers that need an expensive shared
+/// operation (e.g. a journal commit + device flush) within the same
+/// accumulation window share one instance of its cost. This is how JBD2-
+/// style transaction batching is modeled for the ext4 comparator.
+class BatchGate {
+ public:
+  explicit BatchGate(Nanos window) : window_(window) {}
+
+  /// Request a batched operation at the current virtual time; `cost` is the
+  /// full cost if a new batch must be started. Returns the completion time;
+  /// the caller should wait_until() it.
+  Nanos join(Nanos cost) {
+    const Nanos t = now();
+    if (t < batch_close_ || (t >= batch_open_ && t < batch_done_)) {
+      // Join the in-flight batch: completes when the batch completes.
+      joined_ += 1;
+      return batch_done_;
+    }
+    batches_ += 1;
+    batch_open_ = t;
+    batch_close_ = t + window_;
+    batch_done_ = t + window_ + cost;
+    return batch_done_;
+  }
+
+  [[nodiscard]] std::uint64_t batches_started() const { return batches_; }
+  [[nodiscard]] std::uint64_t joins() const { return joined_; }
+
+ private:
+  Nanos window_;
+  Nanos batch_open_ = -1;
+  Nanos batch_close_ = -1;
+  Nanos batch_done_ = -1;
+  std::uint64_t batches_ = 0;
+  std::uint64_t joined_ = 0;
+};
+
+}  // namespace bsim::sim

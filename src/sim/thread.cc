@@ -1,0 +1,25 @@
+#include "sim/thread.h"
+
+#include "sim/cost_model.h"
+
+namespace bsim::sim {
+
+namespace {
+thread_local SimThread* g_current = nullptr;
+}  // namespace
+
+SimThread& current() {
+  assert(g_current != nullptr && "no simulated thread installed");
+  return *g_current;
+}
+
+SimThread* current_or_null() { return g_current; }
+
+void set_current(SimThread* t) { g_current = t; }
+
+CostModel& costs() {
+  static CostModel model;
+  return model;
+}
+
+}  // namespace bsim::sim

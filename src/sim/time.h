@@ -1,0 +1,28 @@
+// Virtual time primitives for the Bento reproduction.
+//
+// All benchmark results in this repository are reported in *virtual
+// nanoseconds*: simulated threads carry their own clocks which are advanced
+// by the cost model (CPU work), by device service times, and by lock /
+// boundary-crossing waits. See DESIGN.md §1 "Virtual time".
+#pragma once
+
+#include <cstdint>
+
+namespace bsim::sim {
+
+/// Virtual nanoseconds. Signed so durations and differences are well-formed.
+using Nanos = std::int64_t;
+
+inline constexpr Nanos kMicrosecond = 1'000;
+inline constexpr Nanos kMillisecond = 1'000'000;
+inline constexpr Nanos kSecond = 1'000'000'000;
+
+/// Convenience literal-style helpers (usable in constant expressions).
+constexpr Nanos usec(double us) { return static_cast<Nanos>(us * kMicrosecond); }
+constexpr Nanos msec(double ms) { return static_cast<Nanos>(ms * kMillisecond); }
+constexpr Nanos sec(double s) { return static_cast<Nanos>(s * kSecond); }
+
+/// Convert a virtual duration to seconds as a double (for rate reporting).
+constexpr double to_seconds(Nanos ns) { return static_cast<double>(ns) / kSecond; }
+
+}  // namespace bsim::sim

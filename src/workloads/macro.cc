@@ -1,0 +1,326 @@
+#include "workloads/macro.h"
+
+#include <array>
+#include <cassert>
+#include <stdexcept>
+
+namespace bsim::wl {
+
+namespace {
+
+void must(kern::Err e, const char* what) {
+  if (e != kern::Err::Ok) {
+    throw std::runtime_error(std::string("macro workload: ") + what +
+                             " failed: " + kern::err_name(e));
+  }
+}
+
+template <class T>
+T must_v(kern::Result<T> r, const char* what) {
+  if (!r.ok()) {
+    throw std::runtime_error(std::string("macro workload: ") + what +
+                             " failed: " + kern::err_name(r.error()));
+  }
+  return r.value();
+}
+
+}  // namespace
+
+// ---- Varmail ----
+
+std::string Varmail::path_of(std::uint64_t i) {
+  return "/mnt/vm/m" + std::to_string(i);
+}
+
+Varmail::Varmail(TestBed& bed, MailSet& set, int thread_id,
+                 std::uint64_t seed)
+    : bed_(bed),
+      set_(set),
+      thread_id_(thread_id),
+      rng_(seed ^ (static_cast<std::uint64_t>(thread_id) << 32)),
+      append_buf_(set.config.iosize),
+      read_buf_(1 << 20) {}
+
+void Varmail::setup() {
+  proc_ = bed_.kernel().new_process();
+  if (thread_id_ != 0) return;
+  set_.exists.assign(set_.config.nfiles, false);
+  must(bed_.kernel().mkdir(*proc_, "/mnt/vm"), "mkdir /mnt/vm");
+  sim::Rng prep(99);
+  for (std::uint64_t i = 0; i < set_.config.nfiles; ++i) {
+    const int fd = must_v(bed_.kernel().open(*proc_, path_of(i),
+                                             kern::kOCreat | kern::kOWrOnly),
+                          "pre-create mail file");
+    const auto size =
+        prep.size_around(set_.config.mean_size, 4 * set_.config.mean_size);
+    std::vector<std::byte> data(size, std::byte{0x6d});
+    must_v(bed_.kernel().write(*proc_, fd, data), "fill mail file");
+    must(bed_.kernel().close(*proc_, fd), "close mail file");
+    set_.exists[i] = true;
+  }
+}
+
+std::uint64_t Varmail::pick_existing() {
+  for (int tries = 0; tries < 64; ++tries) {
+    const std::uint64_t i = rng_.below(set_.config.nfiles);
+    if (set_.exists[i]) return i;
+  }
+  for (std::uint64_t i = 0; i < set_.config.nfiles; ++i) {
+    if (set_.exists[i]) return i;
+  }
+  return 0;
+}
+
+std::int64_t Varmail::do_iteration() {
+  auto& k = bed_.kernel();
+  std::int64_t bytes = 0;
+
+  // 1. deletefile
+  {
+    const std::uint64_t i = pick_existing();
+    if (set_.exists[i]) {
+      must(k.unlink(*proc_, path_of(i)), "varmail unlink");
+      set_.exists[i] = false;
+    }
+  }
+  // 2. createfile + appendfilerand + fsync + close
+  {
+    std::uint64_t i = rng_.below(set_.config.nfiles);
+    for (int tries = 0; tries < 64 && set_.exists[i]; ++tries) {
+      i = rng_.below(set_.config.nfiles);
+    }
+    if (!set_.exists[i]) {
+      const int fd = must_v(
+          k.open(*proc_, path_of(i), kern::kOCreat | kern::kOWrOnly),
+          "varmail create");
+      const auto n = rng_.size_around(set_.config.mean_size,
+                                      4 * set_.config.mean_size);
+      must_v(k.write(*proc_, fd,
+                     std::span<const std::byte>(append_buf_.data(),
+                                                std::min(n, append_buf_.size()))),
+             "varmail append");
+      must(k.fsync(*proc_, fd), "varmail fsync");
+      must(k.close(*proc_, fd), "varmail close");
+      set_.exists[i] = true;
+      bytes += static_cast<std::int64_t>(n);
+    }
+  }
+  // 3. open + readwholefile + appendfilerand + fsync + close
+  {
+    const std::uint64_t i = pick_existing();
+    if (set_.exists[i]) {
+      const int fd = must_v(k.open(*proc_, path_of(i), kern::kORdWr),
+                            "varmail open rw");
+      auto r = must_v(k.pread(*proc_, fd, read_buf_, 0), "varmail read");
+      (void)k.lseek(*proc_, fd, 0, kern::Whence::End);
+      must_v(k.write(*proc_, fd, append_buf_), "varmail append2");
+      must(k.fsync(*proc_, fd), "varmail fsync2");
+      must(k.close(*proc_, fd), "varmail close2");
+      bytes += static_cast<std::int64_t>(r + append_buf_.size());
+    }
+  }
+  // 4. open + readwholefile + close
+  {
+    const std::uint64_t i = pick_existing();
+    if (set_.exists[i]) {
+      const int fd = must_v(k.open(*proc_, path_of(i), kern::kORdOnly),
+                            "varmail open ro");
+      auto r = must_v(k.pread(*proc_, fd, read_buf_, 0), "varmail read2");
+      must(k.close(*proc_, fd), "varmail close3");
+      bytes += static_cast<std::int64_t>(r);
+    }
+  }
+  return bytes;
+}
+
+std::int64_t Varmail::step() { return do_iteration(); }
+
+// ---- Fileserver ----
+
+std::string Fileserver::path_of(const FileserverConfig& cfg, std::uint64_t i) {
+  return "/mnt/fs" +
+         std::to_string(i % static_cast<std::uint64_t>(cfg.dirwidth)) + "/f" +
+         std::to_string(i);
+}
+
+Fileserver::Fileserver(TestBed& bed, ServerSet& set, int thread_id,
+                       std::uint64_t seed)
+    : bed_(bed),
+      set_(set),
+      thread_id_(thread_id),
+      rng_(seed ^ (static_cast<std::uint64_t>(thread_id) * 0x517cc1b7)),
+      buf_(set.config.mean_size, std::byte{0x66}),
+      read_buf_(4 << 20) {}
+
+void Fileserver::setup() {
+  proc_ = bed_.kernel().new_process();
+  if (thread_id_ != 0) return;
+  auto& k = bed_.kernel();
+  set_.exists.assign(set_.config.nfiles * 2, false);
+  set_.next_new = set_.config.nfiles;
+  for (int d = 0; d < set_.config.dirwidth; ++d) {
+    must(k.mkdir(*proc_, "/mnt/fs" + std::to_string(d)), "mkdir fileserver");
+  }
+  sim::Rng prep(123);
+  for (std::uint64_t i = 0; i < set_.config.nfiles; ++i) {
+    const int fd =
+        must_v(k.open(*proc_, path_of(set_.config, i),
+                      kern::kOCreat | kern::kOWrOnly),
+               "pre-create server file");
+    const auto size =
+        prep.size_around(set_.config.mean_size, 4 * set_.config.mean_size);
+    must_v(k.write(*proc_, fd,
+                   std::span<const std::byte>(
+                       buf_.data(), std::min(size, buf_.size()))),
+           "fill server file");
+    must(k.close(*proc_, fd), "close server file");
+    set_.exists[i] = true;
+  }
+}
+
+std::uint64_t Fileserver::pick_existing() {
+  for (int tries = 0; tries < 64; ++tries) {
+    const std::uint64_t i = rng_.below(set_.exists.size());
+    if (set_.exists[i]) return i;
+  }
+  for (std::uint64_t i = 0; i < set_.exists.size(); ++i) {
+    if (set_.exists[i]) return i;
+  }
+  return 0;
+}
+
+std::int64_t Fileserver::step() {
+  auto& k = bed_.kernel();
+  std::int64_t bytes = 0;
+
+  // 1. create + writewholefile + close
+  {
+    const std::uint64_t i = set_.next_new++;
+    if (i >= set_.exists.size()) set_.exists.resize(2 * set_.exists.size());
+    const int fd = must_v(k.open(*proc_, path_of(set_.config, i),
+                                 kern::kOCreat | kern::kOWrOnly),
+                          "fileserver create");
+    const auto size =
+        rng_.size_around(set_.config.mean_size, 4 * set_.config.mean_size);
+    must_v(k.write(*proc_, fd,
+                   std::span<const std::byte>(buf_.data(),
+                                              std::min(size, buf_.size()))),
+           "fileserver write");
+    must(k.close(*proc_, fd), "fileserver close");
+    set_.exists[i] = true;
+    bytes += static_cast<std::int64_t>(size);
+  }
+  // 2. open + append + close
+  {
+    const std::uint64_t i = pick_existing();
+    const int fd = must_v(k.open(*proc_, path_of(set_.config, i),
+                                 kern::kOWrOnly | kern::kOAppend),
+                          "fileserver open append");
+    must_v(k.write(*proc_, fd,
+                   std::span<const std::byte>(buf_.data(),
+                                              set_.config.append_size)),
+           "fileserver append");
+    must(k.close(*proc_, fd), "fileserver close append");
+    bytes += static_cast<std::int64_t>(set_.config.append_size);
+  }
+  // 3. open + readwholefile + close
+  {
+    const std::uint64_t i = pick_existing();
+    const int fd = must_v(k.open(*proc_, path_of(set_.config, i),
+                                 kern::kORdOnly),
+                          "fileserver open read");
+    auto r = must_v(k.pread(*proc_, fd, read_buf_, 0), "fileserver read");
+    must(k.close(*proc_, fd), "fileserver close read");
+    bytes += static_cast<std::int64_t>(r);
+  }
+  // 4. deletefile
+  {
+    const std::uint64_t i = pick_existing();
+    if (set_.exists[i]) {
+      must(k.unlink(*proc_, path_of(set_.config, i)), "fileserver unlink");
+      set_.exists[i] = false;
+    }
+  }
+  // 5. statfile
+  {
+    const std::uint64_t i = pick_existing();
+    if (set_.exists[i]) {
+      must_v(k.stat(*proc_, path_of(set_.config, i)), "fileserver stat");
+    }
+  }
+  return bytes;
+}
+
+// ---- Untar ----
+
+std::vector<UntarEntry> linux_tree_manifest(double scale,
+                                            std::uint64_t seed) {
+  // Shape parameters of linux-4.15: ~62k files across ~4.3k directories,
+  // mean file ~14 KB with a long tail, a few large files.
+  const auto nfiles = static_cast<std::uint64_t>(62000 * scale);
+  const auto ndirs = std::max<std::uint64_t>(
+      16, static_cast<std::uint64_t>(4300 * scale));
+  static constexpr std::array<const char*, 12> kTop = {
+      "arch",  "drivers", "fs",    "include", "kernel", "net",
+      "sound", "tools",   "mm",    "lib",     "block",  "Documentation"};
+
+  sim::Rng rng(seed);
+  std::vector<UntarEntry> out;
+  out.reserve(nfiles + ndirs + 16);
+
+  out.push_back({"/mnt/linux-4.15", 0, true});
+  std::vector<std::string> dirs;
+  dirs.reserve(ndirs);
+  for (const char* top : kTop) {
+    std::string d = std::string("/mnt/linux-4.15/") + top;
+    out.push_back({d, 0, true});
+    dirs.push_back(std::move(d));
+  }
+  // Nested subdirectories, biased toward drivers/ and arch/ like the real
+  // tree; each new directory hangs off a previously created one.
+  while (dirs.size() < ndirs) {
+    const std::string& parent = dirs[rng.below(dirs.size())];
+    if (std::count(parent.begin(), parent.end(), '/') > 7) continue;
+    std::string d = parent + "/d" + std::to_string(dirs.size());
+    out.push_back({d, 0, true});
+    dirs.push_back(std::move(d));
+  }
+  for (std::uint64_t i = 0; i < nfiles; ++i) {
+    const std::string& dir = dirs[rng.below(dirs.size())];
+    UntarEntry e;
+    e.path = dir + "/f" + std::to_string(i) + ".c";
+    e.size = rng.size_around(14336, 1 << 20);
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+Untar::Untar(TestBed& bed, const std::vector<UntarEntry>& manifest)
+    : bed_(bed), manifest_(manifest), data_(1 << 20, std::byte{0x55}) {}
+
+void Untar::setup() { proc_ = bed_.kernel().new_process(); }
+
+std::int64_t Untar::step() {
+  if (next_ >= manifest_.size()) return -1;
+  const UntarEntry& e = manifest_[next_++];
+  auto& k = bed_.kernel();
+  if (e.is_dir) {
+    must(k.mkdir(*proc_, e.path), "untar mkdir");
+    return 0;
+  }
+  const int fd = must_v(k.open(*proc_, e.path, kern::kOCreat | kern::kOWrOnly),
+                        "untar create");
+  std::uint64_t left = e.size;
+  while (left > 0) {
+    const std::size_t chunk =
+        static_cast<std::size_t>(std::min<std::uint64_t>(left, data_.size()));
+    must_v(k.write(*proc_, fd,
+                   std::span<const std::byte>(data_.data(), chunk)),
+           "untar write");
+    left -= chunk;
+  }
+  must(k.close(*proc_, fd), "untar close");
+  return static_cast<std::int64_t>(e.size);
+}
+
+}  // namespace bsim::wl

@@ -1,0 +1,217 @@
+#include "workloads/micro.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace bsim::wl {
+
+namespace {
+
+void fill_pattern(std::vector<std::byte>& buf, std::uint64_t seed) {
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<std::byte>((seed + i) * 31);
+  }
+}
+
+void must(kern::Err e, const char* what) {
+  if (e != kern::Err::Ok) {
+    throw std::runtime_error(std::string("workload: ") + what + " failed: " +
+                             kern::err_name(e));
+  }
+}
+
+template <class T>
+T must_v(kern::Result<T> r, const char* what) {
+  if (!r.ok()) {
+    throw std::runtime_error(std::string("workload: ") + what + " failed: " +
+                             kern::err_name(r.error()));
+  }
+  return r.value();
+}
+
+/// Create (if needed) and fill the shared benchmark file, then prewarm the
+/// page cache by reading it through once (the paper's read numbers are for
+/// the cached steady state, §6.5.1).
+void prepare_shared_file(TestBed& bed, kern::Process& proc,
+                         const SharedFile& file, bool prewarm) {
+  auto st = bed.kernel().stat(proc, file.path);
+  if (!st.ok()) {
+    const int fd = must_v(
+        bed.kernel().open(proc, file.path, kern::kOCreat | kern::kOWrOnly),
+        "create shared file");
+    std::vector<std::byte> chunk(1 << 20);
+    fill_pattern(chunk, 7);
+    for (std::uint64_t off = 0; off < file.size; off += chunk.size()) {
+      must_v(bed.kernel().write(proc, fd, chunk), "fill shared file");
+    }
+    must(bed.kernel().fsync(proc, fd), "fsync shared file");
+    must(bed.kernel().close(proc, fd), "close shared file");
+  }
+  if (prewarm) {
+    const int fd = must_v(bed.kernel().open(proc, file.path, kern::kORdOnly),
+                          "open for prewarm");
+    std::vector<std::byte> chunk(1 << 20);
+    for (std::uint64_t off = 0; off < file.size; off += chunk.size()) {
+      must_v(bed.kernel().pread(proc, fd, chunk, off), "prewarm read");
+    }
+    must(bed.kernel().close(proc, fd), "close prewarm");
+  }
+}
+
+}  // namespace
+
+// ---- ReadMicro ----
+
+ReadMicro::ReadMicro(TestBed& bed, SharedFile file, bool sequential,
+                     std::size_t iosize, int thread_id, std::uint64_t seed)
+    : bed_(bed),
+      file_(file),
+      sequential_(sequential),
+      iosize_(iosize),
+      thread_id_(thread_id),
+      rng_(seed ^ static_cast<std::uint64_t>(thread_id) * 0x9e3779b9),
+      buf_(iosize) {}
+
+void ReadMicro::setup() {
+  proc_ = bed_.kernel().new_process();
+  if (thread_id_ == 0) {
+    prepare_shared_file(bed_, *proc_, file_, /*prewarm=*/true);
+  }
+  fd_ = must_v(bed_.kernel().open(*proc_, file_.path, kern::kORdOnly),
+               "open read file");
+  // Stagger sequential starting offsets so threads are not in lockstep.
+  pos_ = (file_.size / 32) * static_cast<std::uint64_t>(thread_id_);
+  pos_ -= pos_ % iosize_;
+}
+
+std::int64_t ReadMicro::step() {
+  std::uint64_t off;
+  if (sequential_) {
+    off = pos_;
+    pos_ += iosize_;
+    if (pos_ + iosize_ > file_.size) pos_ = 0;
+  } else {
+    off = rng_.below(file_.size / iosize_) * iosize_;
+  }
+  const auto n = must_v(bed_.kernel().pread(*proc_, fd_, buf_, off), "pread");
+  return static_cast<std::int64_t>(n);
+}
+
+// ---- WriteMicro ----
+
+WriteMicro::WriteMicro(TestBed& bed, SharedFile file, bool sequential,
+                       std::size_t iosize, int thread_id, std::uint64_t seed)
+    : bed_(bed),
+      file_(file),
+      sequential_(sequential),
+      iosize_(iosize),
+      thread_id_(thread_id),
+      rng_(seed ^ static_cast<std::uint64_t>(thread_id) * 0x2545f491),
+      buf_(iosize) {
+  fill_pattern(buf_, 3);
+}
+
+void WriteMicro::setup() {
+  proc_ = bed_.kernel().new_process();
+  if (thread_id_ == 0) {
+    prepare_shared_file(bed_, *proc_, file_, /*prewarm=*/false);
+  }
+  fd_ = must_v(bed_.kernel().open(*proc_, file_.path, kern::kORdWr),
+               "open write file");
+  pos_ = 0;
+}
+
+std::int64_t WriteMicro::step() {
+  std::uint64_t off;
+  if (sequential_) {
+    off = pos_;
+    pos_ += iosize_;
+    if (pos_ + iosize_ > file_.size) pos_ = 0;
+  } else {
+    off = rng_.below(file_.size / iosize_) * iosize_;
+  }
+  const auto n =
+      must_v(bed_.kernel().pwrite(*proc_, fd_, buf_, off), "pwrite");
+  return static_cast<std::int64_t>(n);
+}
+
+// ---- CreateFiles ----
+
+CreateFiles::CreateFiles(TestBed& bed, std::size_t filesize, int dirwidth,
+                         int thread_id, std::uint64_t seed)
+    : bed_(bed),
+      filesize_(filesize),
+      dirwidth_(dirwidth),
+      thread_id_(thread_id),
+      rng_(seed + static_cast<std::uint64_t>(thread_id)),
+      data_(filesize) {
+  fill_pattern(data_, 11);
+}
+
+void CreateFiles::setup() {
+  proc_ = bed_.kernel().new_process();
+  if (thread_id_ == 0) {
+    for (int d = 0; d < dirwidth_; ++d) {
+      must(bed_.kernel().mkdir(*proc_, "/mnt/cd" + std::to_string(d)),
+           "mkdir create-dir");
+    }
+  }
+}
+
+std::int64_t CreateFiles::step() {
+  const std::uint64_t i = counter_++;
+  const std::string path =
+      "/mnt/cd" +
+      std::to_string((i + static_cast<std::uint64_t>(thread_id_) * 37) %
+                     static_cast<std::uint64_t>(dirwidth_)) +
+      "/t" + std::to_string(thread_id_) + "_" + std::to_string(i);
+  auto fd = bed_.kernel().open(*proc_, path, kern::kOCreat | kern::kOWrOnly);
+  if (!fd.ok()) return -1;  // out of inodes/space: end the workload
+  auto w = bed_.kernel().write(*proc_, fd.value(), data_);
+  must(bed_.kernel().close(*proc_, fd.value()), "close created file");
+  if (!w.ok()) return -1;
+  return static_cast<std::int64_t>(w.value());
+}
+
+// ---- DeleteFiles ----
+
+std::string DeleteFiles::file_path(int dirwidth, std::uint64_t i) {
+  return "/mnt/dd" + std::to_string(i % static_cast<std::uint64_t>(dirwidth)) +
+         "/f" + std::to_string(i);
+}
+
+DeleteFiles::DeleteFiles(TestBed& bed, std::uint64_t nfiles, int dirwidth,
+                         int thread_id, int nthreads)
+    : bed_(bed),
+      nfiles_(nfiles),
+      dirwidth_(dirwidth),
+      thread_id_(thread_id),
+      nthreads_(nthreads) {}
+
+void DeleteFiles::setup() {
+  proc_ = bed_.kernel().new_process();
+  if (thread_id_ == 0) {
+    for (int d = 0; d < dirwidth_; ++d) {
+      must(bed_.kernel().mkdir(*proc_, "/mnt/dd" + std::to_string(d)),
+           "mkdir delete-dir");
+    }
+    for (std::uint64_t i = 0; i < nfiles_; ++i) {
+      const int fd =
+          must_v(bed_.kernel().open(*proc_, file_path(dirwidth_, i),
+                                    kern::kOCreat | kern::kOWrOnly),
+                 "pre-create delete file");
+      must(bed_.kernel().close(*proc_, fd), "close pre-created");
+    }
+  }
+  next_ = static_cast<std::uint64_t>(thread_id_);
+}
+
+std::int64_t DeleteFiles::step() {
+  if (next_ >= nfiles_) return -1;
+  const std::string path = file_path(dirwidth_, next_);
+  next_ += static_cast<std::uint64_t>(nthreads_);
+  must(bed_.kernel().unlink(*proc_, path), "unlink");
+  return 0;
+}
+
+}  // namespace bsim::wl

@@ -1,0 +1,109 @@
+// Filebench-like microbenchmark personalities (paper §6.4–§6.5): read,
+// write, createfiles, deletefiles. Each personality is a sim::Workload run
+// by the virtual-time Runner; file-set preparation happens in setup()
+// (excluded from the measured interval, as filebench's prealloc is).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/runner.h"
+#include "workloads/testbed.h"
+
+namespace bsim::wl {
+
+/// Shared state for a single-file read/write benchmark.
+struct SharedFile {
+  std::string path = "/mnt/bigfile";
+  std::uint64_t size = 256ull << 20;  // 256 MiB
+};
+
+/// filebench read: one shared file, each thread issues `iosize` reads,
+/// sequential or uniformly random. Thread 0 creates and prewarms the file.
+class ReadMicro final : public sim::Workload {
+ public:
+  ReadMicro(TestBed& bed, SharedFile file, bool sequential,
+            std::size_t iosize, int thread_id, std::uint64_t seed);
+  void setup() override;
+  std::int64_t step() override;
+
+ private:
+  TestBed& bed_;
+  SharedFile file_;
+  bool sequential_;
+  std::size_t iosize_;
+  int thread_id_;
+  sim::Rng rng_;
+  std::unique_ptr<kern::Process> proc_;
+  int fd_ = -1;
+  std::uint64_t pos_ = 0;
+  std::vector<std::byte> buf_;
+};
+
+/// filebench write: overwrite within a preallocated file; no fsync (the
+/// dirty-page threshold pushes data through the FS synchronously).
+class WriteMicro final : public sim::Workload {
+ public:
+  WriteMicro(TestBed& bed, SharedFile file, bool sequential,
+             std::size_t iosize, int thread_id, std::uint64_t seed);
+  void setup() override;
+  std::int64_t step() override;
+
+ private:
+  TestBed& bed_;
+  SharedFile file_;
+  bool sequential_;
+  std::size_t iosize_;
+  int thread_id_;
+  sim::Rng rng_;
+  std::unique_ptr<kern::Process> proc_;
+  int fd_ = -1;
+  std::uint64_t pos_ = 0;
+  std::vector<std::byte> buf_;
+};
+
+/// filebench createfiles: create files with `filesize` bytes of data in a
+/// directory tree of `dirwidth` directories.
+class CreateFiles final : public sim::Workload {
+ public:
+  CreateFiles(TestBed& bed, std::size_t filesize, int dirwidth,
+              int thread_id, std::uint64_t seed);
+  void setup() override;
+  std::int64_t step() override;
+
+ private:
+  TestBed& bed_;
+  std::size_t filesize_;
+  int dirwidth_;
+  int thread_id_;
+  sim::Rng rng_;
+  std::unique_ptr<kern::Process> proc_;
+  std::uint64_t counter_ = 0;
+  std::vector<std::byte> data_;
+};
+
+/// filebench deletefiles: unlink from a pre-created file set. Each thread
+/// owns a disjoint slice; the workload ends when its slice is exhausted.
+class DeleteFiles final : public sim::Workload {
+ public:
+  /// `nfiles` is the total pre-created set, partitioned over `nthreads`.
+  DeleteFiles(TestBed& bed, std::uint64_t nfiles, int dirwidth,
+              int thread_id, int nthreads);
+  void setup() override;
+  std::int64_t step() override;
+
+  static std::string file_path(int dirwidth, std::uint64_t i);
+
+ private:
+  TestBed& bed_;
+  std::uint64_t nfiles_;
+  int dirwidth_;
+  int thread_id_;
+  int nthreads_;
+  std::unique_ptr<kern::Process> proc_;
+  std::uint64_t next_ = 0;
+};
+
+}  // namespace bsim::wl

@@ -1,0 +1,86 @@
+// A ready-to-measure deployment: kernel + formatted device + one mounted
+// file system, addressable by the names the paper's evaluation uses:
+//   "xv6_bento" — xv6 on kernel Bento           (paper: Bento)
+//   "xv6_vfs"   — xv6 on the raw VFS, in C style (paper: C-Kernel)
+//   "xv6_fuse"  — xv6 behind the FUSE transport  (paper: FUSE)
+//   "ext4j"     — the ext4 comparator, data=journal (paper: Ext4)
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "bento/bentofs.h"
+#include "bento/nvmlog.h"
+#include "ext4/ext4.h"
+#include "fuse/fuse.h"
+#include "kernel/kernel.h"
+#include "xv6fs/fs.h"
+#include "xv6fs/layout.h"
+#include "xv6fs_c/xv6c.h"
+
+namespace bsim::wl {
+
+struct BedOptions {
+  std::string fs = "xv6_bento";
+  std::uint64_t device_blocks = 262'144;  // 1 GiB
+  std::uint32_t ninodes = 262'144;        // xv6 inode-table size
+  blk::DeviceParams device;               // latency model (nblocks overridden)
+  std::string mount_opts;                 // e.g. "io_uring" for xv6_fuse
+};
+
+/// Builds the full stack for one deployment. The mountpoint is /mnt.
+class TestBed {
+ public:
+  explicit TestBed(BedOptions opts) : opts_(std::move(opts)) {
+    opts_.device.nblocks = opts_.device_blocks;
+    auto& dev = kernel_.add_device("ssd0", opts_.device);
+    if (opts_.fs == "ext4j") {
+      ext4::mkfs(dev, /*inodes_per_group=*/8192);
+    } else {
+      xv6::mkfs(dev, opts_.ninodes);
+    }
+    bento::register_bento_fs(kernel_, "xv6_bento", [] {
+      return std::make_unique<xv6::Xv6FileSystem>();
+    });
+    // xv6 with a Strata-style NVM op-log prepended (paper §3).
+    bento::register_bento_fs(kernel_, "xv6_nvmlog", [] {
+      return std::make_unique<bento::NvmLogFs>(
+          std::make_unique<xv6::Xv6FileSystem>(),
+          std::make_shared<blk::NvmRegion>(blk::NvmParams{}));
+    });
+    xv6c::register_xv6c(kernel_, "xv6_vfs");
+    fuse::register_fuse_fs(kernel_, "xv6_fuse", [] {
+      return std::make_unique<xv6::Xv6FileSystem>();
+    });
+    ext4::register_ext4(kernel_, "ext4j");
+
+    sim::ScopedThread in(boot_);
+    const kern::Err e =
+        kernel_.mount(opts_.fs, "ssd0", "/mnt", opts_.mount_opts);
+    if (e != kern::Err::Ok) {
+      throw std::runtime_error("mount failed: " +
+                               std::string(kern::err_name(e)));
+    }
+  }
+
+  ~TestBed() {
+    // Unmount runs timed flush code; give it a clock.
+    sim::ScopedThread in(boot_);
+    (void)kernel_.umount("/mnt");
+  }
+
+  TestBed(const TestBed&) = delete;
+  TestBed& operator=(const TestBed&) = delete;
+
+  [[nodiscard]] kern::Kernel& kernel() { return kernel_; }
+  [[nodiscard]] kern::Process& proc() { return kernel_.proc(); }
+  [[nodiscard]] blk::BlockDevice& device() { return *kernel_.device("ssd0"); }
+  [[nodiscard]] const std::string& fs() const { return opts_.fs; }
+
+ private:
+  BedOptions opts_;
+  sim::SimThread boot_{-1};
+  kern::Kernel kernel_;
+};
+
+}  // namespace bsim::wl

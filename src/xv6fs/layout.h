@@ -1,0 +1,105 @@
+// On-disk format of the xv6 file system port (paper §6.1).
+//
+// Layout (4 KiB blocks):
+//   [ 0: boot | 1: superblock | log (header + data) | inode blocks |
+//     free bitmap | data blocks ]
+//
+// Divergences from stock xv6, exactly the ones the paper made:
+//   - double-indirect blocks so files up to 4 GB can be created (§6.1);
+//   - allocation locks around inode and block-number allocation (§6.1);
+//   - 4 KiB blocks to match the page size of the host kernel.
+//
+// The same format is shared by all three deployments (Bento kernel, FUSE
+// userspace, and the VFS C baseline), mirroring the paper's "nearly
+// identical" file systems.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "blockdev/device.h"
+
+namespace bsim::xv6 {
+
+inline constexpr std::uint32_t kBlockSize = blk::kBlockSize;  // 4096
+inline constexpr std::uint32_t kMagic = 0x10203040;
+
+inline constexpr std::uint32_t kNDirect = 10;
+inline constexpr std::uint32_t kNIndirect = kBlockSize / 4;  // 1024
+inline constexpr std::uint64_t kNDoubleIndirect =
+    static_cast<std::uint64_t>(kNIndirect) * kNIndirect;
+/// Max file size in blocks: 10 + 1024 + 1024^2 blocks = ~4.2 GB.
+inline constexpr std::uint64_t kMaxFileBlocks =
+    kNDirect + kNIndirect + kNDoubleIndirect;
+
+/// Log geometry: one header block + up to kLogSize data blocks. A single
+/// transaction may hold at most kMaxOpBlocks modified blocks; large writes
+/// are chunked into multiple transactions.
+inline constexpr std::uint32_t kLogSize = 320;
+inline constexpr std::uint32_t kMaxOpBlocks = 64;
+
+enum class InodeKind : std::uint16_t { Free = 0, Dir = 1, File = 2 };
+
+/// On-disk inode: 64 bytes, 64 per block.
+struct Dinode {
+  std::uint16_t type = 0;   // InodeKind
+  std::uint16_t nlink = 0;
+  std::uint32_t mode = 0;
+  std::uint64_t size = 0;
+  std::uint32_t addrs[kNDirect] = {};
+  std::uint32_t indirect = 0;
+  std::uint32_t dindirect = 0;
+};
+static_assert(sizeof(Dinode) == 64);
+
+inline constexpr std::uint32_t kInodesPerBlock = kBlockSize / sizeof(Dinode);
+
+/// Directory entry: 32 bytes, 128 per block. inum == 0 marks a free slot.
+inline constexpr std::size_t kDirNameLen = 28;
+struct Dirent {
+  std::uint32_t inum = 0;
+  char name[kDirNameLen] = {};
+};
+static_assert(sizeof(Dirent) == 32);
+inline constexpr std::uint32_t kDirentsPerBlock = kBlockSize / sizeof(Dirent);
+
+inline constexpr std::uint32_t kBitsPerBlock = kBlockSize * 8;
+
+/// On-disk superblock (stored in block 1).
+struct DiskSuperblock {
+  std::uint32_t magic = 0;
+  std::uint32_t size = 0;        // total blocks
+  std::uint32_t nlog = 0;        // log blocks (incl. header)
+  std::uint32_t logstart = 0;
+  std::uint32_t ninodes = 0;
+  std::uint32_t inodestart = 0;
+  std::uint32_t nbitmap = 0;
+  std::uint32_t bmapstart = 0;
+  std::uint32_t datastart = 0;
+  std::uint32_t ndata = 0;       // data blocks
+
+  [[nodiscard]] std::uint32_t inode_block(std::uint32_t inum) const {
+    return inodestart + inum / kInodesPerBlock;
+  }
+  [[nodiscard]] std::uint32_t bitmap_block(std::uint32_t blockno) const {
+    return bmapstart + blockno / kBitsPerBlock;
+  }
+};
+
+/// Log header block (commit record). n == 0 means the log is empty.
+struct LogHeader {
+  std::uint32_t n = 0;
+  std::uint32_t blocks[kLogSize] = {};
+};
+static_assert(sizeof(LogHeader) <= kBlockSize);
+
+inline constexpr std::uint32_t kRootInum = 1;
+
+/// Compute geometry for a device and write a fresh, empty file system
+/// (untimed; the paper's mkfs runs before the measured interval).
+DiskSuperblock mkfs(blk::BlockDevice& dev, std::uint32_t ninodes = 65536);
+
+/// Read the superblock (untimed, for tools/tests).
+DiskSuperblock read_superblock(blk::BlockDevice& dev);
+
+}  // namespace bsim::xv6

@@ -1,0 +1,162 @@
+#include "xv6fs/log.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace bsim::xv6 {
+
+using bento::BufferHeadHandle;
+using bento::SuperBlockCap;
+using kern::Err;
+
+Err Log::init(SuperBlockCap& sb, const DiskSuperblock& dsb,
+              Durability durability) {
+  dsb_ = dsb;
+  durability_ = durability;
+  pending_.clear();
+  outstanding_ = 0;
+
+  // Crash recovery: a non-empty header means a committed-but-uninstalled
+  // transaction; replay it.
+  LogHeader header;
+  BSIM_TRY(read_header(sb, header));
+  if (header.n > 0) {
+    stats_.recoveries += 1;
+    BSIM_TRY(install(sb, header, /*recovering=*/true));
+    header = LogHeader{};
+    BSIM_TRY(write_header(sb, header));
+    if (durability_ == Durability::Strict) sb.flush_all();
+  }
+  return Err::Ok;
+}
+
+void Log::adopt(const Snapshot& snap) {
+  dsb_ = snap.dsb;
+  durability_ = snap.durability;
+  stats_ = snap.stats;
+  pending_.clear();
+  outstanding_ = 0;
+}
+
+void Log::begin_op(SuperBlockCap& sb, std::uint32_t reserved) {
+  assert(reserved <= kMaxOpBlocks);
+  bento::SemGuard guard(lock_);
+  // If this transaction might overflow the log, commit what is pending
+  // first (xv6 instead sleeps; with synchronous commits this is equivalent
+  // and cannot deadlock).
+  if (pending_.size() + reserved > kLogSize && outstanding_ == 0) {
+    (void)commit(sb);
+  }
+  outstanding_ += 1;
+}
+
+void Log::log_write(std::uint32_t blockno) {
+  assert(outstanding_ > 0 && "log_write outside a transaction");
+  // Absorption: a block already in this transaction is not logged twice.
+  if (std::find(pending_.begin(), pending_.end(), blockno) !=
+      pending_.end()) {
+    stats_.absorbed += 1;
+    return;
+  }
+  assert(pending_.size() < kLogSize && "transaction overflows the log");
+  pending_.push_back(blockno);
+}
+
+Err Log::end_op(SuperBlockCap& sb) {
+  bento::SemGuard guard(lock_);
+  assert(outstanding_ > 0);
+  outstanding_ -= 1;
+  if (outstanding_ == 0 && !pending_.empty()) {
+    return commit(sb);
+  }
+  return Err::Ok;
+}
+
+Err Log::force_commit(SuperBlockCap& sb) {
+  bento::SemGuard guard(lock_);
+  if (outstanding_ == 0 && !pending_.empty()) {
+    BSIM_TRY(commit(sb));
+  }
+  return Err::Ok;
+}
+
+Err Log::commit(SuperBlockCap& sb) {
+  // 1. Copy modified blocks into the log area (synchronous writes).
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    auto src = sb.bread(pending_[i]);  // cached: holds the new contents
+    if (!src.ok()) return src.error();
+    auto dst = sb.getblk(dsb_.logstart + 1 + static_cast<std::uint32_t>(i));
+    if (!dst.ok()) return dst.error();
+    std::memcpy(dst.value().data().data(), src.value().data().data(),
+                kBlockSize);
+    dst.value().set_dirty();
+    dst.value().sync();
+  }
+  if (durability_ == Durability::Strict) sb.flush_all();
+
+  // 2. Commit point: write the header naming the logged blocks.
+  LogHeader header;
+  header.n = static_cast<std::uint32_t>(pending_.size());
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    header.blocks[i] = pending_[i];
+  }
+  BSIM_TRY(write_header(sb, header));
+  if (durability_ == Durability::Strict) sb.flush_all();
+
+  // 3. Install to home locations.
+  BSIM_TRY(install(sb, header, /*recovering=*/false));
+
+  // 4. Clear the header; the log space is reusable.
+  header = LogHeader{};
+  BSIM_TRY(write_header(sb, header));
+  if (durability_ == Durability::Strict) sb.flush_all();
+
+  stats_.commits += 1;
+  stats_.blocks_logged += pending_.size();
+  pending_.clear();
+  return Err::Ok;
+}
+
+Err Log::install(SuperBlockCap& sb, const LogHeader& header,
+                 bool recovering) {
+  for (std::uint32_t i = 0; i < header.n; ++i) {
+    if (recovering) {
+      // Replay from the log area into the home location.
+      auto src = sb.bread(dsb_.logstart + 1 + i);
+      if (!src.ok()) return src.error();
+      auto dst = sb.getblk(header.blocks[i]);
+      if (!dst.ok()) return dst.error();
+      std::memcpy(dst.value().data().data(), src.value().data().data(),
+                  kBlockSize);
+      dst.value().set_dirty();
+      dst.value().sync();
+    } else {
+      // The cache already holds the new contents; write them home.
+      auto bh = sb.bread(header.blocks[i]);
+      if (!bh.ok()) return bh.error();
+      bh.value().set_dirty();
+      bh.value().sync();
+    }
+  }
+  if (durability_ == Durability::Strict) sb.flush_all();
+  return Err::Ok;
+}
+
+Err Log::write_header(SuperBlockCap& sb, const LogHeader& header) {
+  auto bh = sb.getblk(dsb_.logstart);
+  if (!bh.ok()) return bh.error();
+  std::memcpy(bh.value().data().data(), &header, sizeof(header));
+  bh.value().set_dirty();
+  bh.value().sync();
+  return Err::Ok;
+}
+
+Err Log::read_header(SuperBlockCap& sb, LogHeader& out) {
+  auto bh = sb.bread(dsb_.logstart);
+  if (!bh.ok()) return bh.error();
+  std::memcpy(&out, bh.value().data().data(), sizeof(out));
+  return Err::Ok;
+}
+
+}  // namespace bsim::xv6

@@ -1,0 +1,1102 @@
+// Kernel-C-style implementation: raw buffer pointers, manual brelse,
+// explicit error-path cleanup — the development experience the paper's bug
+// study (§2.1) is about.
+#include "xv6fs_c/xv6c.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "sim/cost_model.h"
+#include "sim/thread.h"
+
+namespace bsim::xv6c {
+
+using kern::BufferHead;
+using kern::Err;
+using kern::Result;
+using xv6::Dinode;
+using xv6::Dirent;
+using xv6::DiskSuperblock;
+using xv6::InodeKind;
+using xv6::kBlockSize;
+using xv6::kDirentsPerBlock;
+using xv6::kDirNameLen;
+using xv6::kInodesPerBlock;
+using xv6::kLogSize;
+using xv6::kMaxOpBlocks;
+using xv6::kNDirect;
+using xv6::kNIndirect;
+using xv6::LogHeader;
+
+namespace {
+constexpr std::uint16_t kFree = static_cast<std::uint16_t>(InodeKind::Free);
+constexpr std::uint16_t kDir = static_cast<std::uint16_t>(InodeKind::Dir);
+constexpr std::uint16_t kFile = static_cast<std::uint16_t>(InodeKind::File);
+}  // namespace
+
+// ---- log ----
+
+void Xv6cMount::log_begin() {
+  log_lock_.lock();
+  log_outstanding_ += 1;
+  log_lock_.unlock();
+}
+
+void Xv6cMount::log_write(std::uint64_t blockno) {
+  const auto b = static_cast<std::uint32_t>(blockno);
+  if (std::find(log_pending_.begin(), log_pending_.end(), b) !=
+      log_pending_.end()) {
+    return;  // absorbed
+  }
+  assert(log_pending_.size() < kLogSize);
+  log_pending_.push_back(b);
+}
+
+Err Xv6cMount::log_end() {
+  log_lock_.lock();
+  log_outstanding_ -= 1;
+  Err e = Err::Ok;
+  if (log_outstanding_ == 0 && !log_pending_.empty()) e = log_commit();
+  log_lock_.unlock();
+  return e;
+}
+
+Err Xv6cMount::log_header_write(const LogHeader& h) {
+  auto& bc = sb_->bufcache();
+  auto bh = bc.getblk(dsb_.logstart);
+  if (!bh.ok()) return bh.error();
+  std::memcpy(bh.value()->bytes().data(), &h, sizeof(h));
+  bc.mark_dirty(bh.value());
+  bc.sync_dirty_buffer(bh.value());
+  bc.brelse(bh.value());
+  return Err::Ok;
+}
+
+Err Xv6cMount::log_commit() {
+  auto& bc = sb_->bufcache();
+  // Copy to the log area.
+  for (std::size_t i = 0; i < log_pending_.size(); ++i) {
+    auto src = bc.bread(log_pending_[i]);
+    if (!src.ok()) return src.error();
+    auto dst = bc.getblk(dsb_.logstart + 1 + static_cast<std::uint32_t>(i));
+    if (!dst.ok()) {
+      bc.brelse(src.value());
+      return dst.error();
+    }
+    std::memcpy(dst.value()->bytes().data(), src.value()->bytes().data(),
+                kBlockSize);
+    bc.mark_dirty(dst.value());
+    bc.sync_dirty_buffer(dst.value());
+    bc.brelse(dst.value());
+    bc.brelse(src.value());
+  }
+  // Commit record.
+  LogHeader h;
+  h.n = static_cast<std::uint32_t>(log_pending_.size());
+  for (std::size_t i = 0; i < log_pending_.size(); ++i) {
+    h.blocks[i] = log_pending_[i];
+  }
+  BSIM_TRY(log_header_write(h));
+  // Install home locations.
+  for (const std::uint32_t blockno : log_pending_) {
+    auto bh = bc.bread(blockno);
+    if (!bh.ok()) return bh.error();
+    bc.mark_dirty(bh.value());
+    bc.sync_dirty_buffer(bh.value());
+    bc.brelse(bh.value());
+  }
+  // Clear.
+  BSIM_TRY(log_header_write(LogHeader{}));
+  log_stats_.commits += 1;
+  log_stats_.blocks_logged += log_pending_.size();
+  log_pending_.clear();
+  return Err::Ok;
+}
+
+Err Xv6cMount::log_recover() {
+  auto& bc = sb_->bufcache();
+  auto bh = bc.bread(dsb_.logstart);
+  if (!bh.ok()) return bh.error();
+  LogHeader h;
+  std::memcpy(&h, bh.value()->bytes().data(), sizeof(h));
+  bc.brelse(bh.value());
+  if (h.n == 0) return Err::Ok;
+  for (std::uint32_t i = 0; i < h.n; ++i) {
+    auto src = bc.bread(dsb_.logstart + 1 + i);
+    if (!src.ok()) return src.error();
+    auto dst = bc.getblk(h.blocks[i]);
+    if (!dst.ok()) {
+      bc.brelse(src.value());
+      return dst.error();
+    }
+    std::memcpy(dst.value()->bytes().data(), src.value()->bytes().data(),
+                kBlockSize);
+    bc.mark_dirty(dst.value());
+    bc.sync_dirty_buffer(dst.value());
+    bc.brelse(dst.value());
+    bc.brelse(src.value());
+  }
+  return log_header_write(LogHeader{});
+}
+
+// ---- mount ----
+
+Err Xv6cMount::read_dsb() {
+  auto& bc = sb_->bufcache();
+  auto bh = bc.bread(1);
+  if (!bh.ok()) return bh.error();
+  std::memcpy(&dsb_, bh.value()->bytes().data(), sizeof(dsb_));
+  bc.brelse(bh.value());
+  return dsb_.magic == xv6::kMagic ? Err::Ok : Err::Inval;
+}
+
+Err Xv6cMount::scan_free_counts() {
+  auto& bc = sb_->bufcache();
+  free_inodes_ = 0;
+  const std::uint32_t niblocks =
+      (dsb_.ninodes + kInodesPerBlock - 1) / kInodesPerBlock;
+  for (std::uint32_t b = 0; b < niblocks; ++b) {
+    auto bh = bc.bread(dsb_.inodestart + b);
+    if (!bh.ok()) return bh.error();
+    const auto* di = reinterpret_cast<const Dinode*>(bh.value()->bytes().data());
+    for (std::uint32_t i = 0; i < kInodesPerBlock; ++i) {
+      const std::uint32_t inum = b * kInodesPerBlock + i;
+      if (inum != 0 && inum < dsb_.ninodes && di[i].type == kFree) {
+        free_inodes_ += 1;
+      }
+    }
+    bc.brelse(bh.value());
+  }
+  free_blocks_ = 0;
+  for (std::uint32_t b = 0; b < dsb_.nbitmap; ++b) {
+    auto bh = bc.bread(dsb_.bmapstart + b);
+    if (!bh.ok()) return bh.error();
+    const auto bytes = bh.value()->bytes();
+    for (std::uint32_t i = 0; i < xv6::kBitsPerBlock; ++i) {
+      const std::uint64_t blockno =
+          static_cast<std::uint64_t>(b) * xv6::kBitsPerBlock + i;
+      if (blockno >= dsb_.size) break;
+      if ((bytes[i / 8] & (std::byte{1} << (i % 8))) == std::byte{0}) {
+        free_blocks_ += 1;
+      }
+    }
+    bc.brelse(bh.value());
+  }
+  return Err::Ok;
+}
+
+Err Xv6cMount::mount_init() {
+  BSIM_TRY(read_dsb());
+  BSIM_TRY(log_recover());
+  BSIM_TRY(scan_free_counts());
+  auto root = iget(xv6::kRootInum);
+  if (!root.ok()) return root.error();
+  sb_->root = root.value();  // keep the mount's root reference
+  return Err::Ok;
+}
+
+// ---- inodes ----
+
+Result<kern::Inode*> Xv6cMount::iget(std::uint32_t inum) {
+  if (inum == 0 || inum >= dsb_.ninodes) return Err::Stale;
+  if (kern::Inode* cached = sb_->iget_cached(inum)) return cached;
+
+  auto& bc = sb_->bufcache();
+  auto bh = bc.bread(dsb_.inode_block(inum));
+  if (!bh.ok()) return bh.error();
+  const auto* di = reinterpret_cast<const Dinode*>(bh.value()->bytes().data());
+  const Dinode d = di[inum % kInodesPerBlock];
+  bc.brelse(bh.value());
+  if (d.type == kFree) return Err::Stale;
+
+  kern::Inode& inode = sb_->inew(inum);
+  auto cinode = std::make_unique<CInode>();
+  cinode->inum = inum;
+  cinode->d = d;
+  inode.fs_priv = cinode.release();  // freed in evict_inode / put_super
+  inode.iop = this;
+  inode.fop = this;
+  inode.aops = this;
+  inode.type = d.type == kDir ? kern::FileType::Directory
+                              : kern::FileType::Regular;
+  inode.mode = d.mode;
+  inode.nlink = d.nlink;
+  inode.size = d.size;
+  return &inode;
+}
+
+Err Xv6cMount::iupdate(kern::Inode& inode) {
+  CInode* c = ci(inode);
+  auto& bc = sb_->bufcache();
+  auto bh = bc.bread(dsb_.inode_block(c->inum));
+  if (!bh.ok()) return bh.error();
+  auto* di = reinterpret_cast<Dinode*>(bh.value()->bytes().data());
+  di[c->inum % kInodesPerBlock] = c->d;
+  bc.mark_dirty(bh.value());
+  log_write(dsb_.inode_block(c->inum));
+  bc.brelse(bh.value());
+  // Sync link count to the VFS inode; size is NOT copied back — during
+  // writeback the page-cache size is authoritative and per-page iupdate
+  // calls must not clobber it (c->d.size trails until all pages land).
+  inode.nlink = c->d.nlink;
+  return Err::Ok;
+}
+
+Result<std::uint32_t> Xv6cMount::ialloc(InodeKind kind, std::uint32_t mode) {
+  sim::ScopedLock guard(alloc_lock_);
+  auto& bc = sb_->bufcache();
+  const std::uint32_t niblocks =
+      (dsb_.ninodes + kInodesPerBlock - 1) / kInodesPerBlock;
+  for (std::uint32_t b = 0; b < niblocks; ++b) {
+    auto bh = bc.bread(dsb_.inodestart + b);
+    if (!bh.ok()) return bh.error();
+    auto* di = reinterpret_cast<Dinode*>(bh.value()->bytes().data());
+    for (std::uint32_t i = 0; i < kInodesPerBlock; ++i) {
+      const std::uint32_t inum = b * kInodesPerBlock + i;
+      if (inum == 0 || inum >= dsb_.ninodes) continue;
+      sim::charge(sim::costs().ialloc_scan_per_inode);
+      if (di[i].type != kFree) continue;
+      di[i] = Dinode{};
+      di[i].type = static_cast<std::uint16_t>(kind);
+      di[i].nlink = 1;
+      di[i].mode = mode;
+      bc.mark_dirty(bh.value());
+      log_write(dsb_.inodestart + b);
+      bc.brelse(bh.value());
+      free_inodes_ -= 1;
+      return inum;
+    }
+    bc.brelse(bh.value());
+  }
+  return Err::NoSpc;
+}
+
+Result<std::uint32_t> Xv6cMount::balloc() {
+  sim::ScopedLock guard(alloc_lock_);
+  auto& bc = sb_->bufcache();
+  for (std::uint32_t step = 0; step < dsb_.nbitmap; ++step) {
+    const std::uint32_t bi = (balloc_hint_ + step) % dsb_.nbitmap;
+    auto bh = bc.bread(dsb_.bmapstart + bi);
+    if (!bh.ok()) return bh.error();
+    auto bytes = bh.value()->bytes();
+    sim::charge(300);
+    for (std::uint32_t i = 0; i < xv6::kBitsPerBlock; ++i) {
+      const std::uint64_t blockno =
+          static_cast<std::uint64_t>(bi) * xv6::kBitsPerBlock + i;
+      if (blockno >= dsb_.size) break;
+      if (blockno < dsb_.datastart) continue;
+      if ((bytes[i / 8] & (std::byte{1} << (i % 8))) != std::byte{0}) continue;
+      bytes[i / 8] |= std::byte{1} << (i % 8);
+      bc.mark_dirty(bh.value());
+      log_write(dsb_.bmapstart + bi);
+      bc.brelse(bh.value());
+      balloc_hint_ = bi;
+      free_blocks_ -= 1;
+      auto zb = bc.getblk(blockno);
+      if (!zb.ok()) return zb.error();
+      std::memset(zb.value()->bytes().data(), 0, kBlockSize);
+      bc.mark_dirty(zb.value());
+      log_write(blockno);
+      bc.brelse(zb.value());
+      return static_cast<std::uint32_t>(blockno);
+    }
+    bc.brelse(bh.value());
+  }
+  return Err::NoSpc;
+}
+
+Err Xv6cMount::bfree(std::uint32_t blockno) {
+  auto& bc = sb_->bufcache();
+  auto bh = bc.bread(dsb_.bitmap_block(blockno));
+  if (!bh.ok()) return bh.error();
+  auto bytes = bh.value()->bytes();
+  const std::uint32_t i = blockno % xv6::kBitsPerBlock;
+  bytes[i / 8] &= ~(std::byte{1} << (i % 8));
+  bc.mark_dirty(bh.value());
+  log_write(dsb_.bitmap_block(blockno));
+  bc.brelse(bh.value());
+  free_blocks_ += 1;
+  return Err::Ok;
+}
+
+Result<std::uint32_t> Xv6cMount::bmap(kern::Inode& inode, std::uint64_t bn,
+                                      bool alloc) {
+  CInode* c = ci(inode);
+  auto& bc = sb_->bufcache();
+  if (bn >= xv6::kMaxFileBlocks) return Err::FBig;
+
+  if (bn < kNDirect) {
+    std::uint32_t addr = c->d.addrs[bn];
+    if (addr == 0 && alloc) {
+      auto r = balloc();
+      if (!r.ok()) return r;
+      addr = c->d.addrs[bn] = r.value();
+    }
+    return addr;
+  }
+  bn -= kNDirect;
+
+  if (bn < kNIndirect) {
+    if (c->d.indirect == 0) {
+      if (!alloc) return std::uint32_t{0};
+      auto r = balloc();
+      if (!r.ok()) return r;
+      c->d.indirect = r.value();
+    }
+    auto bh = bc.bread(c->d.indirect);
+    if (!bh.ok()) return bh.error();
+    auto* e = reinterpret_cast<std::uint32_t*>(bh.value()->bytes().data());
+    std::uint32_t addr = e[bn];
+    if (addr == 0 && alloc) {
+      auto r = balloc();
+      if (!r.ok()) {
+        bc.brelse(bh.value());
+        return r;
+      }
+      addr = e[bn] = r.value();
+      bc.mark_dirty(bh.value());
+      log_write(c->d.indirect);
+    }
+    bc.brelse(bh.value());
+    return addr;
+  }
+  bn -= kNIndirect;
+
+  if (c->d.dindirect == 0) {
+    if (!alloc) return std::uint32_t{0};
+    auto r = balloc();
+    if (!r.ok()) return r;
+    c->d.dindirect = r.value();
+  }
+  const std::uint64_t outer = bn / kNIndirect;
+  const std::uint64_t inner = bn % kNIndirect;
+  auto l1 = bc.bread(c->d.dindirect);
+  if (!l1.ok()) return l1.error();
+  auto* l1e = reinterpret_cast<std::uint32_t*>(l1.value()->bytes().data());
+  std::uint32_t mid = l1e[outer];
+  if (mid == 0) {
+    if (!alloc) {
+      bc.brelse(l1.value());
+      return std::uint32_t{0};
+    }
+    auto r = balloc();
+    if (!r.ok()) {
+      bc.brelse(l1.value());
+      return r;
+    }
+    mid = l1e[outer] = r.value();
+    bc.mark_dirty(l1.value());
+    log_write(c->d.dindirect);
+  }
+  bc.brelse(l1.value());
+  auto l2 = bc.bread(mid);
+  if (!l2.ok()) return l2.error();
+  auto* l2e = reinterpret_cast<std::uint32_t*>(l2.value()->bytes().data());
+  std::uint32_t addr = l2e[inner];
+  if (addr == 0 && alloc) {
+    auto r = balloc();
+    if (!r.ok()) {
+      bc.brelse(l2.value());
+      return r;
+    }
+    addr = l2e[inner] = r.value();
+    bc.mark_dirty(l2.value());
+    log_write(mid);
+  }
+  bc.brelse(l2.value());
+  return addr;
+}
+
+Err Xv6cMount::itrunc(kern::Inode& inode, std::uint64_t new_size) {
+  CInode* c = ci(inode);
+  auto& bc = sb_->bufcache();
+  const std::uint64_t keep = (new_size + kBlockSize - 1) / kBlockSize;
+  log_begin();
+
+  for (std::uint64_t bn = keep; bn < kNDirect; ++bn) {
+    if (c->d.addrs[bn] != 0) {
+      BSIM_TRY(bfree(c->d.addrs[bn]));
+      c->d.addrs[bn] = 0;
+    }
+  }
+  if (c->d.indirect != 0) {
+    const std::uint64_t keep_ind = keep > kNDirect ? keep - kNDirect : 0;
+    auto bh = bc.bread(c->d.indirect);
+    if (!bh.ok()) return bh.error();
+    auto* e = reinterpret_cast<std::uint32_t*>(bh.value()->bytes().data());
+    bool touched = false;
+    for (std::uint64_t i = keep_ind; i < kNIndirect; ++i) {
+      if (e[i] != 0) {
+        BSIM_TRY(bfree(e[i]));
+        e[i] = 0;
+        touched = true;
+      }
+    }
+    if (touched) {
+      bc.mark_dirty(bh.value());
+      log_write(c->d.indirect);
+    }
+    bc.brelse(bh.value());
+    if (keep_ind == 0) {
+      BSIM_TRY(bfree(c->d.indirect));
+      c->d.indirect = 0;
+    }
+  }
+  if (c->d.dindirect != 0) {
+    const std::uint64_t base = kNDirect + kNIndirect;
+    const std::uint64_t keep_d = keep > base ? keep - base : 0;
+    auto l1 = bc.bread(c->d.dindirect);
+    if (!l1.ok()) return l1.error();
+    auto* l1e = reinterpret_cast<std::uint32_t*>(l1.value()->bytes().data());
+    bool l1t = false;
+    for (std::uint64_t outer = 0; outer < kNIndirect; ++outer) {
+      if (l1e[outer] == 0) continue;
+      const std::uint64_t first = outer * kNIndirect;
+      if (first + kNIndirect <= keep_d) continue;
+      auto l2 = bc.bread(l1e[outer]);
+      if (!l2.ok()) {
+        bc.brelse(l1.value());
+        return l2.error();
+      }
+      auto* l2e = reinterpret_cast<std::uint32_t*>(l2.value()->bytes().data());
+      bool l2t = false;
+      const std::uint64_t start = keep_d > first ? keep_d - first : 0;
+      for (std::uint64_t inner = start; inner < kNIndirect; ++inner) {
+        if (l2e[inner] != 0) {
+          BSIM_TRY(bfree(l2e[inner]));
+          l2e[inner] = 0;
+          l2t = true;
+        }
+      }
+      if (l2t) {
+        bc.mark_dirty(l2.value());
+        log_write(l1e[outer]);
+      }
+      bc.brelse(l2.value());
+      if (start == 0) {
+        BSIM_TRY(bfree(l1e[outer]));
+        l1e[outer] = 0;
+        l1t = true;
+      }
+    }
+    if (l1t) {
+      bc.mark_dirty(l1.value());
+      log_write(c->d.dindirect);
+    }
+    bc.brelse(l1.value());
+    if (keep_d == 0) {
+      BSIM_TRY(bfree(c->d.dindirect));
+      c->d.dindirect = 0;
+    }
+  }
+  c->d.size = new_size;
+  BSIM_TRY(iupdate(inode));
+  return log_end();
+}
+
+// ---- directories ----
+
+Result<std::uint32_t> Xv6cMount::dir_scan(kern::Inode& dir,
+                                          std::string_view name,
+                                          std::uint64_t* off_out) {
+  CInode* c = ci(dir);
+  auto& bc = sb_->bufcache();
+  if (c->d.type != kDir) return Err::NotDir;
+  for (std::uint64_t off = 0; off < c->d.size; off += kBlockSize) {
+    auto addr = bmap(dir, off / kBlockSize, false);
+    if (!addr.ok()) return addr.error();
+    if (addr.value() == 0) continue;
+    auto bh = bc.bread(addr.value());
+    if (!bh.ok()) return bh.error();
+    const auto* e = reinterpret_cast<const Dirent*>(bh.value()->bytes().data());
+    const std::uint64_t nents = std::min<std::uint64_t>(
+        kDirentsPerBlock,
+        (c->d.size - off + sizeof(Dirent) - 1) / sizeof(Dirent));
+    for (std::uint64_t i = 0; i < nents; ++i) {
+      sim::charge(sim::costs().dir_scan_per_entry);
+      if (e[i].inum == 0) continue;
+      if (name == std::string_view(e[i].name,
+                                   strnlen(e[i].name, kDirNameLen))) {
+        const std::uint32_t inum = e[i].inum;
+        if (off_out != nullptr) *off_out = off + i * sizeof(Dirent);
+        bc.brelse(bh.value());
+        return inum;
+      }
+    }
+    bc.brelse(bh.value());
+  }
+  return Err::NoEnt;
+}
+
+Err Xv6cMount::write_through_log(kern::Inode& inode, std::uint64_t off,
+                                 std::span<const std::byte> in) {
+  CInode* c = ci(inode);
+  auto& bc = sb_->bufcache();
+  std::uint64_t done = 0;
+  while (done < in.size()) {
+    const std::uint64_t pos = off + done;
+    const std::uint64_t bn = pos / kBlockSize;
+    const std::size_t within = static_cast<std::size_t>(pos % kBlockSize);
+    const std::size_t chunk = static_cast<std::size_t>(
+        std::min<std::uint64_t>(kBlockSize - within, in.size() - done));
+    auto addr = bmap(inode, bn, true);
+    if (!addr.ok()) return addr.error();
+    auto bh = bc.bread(addr.value());
+    if (!bh.ok()) return bh.error();
+    std::memcpy(bh.value()->bytes().data() + within, in.data() + done, chunk);
+    bc.mark_dirty(bh.value());
+    log_write(addr.value());
+    bc.brelse(bh.value());
+    done += chunk;
+  }
+  if (off + done > c->d.size) c->d.size = off + done;
+  return iupdate(inode);
+}
+
+Err Xv6cMount::dir_link(kern::Inode& dir, std::string_view name,
+                        std::uint32_t inum) {
+  CInode* c = ci(dir);
+  auto& bc = sb_->bufcache();
+  if (name.size() >= kDirNameLen) return Err::NameTooLong;
+  std::uint64_t slot = c->d.size;
+  for (std::uint64_t off = 0; off < c->d.size && slot == c->d.size;
+       off += kBlockSize) {
+    auto addr = bmap(dir, off / kBlockSize, false);
+    if (!addr.ok()) return addr.error();
+    if (addr.value() == 0) continue;
+    auto bh = bc.bread(addr.value());
+    if (!bh.ok()) return bh.error();
+    const auto* e = reinterpret_cast<const Dirent*>(bh.value()->bytes().data());
+    const std::uint64_t nents = std::min<std::uint64_t>(
+        kDirentsPerBlock,
+        (c->d.size - off + sizeof(Dirent) - 1) / sizeof(Dirent));
+    for (std::uint64_t i = 0; i < nents; ++i) {
+      sim::charge(sim::costs().dir_scan_per_entry);
+      if (e[i].inum == 0) {
+        slot = off + i * sizeof(Dirent);
+        break;
+      }
+    }
+    bc.brelse(bh.value());
+  }
+  Dirent de;
+  de.inum = inum;
+  std::memset(de.name, 0, kDirNameLen);
+  std::memcpy(de.name, name.data(), name.size());
+  return write_through_log(dir, slot,
+                           {reinterpret_cast<const std::byte*>(&de),
+                            sizeof(de)});
+}
+
+Err Xv6cMount::dir_unlink(kern::Inode& dir, std::string_view name) {
+  std::uint64_t off = 0;
+  auto inum = dir_scan(dir, name, &off);
+  if (!inum.ok()) return inum.error();
+  const Dirent zero{};
+  return write_through_log(dir, off,
+                           {reinterpret_cast<const std::byte*>(&zero),
+                            sizeof(zero)});
+}
+
+Result<bool> Xv6cMount::dir_empty(kern::Inode& dir) {
+  CInode* c = ci(dir);
+  auto& bc = sb_->bufcache();
+  for (std::uint64_t off = 0; off < c->d.size; off += kBlockSize) {
+    auto addr = bmap(dir, off / kBlockSize, false);
+    if (!addr.ok()) return addr.error();
+    if (addr.value() == 0) continue;
+    auto bh = bc.bread(addr.value());
+    if (!bh.ok()) return bh.error();
+    const auto* e = reinterpret_cast<const Dirent*>(bh.value()->bytes().data());
+    const std::uint64_t nents = std::min<std::uint64_t>(
+        kDirentsPerBlock,
+        (c->d.size - off + sizeof(Dirent) - 1) / sizeof(Dirent));
+    for (std::uint64_t i = 0; i < nents; ++i) {
+      if (e[i].inum == 0) continue;
+      const std::string_view n(e[i].name, strnlen(e[i].name, kDirNameLen));
+      if (n != "." && n != "..") {
+        bc.brelse(bh.value());
+        return false;
+      }
+    }
+    bc.brelse(bh.value());
+  }
+  return true;
+}
+
+// ---- InodeOps ----
+
+Result<kern::Inode*> Xv6cMount::lookup(kern::Inode& dir,
+                                       std::string_view name) {
+  sim::charge(sim::costs().fs_op_base);
+  auto inum = dir_scan(dir, name, nullptr);
+  if (!inum.ok()) return inum.error();
+  return iget(inum.value());
+}
+
+Result<kern::Inode*> Xv6cMount::create(kern::Inode& dir,
+                                       std::string_view name,
+                                       std::uint32_t mode) {
+  sim::charge(sim::costs().fs_op_base);
+  log_begin();
+  auto existing = dir_scan(dir, name, nullptr);
+  if (existing.ok()) {
+    (void)log_end();
+    return Err::Exist;
+  }
+  auto inum = ialloc(InodeKind::File, mode);
+  if (!inum.ok()) {
+    (void)log_end();
+    return inum.error();
+  }
+  Err e = dir_link(dir, name, inum.value());
+  if (e != Err::Ok) {
+    (void)log_end();
+    return e;
+  }
+  BSIM_TRY(log_end());
+  return iget(inum.value());
+}
+
+Result<kern::Inode*> Xv6cMount::mkdir(kern::Inode& dir, std::string_view name,
+                                      std::uint32_t mode) {
+  sim::charge(sim::costs().fs_op_base);
+  log_begin();
+  auto existing = dir_scan(dir, name, nullptr);
+  if (existing.ok()) {
+    (void)log_end();
+    return Err::Exist;
+  }
+  auto inum = ialloc(InodeKind::Dir, mode);
+  if (!inum.ok()) {
+    (void)log_end();
+    return inum.error();
+  }
+  auto child = iget(inum.value());
+  if (!child.ok()) {
+    (void)log_end();
+    return child.error();
+  }
+  CInode* cc = ci(*child.value());
+  cc->d.nlink = 2;
+  Err e = dir_link(*child.value(), ".", inum.value());
+  if (e == Err::Ok) e = dir_link(*child.value(), "..", ci(dir)->inum);
+  if (e == Err::Ok) e = dir_link(dir, name, inum.value());
+  if (e == Err::Ok) {
+    ci(dir)->d.nlink += 1;
+    e = iupdate(dir);
+  }
+  if (e == Err::Ok) e = iupdate(*child.value());
+  if (e != Err::Ok) {
+    sb_->iput(child.value());
+    (void)log_end();
+    return e;
+  }
+  BSIM_TRY(log_end());
+  return child.value();
+}
+
+Err Xv6cMount::unlink(kern::Inode& dir, std::string_view name) {
+  sim::charge(sim::costs().fs_op_base);
+  log_begin();
+  auto inum = dir_scan(dir, name, nullptr);
+  if (!inum.ok()) {
+    (void)log_end();
+    return inum.error();
+  }
+  auto child = iget(inum.value());
+  if (!child.ok()) {
+    (void)log_end();
+    return child.error();
+  }
+  CInode* cc = ci(*child.value());
+  if (cc->d.type == kDir) {
+    sb_->iput(child.value());
+    (void)log_end();
+    return Err::IsDir;
+  }
+  Err e = dir_unlink(dir, name);
+  if (e == Err::Ok) {
+    cc->d.nlink -= 1;
+    e = iupdate(*child.value());
+  }
+  sb_->iput(child.value());
+  if (e != Err::Ok) {
+    (void)log_end();
+    return e;
+  }
+  return log_end();
+}
+
+Err Xv6cMount::rmdir(kern::Inode& dir, std::string_view name) {
+  sim::charge(sim::costs().fs_op_base);
+  if (name == "." || name == "..") return Err::Inval;
+  log_begin();
+  auto inum = dir_scan(dir, name, nullptr);
+  if (!inum.ok()) {
+    (void)log_end();
+    return inum.error();
+  }
+  auto child = iget(inum.value());
+  if (!child.ok()) {
+    (void)log_end();
+    return child.error();
+  }
+  CInode* cc = ci(*child.value());
+  Err e = Err::Ok;
+  if (cc->d.type != kDir) {
+    e = Err::NotDir;
+  } else {
+    auto empty = dir_empty(*child.value());
+    if (!empty.ok()) e = empty.error();
+    else if (!empty.value()) e = Err::NotEmpty;
+  }
+  if (e == Err::Ok) e = dir_unlink(dir, name);
+  if (e == Err::Ok) {
+    cc->d.nlink = 0;
+    e = iupdate(*child.value());
+  }
+  if (e == Err::Ok) {
+    ci(dir)->d.nlink -= 1;
+    e = iupdate(dir);
+  }
+  sb_->iput(child.value());
+  if (e != Err::Ok) {
+    (void)log_end();
+    return e;
+  }
+  return log_end();
+}
+
+Err Xv6cMount::rename(kern::Inode& old_dir, std::string_view old_name,
+                      kern::Inode& new_dir, std::string_view new_name) {
+  sim::charge(sim::costs().fs_op_base);
+  log_begin();
+  auto do_rename = [&]() -> Err {
+    auto inum = dir_scan(old_dir, old_name, nullptr);
+    if (!inum.ok()) return inum.error();
+    auto moved = iget(inum.value());
+    if (!moved.ok()) return moved.error();
+    CInode* mc = ci(*moved.value());
+    const bool moved_is_dir = mc->d.type == kDir;
+
+    auto target = dir_scan(new_dir, new_name, nullptr);
+    if (target.ok()) {
+      if (target.value() == inum.value()) {
+        sb_->iput(moved.value());
+        return Err::Ok;
+      }
+      auto victim = iget(target.value());
+      if (!victim.ok()) {
+        sb_->iput(moved.value());
+        return victim.error();
+      }
+      CInode* vc = ci(*victim.value());
+      Err e = Err::Ok;
+      if (vc->d.type == kDir) {
+        auto empty = dir_empty(*victim.value());
+        if (!empty.ok()) e = empty.error();
+        else if (!empty.value()) e = Err::NotEmpty;
+        else if (!moved_is_dir) e = Err::IsDir;
+      } else if (moved_is_dir) {
+        e = Err::NotDir;
+      }
+      if (e == Err::Ok) e = dir_unlink(new_dir, new_name);
+      if (e == Err::Ok) {
+        vc->d.nlink = vc->d.type == kDir ? 0 : vc->d.nlink - 1;
+        e = iupdate(*victim.value());
+      }
+      if (e == Err::Ok && vc->d.type == kDir) {
+        ci(new_dir)->d.nlink -= 1;
+        e = iupdate(new_dir);
+      }
+      sb_->iput(victim.value());
+      if (e != Err::Ok) {
+        sb_->iput(moved.value());
+        return e;
+      }
+    } else if (target.error() != Err::NoEnt) {
+      sb_->iput(moved.value());
+      return target.error();
+    }
+
+    Err e = dir_unlink(old_dir, old_name);
+    if (e == Err::Ok) e = dir_link(new_dir, new_name, inum.value());
+    if (e == Err::Ok && moved_is_dir && &old_dir != &new_dir) {
+      e = dir_unlink(*moved.value(), "..");
+      if (e == Err::Ok) {
+        e = dir_link(*moved.value(), "..", ci(new_dir)->inum);
+      }
+      if (e == Err::Ok) {
+        ci(old_dir)->d.nlink -= 1;
+        ci(new_dir)->d.nlink += 1;
+        e = iupdate(old_dir);
+        if (e == Err::Ok) e = iupdate(new_dir);
+      }
+    }
+    sb_->iput(moved.value());
+    return e;
+  };
+  Err e = do_rename();
+  if (e != Err::Ok) {
+    (void)log_end();
+    return e;
+  }
+  return log_end();
+}
+
+Err Xv6cMount::zero_block_tail(kern::Inode& inode, std::uint64_t from) {
+  // POSIX truncate semantics: stale bytes in the boundary block must never
+  // be exposed by a later extension. Caller holds an open transaction.
+  auto& bc = sb_->bufcache();
+  const std::size_t within = static_cast<std::size_t>(from % kBlockSize);
+  if (within == 0) return Err::Ok;
+  auto addr = bmap(inode, from / kBlockSize, false);
+  if (!addr.ok()) return addr.error();
+  if (addr.value() == 0) return Err::Ok;
+  auto bh = bc.bread(addr.value());
+  if (!bh.ok()) return bh.error();
+  std::memset(bh.value()->bytes().data() + within, 0, kBlockSize - within);
+  bc.mark_dirty(bh.value());
+  log_write(addr.value());
+  bc.brelse(bh.value());
+  return Err::Ok;
+}
+
+Err Xv6cMount::setattr(kern::Inode& inode, const kern::SetAttr& attr) {
+  sim::charge(sim::costs().fs_op_base);
+  CInode* c = ci(inode);
+  if (attr.set_size && attr.size < c->d.size) {
+    kern::generic_truncate_pagecache(inode, attr.size);
+    BSIM_TRY(itrunc(inode, attr.size));
+    log_begin();
+    Err ze = zero_block_tail(inode, attr.size);
+    if (ze != Err::Ok) {
+      (void)log_end();
+      return ze;
+    }
+    BSIM_TRY(log_end());
+  }
+  log_begin();
+  if (attr.set_size && attr.size >= c->d.size) {
+    Err ze = zero_block_tail(inode, c->d.size);
+    if (ze != Err::Ok) {
+      (void)log_end();
+      return ze;
+    }
+    c->d.size = attr.size;
+  }
+  if (attr.set_mode) {
+    c->d.mode = attr.mode;
+    inode.mode = attr.mode;
+  }
+  Err e = iupdate(inode);
+  if (e != Err::Ok) {
+    (void)log_end();
+    return e;
+  }
+  BSIM_TRY(log_end());
+  inode.size = c->d.size;
+  return Err::Ok;
+}
+
+// ---- FileOps ----
+
+Result<std::uint64_t> Xv6cMount::read(kern::Inode& inode, kern::FileHandle&,
+                                      std::uint64_t off,
+                                      std::span<std::byte> out) {
+  // Read caching "implemented in the file system" (§6.5.1): the C version
+  // wires the page cache itself.
+  return kern::generic_file_read(inode, off, out);
+}
+
+Result<std::uint64_t> Xv6cMount::write(kern::Inode& inode, kern::FileHandle&,
+                                       std::uint64_t off,
+                                       std::span<const std::byte> in) {
+  return kern::generic_file_write(inode, off, in);
+}
+
+Err Xv6cMount::fsync(kern::Inode& inode, kern::FileHandle&, bool) {
+  BSIM_TRY(kern::generic_writeback(inode));
+  sb_->bufcache().sync_all();
+  sb_->bufcache().issue_flush();
+  return Err::Ok;
+}
+
+Err Xv6cMount::flush(kern::Inode& inode, kern::FileHandle&) {
+  return kern::generic_writeback(inode);
+}
+
+Err Xv6cMount::readdir(kern::Inode& inode, std::uint64_t& pos,
+                       const kern::DirFiller& fill) {
+  sim::charge(sim::costs().fs_op_base);
+  CInode* c = ci(inode);
+  auto& bc = sb_->bufcache();
+  if (c->d.type != kDir) return Err::NotDir;
+  while (pos + sizeof(Dirent) <= c->d.size) {
+    const std::uint64_t bn = pos / kBlockSize;
+    auto addr = bmap(inode, bn, false);
+    if (!addr.ok()) return addr.error();
+    Dirent de{};
+    if (addr.value() != 0) {
+      auto bh = bc.bread(addr.value());
+      if (!bh.ok()) return bh.error();
+      std::memcpy(&de, bh.value()->bytes().data() + pos % kBlockSize,
+                  sizeof(de));
+      bc.brelse(bh.value());
+    }
+    pos += sizeof(Dirent);
+    if (de.inum == 0) continue;
+    kern::DirEnt out;
+    out.ino = de.inum;
+    out.name.assign(de.name, strnlen(de.name, kDirNameLen));
+    auto child = iget(de.inum);
+    if (child.ok()) {
+      out.type = child.value()->type;
+      sb_->iput(child.value());
+    }
+    if (!fill(out)) break;
+  }
+  return Err::Ok;
+}
+
+// ---- SuperOps ----
+
+Err Xv6cMount::sync_fs(kern::SuperBlock&, bool) {
+  sb_->bufcache().sync_all();
+  sb_->bufcache().issue_flush();
+  return Err::Ok;
+}
+
+Err Xv6cMount::statfs(kern::SuperBlock&, kern::StatFs& out) {
+  out.total_blocks = dsb_.ndata;
+  out.free_blocks = free_blocks_;
+  out.total_inodes = dsb_.ninodes;
+  out.free_inodes = free_inodes_;
+  out.block_size = kBlockSize;
+  out.fs_name = "xv6_vfs";
+  return Err::Ok;
+}
+
+void Xv6cMount::put_super(kern::SuperBlock&) {
+  sb_->bufcache().sync_all();
+  sb_->bufcache().issue_flush();
+}
+
+void Xv6cMount::dispose_inode(kern::Inode& inode) {
+  delete ci(inode);
+  inode.fs_priv = nullptr;
+}
+
+void Xv6cMount::evict_inode(kern::Inode& inode) {
+  inode.mapping.drop_all();
+  CInode* c = ci(inode);
+  if (c == nullptr) return;
+  if (c->d.nlink == 0) {
+    (void)itrunc(inode, 0);
+    log_begin();
+    c->d = Dinode{};
+    (void)iupdate(inode);
+    free_inodes_ += 1;
+    (void)log_end();
+  }
+  delete c;  // manual lifetime management, C style
+  inode.fs_priv = nullptr;
+}
+
+// ---- AddressSpaceOps ----
+
+Err Xv6cMount::readpage(kern::Inode& inode, std::uint64_t pgoff,
+                        std::span<std::byte> out) {
+  CInode* c = ci(inode);
+  auto& bc = sb_->bufcache();
+  const std::uint64_t off = pgoff * kern::kPageSize;
+  std::uint64_t done = 0;
+  while (done < out.size() && off + done < c->d.size) {
+    const std::uint64_t bn = (off + done) / kBlockSize;
+    auto addr = bmap(inode, bn, false);
+    if (!addr.ok()) return addr.error();
+    const std::size_t chunk = static_cast<std::size_t>(
+        std::min<std::uint64_t>(kBlockSize, out.size() - done));
+    if (addr.value() == 0) {
+      std::memset(out.data() + done, 0, chunk);
+    } else {
+      auto bh = bc.bread(addr.value());
+      if (!bh.ok()) return bh.error();
+      std::memcpy(out.data() + done, bh.value()->bytes().data(), chunk);
+      bc.brelse(bh.value());
+    }
+    done += chunk;
+  }
+  if (done < out.size()) {
+    std::memset(out.data() + done, 0, out.size() - done);
+  }
+  return Err::Ok;
+}
+
+Err Xv6cMount::writepage(kern::Inode& inode, std::uint64_t pgoff,
+                         std::span<const std::byte> in) {
+  CInode* c = ci(inode);
+  const std::uint64_t off = pgoff * kern::kPageSize;
+  const std::uint64_t len = std::min<std::uint64_t>(
+      kern::kPageSize, inode.size > off ? inode.size - off : 0);
+  if (len == 0) return Err::Ok;
+  (void)c;
+  // One transaction per page: the ->writepage path the paper contrasts
+  // with BentoFS's batched ->writepages.
+  log_begin();
+  Err e = write_through_log(inode, off,
+                            in.subspan(0, static_cast<std::size_t>(len)));
+  if (e != Err::Ok) {
+    (void)log_end();
+    return e;
+  }
+  return log_end();
+}
+
+// ---- registration ----
+
+namespace {
+
+class Xv6cFsType final : public kern::FileSystemType {
+ public:
+  explicit Xv6cFsType(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] std::string_view name() const override { return name_; }
+
+  kern::Result<kern::SuperBlock*> mount(blk::BlockDevice& dev,
+                                        std::string_view) override {
+    auto sb = std::make_unique<kern::SuperBlock>(dev, 16384);
+    sb->fs_name = name_;
+    auto mnt = std::make_unique<Xv6cMount>(*sb);
+    sb->fs_info = mnt.get();
+    sb->s_op = mnt.get();
+    Err e = mnt->mount_init();
+    if (e != Err::Ok) return e;
+    mnt.release();
+    return sb.release();
+  }
+
+  void kill_sb(kern::SuperBlock* sb) override {
+    if (sb == nullptr) return;
+    std::unique_ptr<kern::SuperBlock> owned(sb);
+    std::unique_ptr<Xv6cMount> mnt(static_cast<Xv6cMount*>(sb->fs_info));
+    sb->sync_all();
+    mnt->put_super(*sb);
+    sb->for_each_inode([&](kern::Inode& i) { mnt->dispose_inode(i); });
+    sb->fs_info = nullptr;
+    sb->s_op = nullptr;
+  }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace
+
+void register_xv6c(kern::Kernel& kernel, std::string name) {
+  kernel.register_fs(std::make_unique<Xv6cFsType>(std::move(name)));
+}
+
+}  // namespace bsim::xv6c

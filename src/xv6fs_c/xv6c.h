@@ -1,0 +1,140 @@
+// The VFS C baseline (paper §6.2): the same xv6 file system design
+// implemented *directly against the VFS layer*, in kernel-C style.
+//
+// This is the paper's "1862 lines of C" comparison point. Deliberate
+// differences from the Bento version, mirroring the paper:
+//   - It is written against the raw VFS interface: raw BufferHead pointers
+//     from sb_bread with manual brelse pairing, shared kernel data
+//     structures, no capability types, no ownership checking. (Every
+//     bread/brelse pair here is a bug opportunity the Bento version
+//     structurally cannot have — see the bug study in src/bugs.)
+//   - Writeback uses the single-page ->writepage path, not ->writepages;
+//     each flushed page is its own log transaction. This is why Bento wins
+//     on large writes and untar (§6.5.2, §6.6.3).
+// On-disk format is identical to src/xv6fs (both are "the xv6 file
+// system"), so images are interchangeable between the two.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "kernel/kernel.h"
+#include "xv6fs/layout.h"
+
+namespace bsim::xv6c {
+
+struct CLogStats {
+  std::uint64_t commits = 0;
+  std::uint64_t blocks_logged = 0;
+};
+
+/// Mount-level state (lives in kern::SuperBlock::fs_info).
+class Xv6cMount final : public kern::InodeOps,
+                        public kern::FileOps,
+                        public kern::SuperOps,
+                        public kern::AddressSpaceOps {
+ public:
+  explicit Xv6cMount(kern::SuperBlock& sb) : sb_(&sb) {}
+
+  kern::Err mount_init();
+  /// Unmount-time cleanup of the C-style per-inode state.
+  void dispose_inode(kern::Inode& inode);
+
+  [[nodiscard]] const CLogStats& log_stats() const { return log_stats_; }
+
+  // InodeOps
+  kern::Result<kern::Inode*> lookup(kern::Inode& dir,
+                                    std::string_view name) override;
+  kern::Result<kern::Inode*> create(kern::Inode& dir, std::string_view name,
+                                    std::uint32_t mode) override;
+  kern::Err unlink(kern::Inode& dir, std::string_view name) override;
+  kern::Result<kern::Inode*> mkdir(kern::Inode& dir, std::string_view name,
+                                   std::uint32_t mode) override;
+  kern::Err rmdir(kern::Inode& dir, std::string_view name) override;
+  kern::Err rename(kern::Inode& old_dir, std::string_view old_name,
+                   kern::Inode& new_dir, std::string_view new_name) override;
+  kern::Err setattr(kern::Inode& inode, const kern::SetAttr& attr) override;
+
+  // FileOps
+  kern::Result<std::uint64_t> read(kern::Inode& inode, kern::FileHandle& fh,
+                                   std::uint64_t off,
+                                   std::span<std::byte> out) override;
+  kern::Result<std::uint64_t> write(kern::Inode& inode, kern::FileHandle& fh,
+                                    std::uint64_t off,
+                                    std::span<const std::byte> in) override;
+  kern::Err fsync(kern::Inode& inode, kern::FileHandle& fh,
+                  bool datasync) override;
+  kern::Err flush(kern::Inode& inode, kern::FileHandle& fh) override;
+  kern::Err readdir(kern::Inode& inode, std::uint64_t& pos,
+                    const kern::DirFiller& fill) override;
+
+  // SuperOps
+  kern::Err sync_fs(kern::SuperBlock& sb, bool wait) override;
+  kern::Err statfs(kern::SuperBlock& sb, kern::StatFs& out) override;
+  void put_super(kern::SuperBlock& sb) override;
+  void evict_inode(kern::Inode& inode) override;
+
+  // AddressSpaceOps: ->writepage only — no batched writeback.
+  kern::Err readpage(kern::Inode& inode, std::uint64_t pgoff,
+                     std::span<std::byte> out) override;
+  kern::Err writepage(kern::Inode& inode, std::uint64_t pgoff,
+                      std::span<const std::byte> in) override;
+  [[nodiscard]] bool has_writepages() const override { return false; }
+
+ private:
+  // In-core inode, C style: the dinode copy hangs off kern::Inode::fs_priv.
+  struct CInode {
+    std::uint32_t inum = 0;
+    xv6::Dinode d;
+  };
+
+  // xv6-style log, open-coded over the buffer cache.
+  void log_begin();
+  void log_write(std::uint64_t blockno);
+  kern::Err log_end();
+  kern::Err log_commit();
+  kern::Err log_recover();
+  kern::Err log_header_write(const xv6::LogHeader& h);
+
+  kern::Err read_dsb();
+  kern::Err scan_free_counts();
+
+  kern::Result<kern::Inode*> iget(std::uint32_t inum);
+  static CInode* ci(kern::Inode& inode) {
+    return static_cast<CInode*>(inode.fs_priv);
+  }
+  kern::Err iupdate(kern::Inode& inode);
+  kern::Result<std::uint32_t> ialloc(xv6::InodeKind kind, std::uint32_t mode);
+  kern::Result<std::uint32_t> balloc();
+  kern::Err bfree(std::uint32_t blockno);
+  kern::Result<std::uint32_t> bmap(kern::Inode& inode, std::uint64_t bn,
+                                   bool alloc);
+  kern::Err itrunc(kern::Inode& inode, std::uint64_t new_size);
+  kern::Err zero_block_tail(kern::Inode& inode, std::uint64_t from);
+
+  kern::Result<std::uint32_t> dir_scan(kern::Inode& dir,
+                                       std::string_view name,
+                                       std::uint64_t* off_out);
+  kern::Err dir_link(kern::Inode& dir, std::string_view name,
+                     std::uint32_t inum);
+  kern::Err dir_unlink(kern::Inode& dir, std::string_view name);
+  kern::Result<bool> dir_empty(kern::Inode& dir);
+  kern::Err write_through_log(kern::Inode& inode, std::uint64_t off,
+                              std::span<const std::byte> in);
+
+  kern::SuperBlock* sb_;
+  xv6::DiskSuperblock dsb_;
+  sim::SimMutex log_lock_;      // the log serializes transactions
+  sim::SimMutex alloc_lock_;    // §6.1 allocation locks
+  int log_outstanding_ = 0;
+  std::vector<std::uint32_t> log_pending_;
+  CLogStats log_stats_;
+  std::uint64_t free_blocks_ = 0;
+  std::uint64_t free_inodes_ = 0;
+  std::uint32_t balloc_hint_ = 0;
+};
+
+/// Register the VFS C baseline ("xv6_vfs") with the kernel.
+void register_xv6c(kern::Kernel& kernel, std::string name = "xv6_vfs");
+
+}  // namespace bsim::xv6c

@@ -1,0 +1,183 @@
+// Unit tests for the NVMe-like device model: data integrity, service
+// times, write-cache/flush semantics, and crash simulation.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "blockdev/device.h"
+#include "sim/rng.h"
+#include "sim/thread.h"
+
+namespace bsim::blk {
+namespace {
+
+using sim::Nanos;
+
+class DeviceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { sim::set_current(&thread_); }
+  void TearDown() override { sim::set_current(nullptr); }
+
+  static DeviceParams small_params() {
+    DeviceParams p;
+    p.nblocks = 1024;
+    return p;
+  }
+
+  static std::array<std::byte, kBlockSize> pattern(std::uint8_t seed) {
+    std::array<std::byte, kBlockSize> b{};
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      b[i] = static_cast<std::byte>(seed + i);
+    }
+    return b;
+  }
+
+  sim::SimThread thread_{0};
+};
+
+TEST_F(DeviceTest, ReadBackWhatWasWritten) {
+  BlockDevice dev(small_params());
+  auto w = pattern(7);
+  dev.write(42, w);
+  std::array<std::byte, kBlockSize> r{};
+  dev.read(42, r);
+  EXPECT_EQ(w, r);
+}
+
+TEST_F(DeviceTest, UnwrittenBlocksReadZero) {
+  BlockDevice dev(small_params());
+  std::array<std::byte, kBlockSize> r = pattern(1);
+  dev.read(7, r);
+  for (auto b : r) EXPECT_EQ(b, std::byte{0});
+}
+
+TEST_F(DeviceTest, OutOfRangeThrows) {
+  BlockDevice dev(small_params());
+  std::array<std::byte, kBlockSize> b{};
+  EXPECT_THROW(dev.read(1024, b), std::out_of_range);
+}
+
+TEST_F(DeviceTest, SequentialReadsAreFaster) {
+  auto p = small_params();
+  BlockDevice dev(p);
+  std::array<std::byte, kBlockSize> b{};
+  dev.read(100, b);  // random
+  const Nanos t0 = sim::now();
+  dev.read(101, b);  // sequential
+  const Nanos seq = sim::now() - t0;
+  const Nanos t1 = sim::now();
+  dev.read(500, b);  // random again
+  const Nanos rnd = sim::now() - t1;
+  EXPECT_EQ(seq, p.read_lat_seq);
+  EXPECT_EQ(rnd, p.read_lat_rand);
+}
+
+TEST_F(DeviceTest, WriteGoesToCacheUntilFlush) {
+  auto p = small_params();
+  BlockDevice dev(p);
+  auto w = pattern(3);
+  const Nanos t0 = sim::now();
+  dev.write(5, w);
+  EXPECT_EQ(sim::now() - t0, p.write_xfer);  // cache transfer only
+  EXPECT_EQ(dev.dirty_blocks(), 1u);
+  dev.flush();
+  EXPECT_EQ(dev.dirty_blocks(), 0u);
+  EXPECT_EQ(dev.stats().flushes, 1u);
+}
+
+TEST_F(DeviceTest, FlushCostGrowsWithDirtySet) {
+  auto p = small_params();
+  BlockDevice dev(p);
+  std::array<std::byte, kBlockSize> b{};
+  dev.flush();
+  const Nanos t0 = sim::now();
+  dev.flush();  // empty flush
+  const Nanos empty_cost = sim::now() - t0;
+
+  for (int i = 0; i < 100; ++i) dev.write(static_cast<std::uint64_t>(i), b);
+  const Nanos t1 = sim::now();
+  dev.flush();
+  const Nanos full_cost = sim::now() - t1;
+  EXPECT_EQ(full_cost - empty_cost, 100 * p.destage_per_block);
+}
+
+TEST_F(DeviceTest, ChannelsOverlapIndependentOps) {
+  auto p = small_params();
+  p.channels = 4;
+  BlockDevice dev(p);
+  std::array<std::byte, kBlockSize> b{};
+  // 4 random reads on 4 channels overlap: total elapsed is one latency,
+  // not four (the current thread's clock rides the max channel time).
+  const Nanos t0 = sim::now();
+  dev.read(10, b);
+  // Subsequent reads start at thread-now; they queue on other channels but
+  // can't finish before their own service time from now.
+  const Nanos after_one = sim::now() - t0;
+  EXPECT_EQ(after_one, p.read_lat_rand);
+}
+
+TEST_F(DeviceTest, WriteCachePressureForcesDestage) {
+  auto p = small_params();
+  p.write_cache_blocks = 8;
+  BlockDevice dev(p);
+  std::array<std::byte, kBlockSize> b{};
+  for (int i = 0; i < 32; ++i) dev.write(static_cast<std::uint64_t>(i), b);
+  // The dirty set is bounded by the cache size (one destaged per overflow).
+  EXPECT_LE(dev.dirty_blocks(), 8u);
+  EXPECT_GT(dev.stats().blocks_destaged, 0u);
+}
+
+TEST_F(DeviceTest, CrashDropsUnflushedWrites) {
+  BlockDevice dev(small_params());
+  dev.enable_crash_tracking();
+  auto w1 = pattern(1);
+  auto w2 = pattern(2);
+  dev.write(3, w1);
+  dev.flush();  // w1 durable
+  dev.write(3, w2);  // overwrite, not yet flushed
+
+  sim::Rng rng(1);
+  dev.crash(/*survive_p=*/0.0, rng);
+  std::array<std::byte, kBlockSize> r{};
+  dev.read(3, r);
+  EXPECT_EQ(r, w1);  // reverted to the durable version
+}
+
+TEST_F(DeviceTest, CrashWithFullSurvivalKeepsWrites) {
+  BlockDevice dev(small_params());
+  dev.enable_crash_tracking();
+  auto w = pattern(9);
+  dev.write(3, w);
+  sim::Rng rng(1);
+  dev.crash(/*survive_p=*/1.0, rng);
+  std::array<std::byte, kBlockSize> r{};
+  dev.read(3, r);
+  EXPECT_EQ(r, w);
+}
+
+TEST_F(DeviceTest, UntimedAccessDoesNotAdvanceClock) {
+  BlockDevice dev(small_params());
+  auto w = pattern(5);
+  const Nanos t0 = sim::now();
+  dev.write_untimed(1, w);
+  std::array<std::byte, kBlockSize> r{};
+  dev.read_untimed(1, r);
+  EXPECT_EQ(sim::now(), t0);
+  EXPECT_EQ(r, w);
+}
+
+TEST_F(DeviceTest, StatsCountOps) {
+  BlockDevice dev(small_params());
+  std::array<std::byte, kBlockSize> b{};
+  dev.read(1, b);
+  dev.write(2, b);
+  dev.write(3, b);
+  dev.flush();
+  EXPECT_EQ(dev.stats().reads, 1u);
+  EXPECT_EQ(dev.stats().writes, 2u);
+  EXPECT_EQ(dev.stats().flushes, 1u);
+  EXPECT_GE(dev.stats().busy, 0);
+}
+
+}  // namespace
+}  // namespace bsim::blk

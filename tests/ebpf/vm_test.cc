@@ -1,0 +1,341 @@
+// Tests for the eBPF substrate (paper §2.2): the verifier's admission
+// rules — the mechanism behind Table 2's safety=yes / generality=no for
+// eBPF — and the VM + map semantics ExtFUSE builds on.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ebpf/verifier.h"
+#include "ebpf/vm.h"
+#include "sim/cost_model.h"
+#include "sim/thread.h"
+
+namespace bsim::test {
+namespace {
+
+using ebpf::Insn;
+using ebpf::Op;
+using ebpf::Vm;
+
+constexpr std::size_t kCtx = 64;
+
+std::uint64_t ctx_u64(std::span<const std::byte> ctx, std::size_t off) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, ctx.data() + off, 8);
+  return v;
+}
+
+void set_ctx_u64(std::span<std::byte> ctx, std::size_t off, std::uint64_t v) {
+  std::memcpy(ctx.data() + off, &v, 8);
+}
+
+// ---- verifier: accepted programs ----
+
+TEST(VerifierTest, AcceptsMinimalProgram) {
+  const std::vector<Insn> prog = {
+      {Op::MovImm, 0, 0, 0, 42},
+      {Op::Exit, 0, 0, 0, 0},
+  };
+  EXPECT_TRUE(ebpf::verify(prog, kCtx).ok);
+}
+
+TEST(VerifierTest, AcceptsBranchesThatInitializeR0OnAllPaths) {
+  const std::vector<Insn> prog = {
+      {Op::LdCtx8, 1, 0, 0, 0},
+      {Op::JeqImm, 1, 0, +2, 7},   // -> 4
+      {Op::MovImm, 0, 0, 0, 1},
+      {Op::Ja, 0, 0, +1, 0},       // -> 5
+      {Op::MovImm, 0, 0, 0, 2},
+      {Op::Exit, 0, 0, 0, 0},
+  };
+  EXPECT_TRUE(ebpf::verify(prog, kCtx).ok);
+}
+
+// ---- verifier: rejection sweep (parameterized) ----
+
+struct RejectCase {
+  const char* name;
+  std::vector<Insn> prog;
+  const char* why;  // substring expected in the error
+};
+
+class VerifierRejects : public ::testing::TestWithParam<RejectCase> {};
+
+TEST_P(VerifierRejects, RejectsWithDiagnostic) {
+  const auto& c = GetParam();
+  const auto r = ebpf::verify(c.prog, kCtx);
+  EXPECT_FALSE(r.ok) << c.name;
+  EXPECT_NE(std::string::npos, r.error.find(c.why))
+      << c.name << ": got '" << r.error << "'";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AdmissionRules, VerifierRejects,
+    ::testing::Values(
+        RejectCase{"empty", {}, "empty"},
+        RejectCase{"no_exit",
+                   {{Op::MovImm, 0, 0, 0, 1}},
+                   "end with Exit"},
+        RejectCase{"backward_jump_loop",
+                   {{Op::MovImm, 0, 0, 0, 1},
+                    {Op::JeqImm, 0, 0, -1, 1},  // the classic while-loop
+                    {Op::Exit, 0, 0, 0, 0}},
+                   "backward"},
+        RejectCase{"self_jump",
+                   {{Op::MovImm, 0, 0, 0, 1},
+                    {Op::Ja, 0, 0, 0, 0},
+                    {Op::Exit, 0, 0, 0, 0}},
+                   "backward or self"},
+        RejectCase{"jump_out_of_range",
+                   {{Op::MovImm, 0, 0, 0, 1},
+                    {Op::Ja, 0, 0, +5, 0},
+                    {Op::Exit, 0, 0, 0, 0}},
+                   "out of range"},
+        RejectCase{"uninitialized_read",
+                   {{Op::AddImm, 3, 0, 0, 1},  // r3 never written
+                    {Op::MovImm, 0, 0, 0, 0},
+                    {Op::Exit, 0, 0, 0, 0}},
+                   "uninitialized"},
+        RejectCase{"uninitialized_src",
+                   {{Op::MovImm, 0, 0, 0, 1},
+                    {Op::MovReg, 1, 5, 0, 0},  // r5 never written
+                    {Op::Exit, 0, 0, 0, 0}},
+                   "uninitialized"},
+        RejectCase{"uninit_after_branch_merge",
+                   // r2 is set on only one path; reading it after the merge
+                   // must be rejected (the conservative meet).
+                   {{Op::LdCtx8, 1, 0, 0, 0},
+                    {Op::JeqImm, 1, 0, +1, 0},    // -> 3
+                    {Op::MovImm, 2, 0, 0, 9},     // only this path sets r2
+                    {Op::MovReg, 0, 2, 0, 0},     // merge point: r2 maybe-uninit
+                    {Op::Exit, 0, 0, 0, 0}},
+                   "uninitialized"},
+        RejectCase{"exit_uninit_r0",
+                   {{Op::MovImm, 1, 0, 0, 1},
+                    {Op::Exit, 0, 0, 0, 0}},
+                   "uninitialized r0"},
+        RejectCase{"ctx_oob",
+                   {{Op::LdCtx8, 0, 0, 64, 0},  // off 64 in 64-byte ctx
+                    {Op::Exit, 0, 0, 0, 0}},
+                   "out of bounds"},
+        RejectCase{"ctx_negative",
+                   {{Op::LdCtx8, 0, 0, -8, 0},
+                    {Op::Exit, 0, 0, 0, 0}},
+                   "out of bounds"},
+        RejectCase{"ctx_unaligned",
+                   {{Op::LdCtx8, 0, 0, 4, 0},
+                    {Op::Exit, 0, 0, 0, 0}},
+                   "unaligned"},
+        RejectCase{"unknown_helper",
+                   {{Op::MovImm, 1, 0, 0, 1},
+                    {Op::MovImm, 2, 0, 0, 0},
+                    {Op::MovImm, 3, 0, 0, 8},
+                    {Op::Call, 0, 0, 0, 99},
+                    {Op::Exit, 0, 0, 0, 0}},
+                   "unknown helper"},
+        RejectCase{"call_uninit_args",
+                   {{Op::MovImm, 1, 0, 0, 1},
+                    {Op::Call, 0, 0, 0, ebpf::kHelperMapLookup},
+                    {Op::Exit, 0, 0, 0, 0}},
+                   "uninitialized argument"},
+        RejectCase{"bad_register",
+                   {{Op::MovImm, 12, 0, 0, 1},
+                    {Op::Exit, 0, 0, 0, 0}},
+                   "bad dst"},
+        RejectCase{"shift_range",
+                   {{Op::MovImm, 0, 0, 0, 1},
+                    {Op::LshImm, 0, 0, 0, 64},
+                    {Op::Exit, 0, 0, 0, 0}},
+                   "shift"}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(VerifierTest, RejectsOversizedProgram) {
+  std::vector<Insn> prog(ebpf::kMaxInsns + 1, {Op::MovImm, 0, 0, 0, 0});
+  prog.back() = {Op::Exit, 0, 0, 0, 0};
+  const auto r = ebpf::verify(prog, kCtx);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(std::string::npos, r.error.find("instruction limit"));
+}
+
+TEST(VerifierTest, ClobbersCallerSavedRegistersAcrossCalls) {
+  // r2 set before the call must count as uninitialized after it.
+  Vm vm;
+  (void)vm.add_map(8, 8, 4);
+  std::vector<Insn> prog = {
+      {Op::MovImm, 1, 0, 0, 1},
+      {Op::MovImm, 2, 0, 0, 0},
+      {Op::MovImm, 3, 0, 0, 8},
+      {Op::Call, 0, 0, 0, ebpf::kHelperMapLookup},
+      {Op::MovReg, 0, 2, 0, 0},  // r2 was clobbered by the call
+      {Op::Exit, 0, 0, 0, 0},
+  };
+  const auto r = vm.load(std::move(prog), kCtx);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(std::string::npos, r.error.find("uninitialized"));
+}
+
+// ---- VM execution ----
+
+class VmTest : public ::testing::Test {
+ protected:
+  void SetUp() override { sim::set_current(&thread_); }
+  void TearDown() override { sim::set_current(nullptr); }
+  sim::SimThread thread_{0};
+};
+
+TEST_F(VmTest, ArithmeticAndControlFlow) {
+  Vm vm;
+  // r0 = (ctx[0] * 3 + 5) ^ ctx[8], via a branch on ctx[16].
+  std::vector<Insn> prog = {
+      {Op::LdCtx8, 0, 0, 0, 0},
+      {Op::MulImm, 0, 0, 0, 3},
+      {Op::AddImm, 0, 0, 0, 5},
+      {Op::LdCtx8, 1, 0, 8, 0},
+      {Op::XorReg, 0, 1, 0, 0},
+      {Op::LdCtx8, 2, 0, 16, 0},
+      {Op::JeqImm, 2, 0, +1, 0},      // ctx[16]==0 -> skip the double
+      {Op::AddReg, 0, 0, 0, 0},       // r0 += r0
+      {Op::Exit, 0, 0, 0, 0},
+  };
+  ASSERT_TRUE(vm.load(std::move(prog), kCtx).ok);
+
+  std::array<std::byte, kCtx> ctx{};
+  set_ctx_u64(ctx, 0, 7);
+  set_ctx_u64(ctx, 8, 2);
+  set_ctx_u64(ctx, 16, 0);
+  auto r = vm.run(ctx);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((7u * 3 + 5) ^ 2u, r.value());
+
+  set_ctx_u64(ctx, 16, 1);
+  r = vm.run(ctx);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(((7u * 3 + 5) ^ 2u) * 2, r.value());
+}
+
+TEST_F(VmTest, StoresReachTheContext) {
+  Vm vm;
+  std::vector<Insn> prog = {
+      {Op::LdCtx8, 1, 0, 0, 0},
+      {Op::AddImm, 1, 0, 0, 100},
+      {Op::StCtx8, 0, 1, 8, 0},
+      {Op::StCtxImm, 0, 0, 16, 0xbeef},
+      {Op::MovImm, 0, 0, 0, 0},
+      {Op::Exit, 0, 0, 0, 0},
+  };
+  ASSERT_TRUE(vm.load(std::move(prog), kCtx).ok);
+  std::array<std::byte, kCtx> ctx{};
+  set_ctx_u64(ctx, 0, 11);
+  ASSERT_TRUE(vm.run(ctx).ok());
+  EXPECT_EQ(111U, ctx_u64(ctx, 8));
+  EXPECT_EQ(0xbeefU, ctx_u64(ctx, 16));
+}
+
+TEST_F(VmTest, MapLookupUpdateDeleteRoundTrip) {
+  Vm vm;
+  const auto map_id = vm.add_map(/*key=*/8, /*value=*/8, /*max=*/8);
+  // Program: update map[ctx[0..8]] = ctx[8..16], then look it back up
+  // into ctx[16..24]; r0 = lookup result.
+  std::vector<Insn> prog = {
+      {Op::MovImm, 1, 0, 0, map_id},
+      {Op::MovImm, 2, 0, 0, 0},
+      {Op::MovImm, 3, 0, 0, 8},
+      {Op::Call, 0, 0, 0, ebpf::kHelperMapUpdate},
+      {Op::MovImm, 1, 0, 0, map_id},
+      {Op::MovImm, 2, 0, 0, 0},
+      {Op::MovImm, 3, 0, 0, 16},
+      {Op::Call, 0, 0, 0, ebpf::kHelperMapLookup},
+      {Op::Exit, 0, 0, 0, 0},
+  };
+  ASSERT_TRUE(vm.load(std::move(prog), kCtx).ok);
+
+  std::array<std::byte, kCtx> ctx{};
+  set_ctx_u64(ctx, 0, 0x1234);
+  set_ctx_u64(ctx, 8, 0x5678);
+  auto r = vm.run(ctx);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(1U, r.value());           // hit
+  EXPECT_EQ(0x5678U, ctx_u64(ctx, 16));
+}
+
+TEST_F(VmTest, MapMissReturnsZero) {
+  Vm vm;
+  const auto map_id = vm.add_map(8, 8, 8);
+  std::vector<Insn> prog = {
+      {Op::MovImm, 1, 0, 0, map_id},
+      {Op::MovImm, 2, 0, 0, 0},
+      {Op::MovImm, 3, 0, 0, 8},
+      {Op::Call, 0, 0, 0, ebpf::kHelperMapLookup},
+      {Op::Exit, 0, 0, 0, 0},
+  };
+  ASSERT_TRUE(vm.load(std::move(prog), kCtx).ok);
+  std::array<std::byte, kCtx> ctx{};
+  auto r = vm.run(ctx);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(0U, r.value());
+}
+
+TEST_F(VmTest, MapCapacityBoundsEnforced) {
+  ebpf::BpfMap map(8, 8, 2);
+  std::array<std::byte, 8> k{}, v{};
+  for (std::uint64_t i = 0; i < 2; ++i) {
+    std::memcpy(k.data(), &i, 8);
+    EXPECT_TRUE(map.update(k, v));
+  }
+  std::uint64_t i = 99;
+  std::memcpy(k.data(), &i, 8);
+  EXPECT_FALSE(map.update(k, v));  // full
+  i = 0;
+  std::memcpy(k.data(), &i, 8);
+  EXPECT_TRUE(map.update(k, v));   // overwrite existing still fine
+  EXPECT_TRUE(map.erase(k));
+  i = 99;
+  std::memcpy(k.data(), &i, 8);
+  EXPECT_TRUE(map.update(k, v));   // room again
+}
+
+TEST_F(VmTest, DynamicBadHelperOffsetTraps) {
+  Vm vm;
+  const auto map_id = vm.add_map(8, 8, 8);
+  // Key offset 60 + key size 8 > ctx 64: the verifier cannot see register
+  // values, so this traps at runtime.
+  std::vector<Insn> prog = {
+      {Op::MovImm, 1, 0, 0, map_id},
+      {Op::MovImm, 2, 0, 0, 60},
+      {Op::MovImm, 3, 0, 0, 8},
+      {Op::Call, 0, 0, 0, ebpf::kHelperMapLookup},
+      {Op::Exit, 0, 0, 0, 0},
+  };
+  ASSERT_TRUE(vm.load(std::move(prog), kCtx).ok);
+  std::array<std::byte, kCtx> ctx{};
+  auto r = vm.run(ctx);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(1U, vm.stats().traps);
+}
+
+TEST_F(VmTest, RunChargesVirtualTimePerInstruction) {
+  Vm vm;
+  std::vector<Insn> prog;
+  for (int i = 0; i < 99; ++i) prog.push_back({Op::MovImm, 0, 0, 0, i});
+  prog.push_back({Op::Exit, 0, 0, 0, 0});
+  ASSERT_TRUE(vm.load(std::move(prog), kCtx).ok);
+  std::array<std::byte, kCtx> ctx{};
+  const auto t0 = sim::now();
+  ASSERT_TRUE(vm.run(ctx).ok());
+  EXPECT_EQ(100 * sim::costs().ebpf_insn, sim::now() - t0);
+  EXPECT_EQ(100U, vm.stats().insns);
+}
+
+TEST_F(VmTest, WrongCtxSizeRejectedAtRun) {
+  Vm vm;
+  std::vector<Insn> prog = {{Op::MovImm, 0, 0, 0, 0},
+                            {Op::Exit, 0, 0, 0, 0}};
+  ASSERT_TRUE(vm.load(std::move(prog), kCtx).ok);
+  std::array<std::byte, 32> small{};
+  EXPECT_FALSE(vm.run(small).ok());
+}
+
+}  // namespace
+}  // namespace bsim::test

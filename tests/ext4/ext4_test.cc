@@ -1,0 +1,194 @@
+// Unit tests for the ext4 comparator: block groups, journal commit and
+// recovery, group commit, and the directory index.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "../testutil.h"
+#include "sim/runner.h"
+
+namespace bsim::test {
+namespace {
+
+using kern::Err;
+
+class Ext4Test : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sim::set_current(&thread_);
+    blk::DeviceParams params;
+    params.nblocks = 65536;  // 256 MiB
+    auto& dev = kernel_.add_device("ssd0", params);
+    ext4::mkfs(dev, /*inodes_per_group=*/4096);
+    register_all_xv6(kernel_);
+    ASSERT_EQ(Err::Ok, kernel_.mount("ext4j", "ssd0", "/mnt"));
+    mount_ = static_cast<ext4::Ext4Mount*>(kernel_.sb_at("/mnt")->fs_info);
+    ASSERT_NE(mount_, nullptr);
+  }
+
+  kern::Process& proc() { return kernel_.proc(); }
+
+  sim::SimThread thread_{0};
+  kern::Kernel kernel_;
+  ext4::Ext4Mount* mount_ = nullptr;
+};
+
+TEST_F(Ext4Test, MetadataOpsDoNotCommitSynchronously) {
+  // The mechanism behind ext4's untar/fileserver advantage: creates join
+  // the running transaction in memory; no journal commit per operation.
+  const auto before = mount_->journal_stats().commits;
+  for (int i = 0; i < 50; ++i) {
+    auto fd = kernel_.open(proc(), "/mnt/f" + std::to_string(i),
+                           kern::kOCreat | kern::kOWrOnly);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_EQ(Err::Ok, kernel_.close(proc(), fd.value()));
+  }
+  EXPECT_EQ(mount_->journal_stats().commits, before);  // still uncommitted
+  ASSERT_EQ(Err::Ok, kernel_.sync(proc()));
+  EXPECT_GT(mount_->journal_stats().commits, before);  // one batched commit
+}
+
+TEST_F(Ext4Test, FsyncCommitsTheRunningTransaction) {
+  auto fd = kernel_.open(proc(), "/mnt/d", kern::kOCreat | kern::kOWrOnly);
+  ASSERT_TRUE(fd.ok());
+  std::vector<std::byte> data(16384, std::byte{7});
+  ASSERT_TRUE(kernel_.write(proc(), fd.value(), data).ok());
+  const auto before = mount_->journal_stats().commits;
+  ASSERT_EQ(Err::Ok, kernel_.fsync(proc(), fd.value()));
+  EXPECT_GT(mount_->journal_stats().commits, before);
+  // data=journal: the file data itself went through the journal.
+  EXPECT_GE(mount_->journal_stats().blocks_journaled, 4u);
+  ASSERT_EQ(Err::Ok, kernel_.close(proc(), fd.value()));
+}
+
+TEST_F(Ext4Test, JournalRecoveryReplaysCommittedTransaction) {
+  // Write + fsync, snapshot the device, then re-point a fresh kernel at
+  // the snapshot: mount-time recovery must yield the same contents.
+  auto fd = kernel_.open(proc(), "/mnt/r", kern::kOCreat | kern::kOWrOnly);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(kernel_.write(proc(), fd.value(), as_bytes("recovered")).ok());
+  ASSERT_EQ(Err::Ok, kernel_.fsync(proc(), fd.value()));
+  ASSERT_EQ(Err::Ok, kernel_.close(proc(), fd.value()));
+
+  // Copy image.
+  auto* dev = kernel_.device("ssd0");
+  kern::Kernel kernel2;
+  blk::DeviceParams params;
+  params.nblocks = dev->nblocks();
+  auto& dev2 = kernel2.add_device("ssd0", params);
+  std::array<std::byte, blk::kBlockSize> buf{};
+  for (std::uint64_t b = 0; b < dev->nblocks(); ++b) {
+    dev->read_untimed(b, buf);
+    dev2.write_untimed(b, buf);
+  }
+  register_all_xv6(kernel2);
+  ASSERT_EQ(Err::Ok, kernel2.mount("ext4j", "ssd0", "/mnt"));
+  auto fd2 = kernel2.open(kernel2.proc(), "/mnt/r", kern::kORdOnly);
+  ASSERT_TRUE(fd2.ok());
+  std::vector<std::byte> rbuf(32);
+  auto r = kernel2.read(kernel2.proc(), fd2.value(), rbuf);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(to_string({rbuf.data(), r.value()}), "recovered");
+  ASSERT_EQ(Err::Ok, kernel2.close(kernel2.proc(), fd2.value()));
+}
+
+TEST_F(Ext4Test, AllocationUsesMultipleGroups) {
+  // Write enough data that allocation must spill beyond group 0.
+  auto fd = kernel_.open(proc(), "/mnt/big", kern::kOCreat | kern::kOWrOnly);
+  ASSERT_TRUE(fd.ok());
+  std::vector<std::byte> mb(1 << 20, std::byte{1});
+  for (int i = 0; i < 64; ++i) {  // 64 MiB
+    ASSERT_TRUE(kernel_.write(proc(), fd.value(), mb).ok());
+  }
+  ASSERT_EQ(Err::Ok, kernel_.fsync(proc(), fd.value()));
+  ASSERT_EQ(Err::Ok, kernel_.close(proc(), fd.value()));
+  auto st = kernel_.statfs(proc(), "/mnt");
+  ASSERT_TRUE(st.ok());
+  EXPECT_LT(st.value().free_blocks + 16384,
+            st.value().total_blocks);  // >16k blocks in use
+}
+
+TEST_F(Ext4Test, FreeCountsRestoreAfterDelete) {
+  const auto free0 = mount_->free_blocks_total();
+  const auto inodes0 = mount_->free_inodes_total();
+  auto fd = kernel_.open(proc(), "/mnt/tmp", kern::kOCreat | kern::kOWrOnly);
+  ASSERT_TRUE(fd.ok());
+  std::vector<std::byte> data(1 << 20, std::byte{1});
+  ASSERT_TRUE(kernel_.write(proc(), fd.value(), data).ok());
+  ASSERT_EQ(Err::Ok, kernel_.fsync(proc(), fd.value()));
+  ASSERT_EQ(Err::Ok, kernel_.close(proc(), fd.value()));
+  EXPECT_LT(mount_->free_blocks_total(), free0);
+
+  ASSERT_EQ(Err::Ok, kernel_.unlink(proc(), "/mnt/tmp"));
+  EXPECT_EQ(mount_->free_blocks_total(), free0);
+  EXPECT_EQ(mount_->free_inodes_total(), inodes0);
+}
+
+TEST_F(Ext4Test, DirIndexSurvivesChurn) {
+  ASSERT_EQ(Err::Ok, kernel_.mkdir(proc(), "/mnt/idx"));
+  for (int i = 0; i < 500; ++i) {
+    auto fd = kernel_.open(proc(), "/mnt/idx/e" + std::to_string(i),
+                           kern::kOCreat | kern::kOWrOnly);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_EQ(Err::Ok, kernel_.close(proc(), fd.value()));
+  }
+  for (int i = 0; i < 500; i += 2) {
+    ASSERT_EQ(Err::Ok, kernel_.unlink(proc(), "/mnt/idx/e" + std::to_string(i)));
+  }
+  for (int i = 0; i < 500; ++i) {
+    const bool should_exist = i % 2 == 1;
+    EXPECT_EQ(kernel_.stat(proc(), "/mnt/idx/e" + std::to_string(i)).ok(),
+              should_exist)
+        << i;
+  }
+  auto entries = kernel_.readdir(proc(), "/mnt/idx");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries.value().size(), 2u + 250u);
+}
+
+TEST_F(Ext4Test, GroupCommitSharesFlushes) {
+  // Two fsyncs whose commits land within one flush window share a FLUSH;
+  // exercised here through the journal's accounting by issuing commits
+  // from interleaved virtual threads in the runner.
+  // (The macro varmail benchmark shows the end-to-end effect; this test
+  // pins the mechanism.)
+  class Syncer final : public sim::Workload {
+   public:
+    Syncer(kern::Kernel& k, std::string path, int id)
+        : kernel_(k), path_(std::move(path)), id_(id) {}
+    void setup() override {
+      proc_ = kernel_.new_process();
+      auto fd = kernel_.open(*proc_, path_ + std::to_string(id_),
+                             kern::kOCreat | kern::kOWrOnly);
+      fd_ = fd.value();
+    }
+    std::int64_t step() override {
+      if (steps_-- == 0) return -1;
+      std::vector<std::byte> data(4096, std::byte{1});
+      (void)kernel_.write(*proc_, fd_, data);
+      (void)kernel_.fsync(*proc_, fd_);
+      return 4096;
+    }
+
+   private:
+    kern::Kernel& kernel_;
+    std::string path_;
+    int id_;
+    int steps_ = 20;
+    std::unique_ptr<kern::Process> proc_;
+    int fd_ = -1;
+  };
+
+  std::vector<std::unique_ptr<sim::Workload>> jobs;
+  for (int i = 0; i < 8; ++i) {
+    jobs.push_back(std::make_unique<Syncer>(kernel_, "/mnt/gc", i));
+  }
+  sim::RunnerOptions opts;
+  opts.horizon = 10 * sim::kSecond;
+  (void)sim::run_workloads(jobs, opts);
+  EXPECT_GT(mount_->journal_stats().shared_commits, 0u);
+}
+
+}  // namespace
+}  // namespace bsim::test

@@ -1,0 +1,381 @@
+// Integration tests: the full stack — syscalls -> VFS -> interposition
+// layer -> xv6 file system -> block backend -> device — behaving like
+// POSIX. Parameterized over all three deployments of the same file system
+// (paper §6.2): kernel Bento, the VFS C baseline, and FUSE userspace.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "../testutil.h"
+
+namespace bsim::test {
+namespace {
+
+using kern::Err;
+using kern::FileType;
+
+class PosixFsTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    sim::set_current(&thread_);
+    blk::DeviceParams params;
+    params.nblocks = 32768;  // 128 MiB
+    auto& dev = kernel_.add_device("ssd0", params);
+    if (std::string_view(GetParam()) == "ext4j") {
+      ext4::mkfs(dev, /*inodes_per_group=*/4096);
+    } else {
+      xv6::mkfs(dev, /*ninodes=*/4096);
+    }
+    register_all_xv6(kernel_);
+    ASSERT_EQ(kern::Err::Ok, kernel_.mount(GetParam(), "ssd0", "/mnt"));
+  }
+
+  kern::Process& proc() { return kernel_.proc(); }
+
+  sim::SimThread thread_{0};
+  kern::Kernel kernel_;
+};
+
+INSTANTIATE_TEST_SUITE_P(AllDeployments, PosixFsTest,
+                         ::testing::Values("xv6_bento", "xv6_vfs",
+                                           "xv6_fuse", "ext4j",
+                                           "xv6_nvmlog"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+TEST_P(PosixFsTest, CreateWriteReadBack) {
+  auto fd = kernel_.open(proc(), "/mnt/hello.txt",
+                         kern::kOCreat | kern::kORdWr);
+  ASSERT_TRUE(fd.ok());
+  auto w = kernel_.write(proc(), fd.value(), as_bytes("hello, bento"));
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w.value(), 12u);
+  ASSERT_EQ(Err::Ok, kernel_.close(proc(), fd.value()));
+
+  fd = kernel_.open(proc(), "/mnt/hello.txt", kern::kORdOnly);
+  ASSERT_TRUE(fd.ok());
+  std::vector<std::byte> buf(64);
+  auto r = kernel_.read(proc(), fd.value(), buf);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(to_string({buf.data(), r.value()}), "hello, bento");
+  ASSERT_EQ(Err::Ok, kernel_.close(proc(), fd.value()));
+}
+
+TEST_P(PosixFsTest, OpenMissingFileFails) {
+  auto fd = kernel_.open(proc(), "/mnt/nope", kern::kORdOnly);
+  ASSERT_FALSE(fd.ok());
+  EXPECT_EQ(fd.error(), Err::NoEnt);
+}
+
+TEST_P(PosixFsTest, OExclFailsOnExisting) {
+  auto fd = kernel_.open(proc(), "/mnt/f", kern::kOCreat | kern::kOWrOnly);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_EQ(Err::Ok, kernel_.close(proc(), fd.value()));
+  auto fd2 = kernel_.open(proc(), "/mnt/f",
+                          kern::kOCreat | kern::kOExcl | kern::kOWrOnly);
+  ASSERT_FALSE(fd2.ok());
+  EXPECT_EQ(fd2.error(), Err::Exist);
+}
+
+TEST_P(PosixFsTest, StatReportsSizeAndType) {
+  auto fd = kernel_.open(proc(), "/mnt/s", kern::kOCreat | kern::kOWrOnly);
+  ASSERT_TRUE(fd.ok());
+  std::vector<std::byte> data(10000, std::byte{1});
+  ASSERT_TRUE(kernel_.write(proc(), fd.value(), data).ok());
+  ASSERT_EQ(Err::Ok, kernel_.close(proc(), fd.value()));
+
+  auto st = kernel_.stat(proc(), "/mnt/s");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st.value().size, 10000u);
+  EXPECT_EQ(st.value().type, FileType::Regular);
+  EXPECT_EQ(st.value().nlink, 1u);
+}
+
+TEST_P(PosixFsTest, AppendFlag) {
+  auto fd = kernel_.open(proc(), "/mnt/log", kern::kOCreat | kern::kOWrOnly);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(kernel_.write(proc(), fd.value(), as_bytes("aaa")).ok());
+  ASSERT_EQ(Err::Ok, kernel_.close(proc(), fd.value()));
+
+  fd = kernel_.open(proc(), "/mnt/log", kern::kOWrOnly | kern::kOAppend);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(kernel_.write(proc(), fd.value(), as_bytes("bbb")).ok());
+  ASSERT_EQ(Err::Ok, kernel_.close(proc(), fd.value()));
+
+  auto st = kernel_.stat(proc(), "/mnt/log");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st.value().size, 6u);
+}
+
+TEST_P(PosixFsTest, PreadPwriteAtOffsets) {
+  auto fd = kernel_.open(proc(), "/mnt/p", kern::kOCreat | kern::kORdWr);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(kernel_.pwrite(proc(), fd.value(), as_bytes("XY"), 8000).ok());
+  std::vector<std::byte> buf(2);
+  auto r = kernel_.pread(proc(), fd.value(), buf, 8000);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(to_string({buf.data(), 2}), "XY");
+  // The hole before offset 8000 reads as zeros.
+  auto hole = kernel_.pread(proc(), fd.value(), buf, 100);
+  ASSERT_TRUE(hole.ok());
+  EXPECT_EQ(buf[0], std::byte{0});
+  ASSERT_EQ(Err::Ok, kernel_.close(proc(), fd.value()));
+}
+
+TEST_P(PosixFsTest, LseekEnd) {
+  auto fd = kernel_.open(proc(), "/mnt/seek", kern::kOCreat | kern::kORdWr);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(kernel_.write(proc(), fd.value(), as_bytes("0123456789")).ok());
+  auto pos = kernel_.lseek(proc(), fd.value(), -4, kern::Whence::End);
+  ASSERT_TRUE(pos.ok());
+  EXPECT_EQ(pos.value(), 6u);
+  std::vector<std::byte> buf(4);
+  auto r = kernel_.read(proc(), fd.value(), buf);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(to_string({buf.data(), 4}), "6789");
+  ASSERT_EQ(Err::Ok, kernel_.close(proc(), fd.value()));
+}
+
+TEST_P(PosixFsTest, MkdirReaddirRmdir) {
+  ASSERT_EQ(Err::Ok, kernel_.mkdir(proc(), "/mnt/d"));
+  for (const char* name : {"a", "b", "c"}) {
+    auto fd = kernel_.open(proc(), std::string("/mnt/d/") + name,
+                           kern::kOCreat | kern::kOWrOnly);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_EQ(Err::Ok, kernel_.close(proc(), fd.value()));
+  }
+  auto entries = kernel_.readdir(proc(), "/mnt/d");
+  ASSERT_TRUE(entries.ok());
+  std::vector<std::string> names;
+  for (const auto& e : entries.value()) names.push_back(e.name);
+  EXPECT_EQ(names,
+            (std::vector<std::string>{".", "..", "a", "b", "c"}));
+
+  EXPECT_EQ(kernel_.rmdir(proc(), "/mnt/d"), Err::NotEmpty);
+  for (const char* name : {"a", "b", "c"}) {
+    ASSERT_EQ(Err::Ok, kernel_.unlink(proc(), std::string("/mnt/d/") + name));
+  }
+  EXPECT_EQ(kernel_.rmdir(proc(), "/mnt/d"), Err::Ok);
+  EXPECT_EQ(kernel_.stat(proc(), "/mnt/d").error(), Err::NoEnt);
+}
+
+TEST_P(PosixFsTest, NestedDirectories) {
+  ASSERT_EQ(Err::Ok, kernel_.mkdir(proc(), "/mnt/a"));
+  ASSERT_EQ(Err::Ok, kernel_.mkdir(proc(), "/mnt/a/b"));
+  ASSERT_EQ(Err::Ok, kernel_.mkdir(proc(), "/mnt/a/b/c"));
+  auto fd = kernel_.open(proc(), "/mnt/a/b/c/deep.txt",
+                         kern::kOCreat | kern::kOWrOnly);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_EQ(Err::Ok, kernel_.close(proc(), fd.value()));
+  auto st = kernel_.stat(proc(), "/mnt/a/b/c/deep.txt");
+  ASSERT_TRUE(st.ok());
+}
+
+TEST_P(PosixFsTest, UnlinkRemovesAndFreesSpace) {
+  auto before = kernel_.statfs(proc(), "/mnt");
+  ASSERT_TRUE(before.ok());
+
+  auto fd = kernel_.open(proc(), "/mnt/big", kern::kOCreat | kern::kOWrOnly);
+  ASSERT_TRUE(fd.ok());
+  std::vector<std::byte> mb(1 << 20, std::byte{7});
+  ASSERT_TRUE(kernel_.write(proc(), fd.value(), mb).ok());
+  ASSERT_EQ(Err::Ok, kernel_.close(proc(), fd.value()));
+
+  auto during = kernel_.statfs(proc(), "/mnt");
+  ASSERT_TRUE(during.ok());
+  EXPECT_LT(during.value().free_blocks, before.value().free_blocks);
+
+  ASSERT_EQ(Err::Ok, kernel_.unlink(proc(), "/mnt/big"));
+  auto after = kernel_.statfs(proc(), "/mnt");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().free_blocks, before.value().free_blocks);
+  EXPECT_EQ(after.value().free_inodes, before.value().free_inodes);
+}
+
+TEST_P(PosixFsTest, RenameMovesFile) {
+  ASSERT_EQ(Err::Ok, kernel_.mkdir(proc(), "/mnt/src"));
+  ASSERT_EQ(Err::Ok, kernel_.mkdir(proc(), "/mnt/dst"));
+  auto fd = kernel_.open(proc(), "/mnt/src/x", kern::kOCreat | kern::kOWrOnly);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(kernel_.write(proc(), fd.value(), as_bytes("payload")).ok());
+  ASSERT_EQ(Err::Ok, kernel_.close(proc(), fd.value()));
+
+  ASSERT_EQ(Err::Ok, kernel_.rename(proc(), "/mnt/src/x", "/mnt/dst/y"));
+  EXPECT_EQ(kernel_.stat(proc(), "/mnt/src/x").error(), Err::NoEnt);
+  auto st = kernel_.stat(proc(), "/mnt/dst/y");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st.value().size, 7u);
+}
+
+TEST_P(PosixFsTest, RenameOverwritesTarget) {
+  for (const char* n : {"/mnt/o1", "/mnt/o2"}) {
+    auto fd = kernel_.open(proc(), n, kern::kOCreat | kern::kOWrOnly);
+    ASSERT_TRUE(fd.ok());
+    ASSERT_TRUE(kernel_.write(proc(), fd.value(), as_bytes(n)).ok());
+    ASSERT_EQ(Err::Ok, kernel_.close(proc(), fd.value()));
+  }
+  ASSERT_EQ(Err::Ok, kernel_.rename(proc(), "/mnt/o1", "/mnt/o2"));
+  auto st = kernel_.stat(proc(), "/mnt/o2");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st.value().size, 7u);  // "/mnt/o1"
+  EXPECT_EQ(kernel_.stat(proc(), "/mnt/o1").error(), Err::NoEnt);
+}
+
+TEST_P(PosixFsTest, TruncateShrinkAndGrow) {
+  auto fd = kernel_.open(proc(), "/mnt/t", kern::kOCreat | kern::kOWrOnly);
+  ASSERT_TRUE(fd.ok());
+  std::vector<std::byte> data(50000, std::byte{9});
+  ASSERT_TRUE(kernel_.write(proc(), fd.value(), data).ok());
+  ASSERT_EQ(Err::Ok, kernel_.close(proc(), fd.value()));
+
+  ASSERT_EQ(Err::Ok, kernel_.truncate(proc(), "/mnt/t", 100));
+  auto st = kernel_.stat(proc(), "/mnt/t");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st.value().size, 100u);
+
+  // Bytes within the kept range survive; the tail rereads as zero after
+  // growing again.
+  ASSERT_EQ(Err::Ok, kernel_.truncate(proc(), "/mnt/t", 9000));
+  fd = kernel_.open(proc(), "/mnt/t", kern::kORdOnly);
+  ASSERT_TRUE(fd.ok());
+  std::vector<std::byte> buf(9000);
+  auto r = kernel_.read(proc(), fd.value(), buf);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value(), 9000u);
+  EXPECT_EQ(buf[99], std::byte{9});
+  EXPECT_EQ(buf[100], std::byte{0});
+  EXPECT_EQ(buf[8999], std::byte{0});
+  ASSERT_EQ(Err::Ok, kernel_.close(proc(), fd.value()));
+}
+
+TEST_P(PosixFsTest, OTruncClearsContent) {
+  auto fd = kernel_.open(proc(), "/mnt/tr", kern::kOCreat | kern::kOWrOnly);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(kernel_.write(proc(), fd.value(), as_bytes("old")).ok());
+  ASSERT_EQ(Err::Ok, kernel_.close(proc(), fd.value()));
+  fd = kernel_.open(proc(), "/mnt/tr", kern::kOWrOnly | kern::kOTrunc);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_EQ(Err::Ok, kernel_.close(proc(), fd.value()));
+  auto st = kernel_.stat(proc(), "/mnt/tr");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st.value().size, 0u);
+}
+
+TEST_P(PosixFsTest, LargeFileThroughIndirectBlocks) {
+  // Cross the direct (10 blocks = 40 KiB) and into the indirect range.
+  auto fd = kernel_.open(proc(), "/mnt/large", kern::kOCreat | kern::kORdWr);
+  ASSERT_TRUE(fd.ok());
+  std::vector<std::byte> chunk(1 << 20);
+  for (std::size_t i = 0; i < chunk.size(); ++i) {
+    chunk[i] = static_cast<std::byte>(i * 31 / 4096);
+  }
+  for (int mb = 0; mb < 8; ++mb) {
+    ASSERT_TRUE(kernel_.write(proc(), fd.value(), chunk).ok());
+  }
+  ASSERT_EQ(Err::Ok, kernel_.fsync(proc(), fd.value()));
+
+  // Read back scattered offsets and verify contents.
+  std::vector<std::byte> buf(4096);
+  for (std::uint64_t off :
+       {0ULL, 39ULL * 4096, 41ULL * 4096, (4ULL << 20) + 4096}) {
+    auto r = kernel_.pread(proc(), fd.value(), buf, off);
+    ASSERT_TRUE(r.ok());
+    const std::size_t within = (off % (1 << 20)) / 1;
+    for (int i = 0; i < 16; ++i) {
+      EXPECT_EQ(buf[static_cast<std::size_t>(i)],
+                chunk[within + static_cast<std::size_t>(i)])
+          << "offset " << off << " byte " << i;
+    }
+  }
+  ASSERT_EQ(Err::Ok, kernel_.close(proc(), fd.value()));
+}
+
+TEST_P(PosixFsTest, PersistsAcrossRemount) {
+  auto fd = kernel_.open(proc(), "/mnt/persist", kern::kOCreat | kern::kOWrOnly);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(kernel_.write(proc(), fd.value(), as_bytes("durable")).ok());
+  ASSERT_EQ(Err::Ok, kernel_.fsync(proc(), fd.value()));
+  ASSERT_EQ(Err::Ok, kernel_.close(proc(), fd.value()));
+
+  ASSERT_EQ(Err::Ok, kernel_.umount("/mnt"));
+  ASSERT_EQ(Err::Ok, kernel_.mount(GetParam(), "ssd0", "/mnt"));
+
+  fd = kernel_.open(proc(), "/mnt/persist", kern::kORdOnly);
+  ASSERT_TRUE(fd.ok());
+  std::vector<std::byte> buf(16);
+  auto r = kernel_.read(proc(), fd.value(), buf);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(to_string({buf.data(), r.value()}), "durable");
+  ASSERT_EQ(Err::Ok, kernel_.close(proc(), fd.value()));
+}
+
+TEST_P(PosixFsTest, ManyFilesInOneDirectory) {
+  ASSERT_EQ(Err::Ok, kernel_.mkdir(proc(), "/mnt/many"));
+  for (int i = 0; i < 300; ++i) {
+    auto fd = kernel_.open(proc(), "/mnt/many/f" + std::to_string(i),
+                           kern::kOCreat | kern::kOWrOnly);
+    ASSERT_TRUE(fd.ok()) << i;
+    ASSERT_EQ(Err::Ok, kernel_.close(proc(), fd.value()));
+  }
+  auto entries = kernel_.readdir(proc(), "/mnt/many");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries.value().size(), 302u);  // ".", "..", 300 files
+  auto st = kernel_.stat(proc(), "/mnt/many/f299");
+  ASSERT_TRUE(st.ok());
+}
+
+TEST_P(PosixFsTest, FsyncAndSyncSucceed) {
+  auto fd = kernel_.open(proc(), "/mnt/sy", kern::kOCreat | kern::kOWrOnly);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(kernel_.write(proc(), fd.value(), as_bytes("x")).ok());
+  EXPECT_EQ(Err::Ok, kernel_.fsync(proc(), fd.value()));
+  EXPECT_EQ(Err::Ok, kernel_.close(proc(), fd.value()));
+  EXPECT_EQ(Err::Ok, kernel_.sync(proc()));
+}
+
+TEST_P(PosixFsTest, StatfsGeometry) {
+  auto st = kernel_.statfs(proc(), "/mnt");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st.value().block_size, 4096u);
+  EXPECT_GT(st.value().total_blocks, 0u);
+  EXPECT_GT(st.value().free_blocks, 0u);
+  EXPECT_EQ(st.value().total_inodes, 4096u);
+}
+
+TEST_P(PosixFsTest, WriteReturnsBadFOnReadOnlyFd) {
+  auto fd = kernel_.open(proc(), "/mnt/ro", kern::kOCreat | kern::kOWrOnly);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_EQ(Err::Ok, kernel_.close(proc(), fd.value()));
+  fd = kernel_.open(proc(), "/mnt/ro", kern::kORdOnly);
+  ASSERT_TRUE(fd.ok());
+  auto w = kernel_.write(proc(), fd.value(), as_bytes("no"));
+  EXPECT_EQ(w.error(), Err::BadF);
+  ASSERT_EQ(Err::Ok, kernel_.close(proc(), fd.value()));
+}
+
+TEST_F(BentoXv6Fixture, BorrowLedgerBalancedAfterWorkload) {
+  // The ownership-model contract (§4.4): after any sequence of operations,
+  // the file system must have returned every borrowed capability.
+  for (int i = 0; i < 50; ++i) {
+    auto fd = kernel_.open(proc(), "/mnt/w" + std::to_string(i),
+                           kern::kOCreat | kern::kORdWr);
+    ASSERT_TRUE(fd.ok());
+    std::vector<std::byte> data(8192, std::byte{4});
+    ASSERT_TRUE(kernel_.write(proc(), fd.value(), data).ok());
+    ASSERT_EQ(Err::Ok, kernel_.fsync(proc(), fd.value()));
+    ASSERT_EQ(Err::Ok, kernel_.close(proc(), fd.value()));
+  }
+  auto* sb = kernel_.sb_at("/mnt");
+  ASSERT_NE(sb, nullptr);
+  auto* module = bento::BentoModule::from(*sb);
+  ASSERT_NE(module, nullptr);
+  EXPECT_TRUE(module->ledger().balanced());
+  EXPECT_GT(module->ledger().total(), 0);
+  // And no buffer references leaked either (RAII BufferHeadHandle).
+  EXPECT_EQ(sb->bufcache().outstanding_refs(), 0u);
+}
+
+}  // namespace
+}  // namespace bsim::test

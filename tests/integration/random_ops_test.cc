@@ -1,0 +1,217 @@
+// Property test: random operation sequences against an in-memory oracle.
+//
+// For each (file system, seed) we run several hundred random namespace and
+// data operations through the syscall surface, mirroring every mutation in
+// a simple in-memory model, and continuously check that the file system
+// and the model agree — contents, sizes, existence, directory listings —
+// including after unmount/remount.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "../testutil.h"
+
+namespace bsim::test {
+namespace {
+
+using kern::Err;
+
+struct Model {
+  // Path -> contents for files; set of directories.
+  std::map<std::string, std::string> files;
+  std::vector<std::string> dirs{"/mnt"};
+
+  [[nodiscard]] bool dir_exists(const std::string& d) const {
+    return std::find(dirs.begin(), dirs.end(), d) != dirs.end();
+  }
+  [[nodiscard]] bool dir_empty(const std::string& d) const {
+    for (const auto& [p, _] : files) {
+      if (p.starts_with(d + "/")) return false;
+    }
+    for (const auto& sub : dirs) {
+      if (sub != d && sub.starts_with(d + "/")) return false;
+    }
+    return true;
+  }
+};
+
+struct Case {
+  const char* fs;
+  std::uint64_t seed;
+  const char* mount_opts = "";
+  const char* tag = "";  // distinguishes option variants in test names
+};
+
+class RandomOps : public ::testing::TestWithParam<Case> {
+ protected:
+  void SetUp() override {
+    sim::set_current(&thread_);
+    blk::DeviceParams params;
+    params.nblocks = 32768;
+    auto& dev = kernel_.add_device("ssd0", params);
+    if (std::string_view(GetParam().fs) == "ext4j") {
+      ext4::mkfs(dev, 4096);
+    } else {
+      xv6::mkfs(dev, 4096);
+    }
+    register_all_xv6(kernel_);
+    ASSERT_EQ(Err::Ok, kernel_.mount(GetParam().fs, "ssd0", "/mnt",
+                                     GetParam().mount_opts));
+  }
+
+  std::string write_file(const std::string& path, sim::Rng& rng) {
+    auto fd = kernel_.open(proc(), path, kern::kOCreat | kern::kORdWr);
+    EXPECT_TRUE(fd.ok()) << path;
+    if (!fd.ok()) return {};
+    std::string data(rng.range(0, 30000),
+                     static_cast<char>('A' + rng.below(26)));
+    EXPECT_TRUE(kernel_.write(proc(), fd.value(), as_bytes(data)).ok());
+    EXPECT_EQ(Err::Ok, kernel_.close(proc(), fd.value()));
+    return data;
+  }
+
+  void verify_file(const std::string& path, const std::string& expect) {
+    auto fd = kernel_.open(proc(), path, kern::kORdOnly);
+    ASSERT_TRUE(fd.ok()) << path;
+    std::vector<std::byte> buf(expect.size() + 64);
+    auto r = kernel_.read(proc(), fd.value(), buf);
+    ASSERT_TRUE(r.ok()) << path;
+    EXPECT_EQ(r.value(), expect.size()) << path;
+    EXPECT_EQ(to_string({buf.data(), r.value()}), expect) << path;
+    ASSERT_EQ(Err::Ok, kernel_.close(proc(), fd.value()));
+  }
+
+  void verify_all(const Model& model) {
+    for (const auto& [path, contents] : model.files) {
+      verify_file(path, contents);
+    }
+    for (const auto& d : model.dirs) {
+      auto st = kernel_.stat(proc(), d);
+      if (d == "/mnt") continue;  // mountpoint is not stat-able by path
+      ASSERT_TRUE(st.ok()) << d;
+      EXPECT_EQ(st.value().type, kern::FileType::Directory) << d;
+    }
+  }
+
+  kern::Process& proc() { return kernel_.proc(); }
+
+  sim::SimThread thread_{0};
+  kern::Kernel kernel_;
+};
+
+TEST_P(RandomOps, AgreesWithOracle) {
+  sim::Rng rng(GetParam().seed);
+  Model model;
+  int next_id = 0;
+
+  for (int step = 0; step < 350; ++step) {
+    const std::uint64_t dice = rng.below(100);
+    if (dice < 30) {
+      // Create or overwrite a file in a random directory.
+      const std::string& dir = model.dirs[rng.below(model.dirs.size())];
+      const std::string path = dir + "/f" + std::to_string(next_id++);
+      model.files[path] = write_file(path, rng);
+    } else if (dice < 45 && !model.files.empty()) {
+      // Overwrite an existing file (O_TRUNC).
+      auto it = model.files.begin();
+      std::advance(it, static_cast<long>(rng.below(model.files.size())));
+      auto fd = kernel_.open(proc(), it->first,
+                             kern::kOWrOnly | kern::kOTrunc);
+      ASSERT_TRUE(fd.ok());
+      std::string data(rng.range(0, 9000), 'q');
+      ASSERT_TRUE(kernel_.write(proc(), fd.value(), as_bytes(data)).ok());
+      ASSERT_EQ(Err::Ok, kernel_.close(proc(), fd.value()));
+      it->second = data;
+    } else if (dice < 58 && !model.files.empty()) {
+      // Unlink a file.
+      auto it = model.files.begin();
+      std::advance(it, static_cast<long>(rng.below(model.files.size())));
+      ASSERT_EQ(Err::Ok, kernel_.unlink(proc(), it->first)) << it->first;
+      model.files.erase(it);
+    } else if (dice < 68) {
+      // mkdir under a random existing dir (bounded depth).
+      const std::string& parent = model.dirs[rng.below(model.dirs.size())];
+      if (std::count(parent.begin(), parent.end(), '/') < 5) {
+        const std::string d = parent + "/d" + std::to_string(next_id++);
+        ASSERT_EQ(Err::Ok, kernel_.mkdir(proc(), d)) << d;
+        model.dirs.push_back(d);
+      }
+    } else if (dice < 74 && model.dirs.size() > 1) {
+      // rmdir an empty directory (if we find one).
+      for (std::size_t i = model.dirs.size(); i-- > 1;) {
+        if (model.dir_empty(model.dirs[i])) {
+          ASSERT_EQ(Err::Ok, kernel_.rmdir(proc(), model.dirs[i]));
+          model.dirs.erase(model.dirs.begin() + static_cast<long>(i));
+          break;
+        }
+      }
+    } else if (dice < 84 && !model.files.empty()) {
+      // rename a file to a fresh name in a random dir.
+      auto it = model.files.begin();
+      std::advance(it, static_cast<long>(rng.below(model.files.size())));
+      const std::string& dir = model.dirs[rng.below(model.dirs.size())];
+      const std::string to = dir + "/r" + std::to_string(next_id++);
+      ASSERT_EQ(Err::Ok, kernel_.rename(proc(), it->first, to))
+          << it->first << " -> " << to;
+      model.files[to] = it->second;
+      model.files.erase(it);
+    } else if (dice < 92 && !model.files.empty()) {
+      // truncate to a random size.
+      auto it = model.files.begin();
+      std::advance(it, static_cast<long>(rng.below(model.files.size())));
+      const std::uint64_t newsize = rng.below(20000);
+      ASSERT_EQ(Err::Ok, kernel_.truncate(proc(), it->first, newsize));
+      if (newsize <= it->second.size()) {
+        it->second.resize(newsize);
+      } else {
+        it->second.resize(newsize, '\0');
+      }
+    } else if (!model.files.empty()) {
+      // spot-check a random file.
+      auto it = model.files.begin();
+      std::advance(it, static_cast<long>(rng.below(model.files.size())));
+      verify_file(it->first, it->second);
+      auto st = kernel_.stat(proc(), it->first);
+      ASSERT_TRUE(st.ok());
+      EXPECT_EQ(st.value().size, it->second.size()) << it->first;
+    }
+  }
+
+  verify_all(model);
+
+  // Durability: everything must survive an unmount/remount cycle.
+  ASSERT_EQ(Err::Ok, kernel_.sync(proc()));
+  ASSERT_EQ(Err::Ok, kernel_.umount("/mnt"));
+  ASSERT_EQ(Err::Ok, kernel_.mount(GetParam().fs, "ssd0", "/mnt",
+                                   GetParam().mount_opts));
+  verify_all(model);
+}
+
+std::vector<Case> cases() {
+  std::vector<Case> out;
+  for (const char* fs :
+       {"xv6_bento", "xv6_vfs", "xv6_fuse", "ext4j", "xv6_nvmlog"}) {
+    for (std::uint64_t seed : {101ULL, 202ULL, 303ULL}) {
+      out.push_back({fs, seed});
+    }
+  }
+  // FUSE with the ExtFUSE eBPF caches: the differential oracle doubles as
+  // a cache-coherence check across every mutation pattern.
+  for (std::uint64_t seed : {101ULL, 202ULL, 303ULL}) {
+    out.push_back({"xv6_fuse", seed, "extfuse", "ext"});
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFses, RandomOps, ::testing::ValuesIn(cases()),
+                         [](const auto& info) {
+                           return std::string(info.param.fs) +
+                                  info.param.tag + "_s" +
+                                  std::to_string(info.param.seed);
+                         });
+
+}  // namespace
+}  // namespace bsim::test

@@ -1,0 +1,145 @@
+// Unit tests for the page cache / address space: read-through, dirty
+// tracking, run coalescing for ->writepages, and truncation.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "kernel/page_cache.h"
+#include "kernel/vfs.h"
+#include "sim/thread.h"
+
+namespace bsim::kern {
+namespace {
+
+/// Records the writeback calls it receives.
+class RecordingAops final : public AddressSpaceOps {
+ public:
+  explicit RecordingAops(bool batched) : batched_(batched) {}
+
+  Err readpage(Inode&, std::uint64_t pgoff,
+               std::span<std::byte> out) override {
+    reads.push_back(pgoff);
+    std::memset(out.data(), static_cast<int>(pgoff & 0xFF), out.size());
+    return Err::Ok;
+  }
+  Err writepage(Inode&, std::uint64_t pgoff,
+                std::span<const std::byte>) override {
+    single_writes.push_back(pgoff);
+    return Err::Ok;
+  }
+  Err writepages(Inode&, std::span<const PageRun> runs) override {
+    for (const auto& r : runs) {
+      run_shapes.emplace_back(r.first_pgoff, r.pages.size());
+    }
+    return Err::Ok;
+  }
+  [[nodiscard]] bool has_writepages() const override { return batched_; }
+
+  std::vector<std::uint64_t> reads;
+  std::vector<std::uint64_t> single_writes;
+  std::vector<std::pair<std::uint64_t, std::size_t>> run_shapes;
+
+ private:
+  bool batched_;
+};
+
+class PageCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override { sim::set_current(&thread_); }
+  void TearDown() override { sim::set_current(nullptr); }
+
+  sim::SimThread thread_{0};
+  blk::BlockDevice dev_{[] {
+    blk::DeviceParams p;
+    p.nblocks = 64;
+    return p;
+  }()};
+  SuperBlock sb_{dev_, 0};
+};
+
+TEST_F(PageCacheTest, ReadThroughOnce) {
+  Inode inode(sb_, 10);
+  RecordingAops aops(false);
+  auto p1 = inode.mapping.read_page(inode, aops, 3);
+  ASSERT_TRUE(p1.ok());
+  auto p2 = inode.mapping.read_page(inode, aops, 3);
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p1.value(), p2.value());
+  EXPECT_EQ(aops.reads.size(), 1u);  // second access was a cache hit
+  EXPECT_EQ(p1.value()->bytes()[0], std::byte{3});
+}
+
+TEST_F(PageCacheTest, DirtyTrackingAndWritepageFallback) {
+  Inode inode(sb_, 10);
+  RecordingAops aops(false);
+  for (std::uint64_t pg : {0ULL, 1ULL, 5ULL}) {
+    auto& page = inode.mapping.find_or_alloc(pg);
+    page.uptodate = true;
+    inode.mapping.mark_dirty(pg);
+  }
+  EXPECT_EQ(inode.mapping.nr_dirty(), 3u);
+  ASSERT_EQ(Err::Ok, inode.mapping.writeback(inode, aops));
+  EXPECT_EQ(aops.single_writes, (std::vector<std::uint64_t>{0, 1, 5}));
+  EXPECT_EQ(inode.mapping.nr_dirty(), 0u);
+}
+
+TEST_F(PageCacheTest, WritepagesCoalescesContiguousRuns) {
+  Inode inode(sb_, 10);
+  RecordingAops aops(true);
+  for (std::uint64_t pg : {0ULL, 1ULL, 2ULL, 7ULL, 8ULL, 20ULL}) {
+    auto& page = inode.mapping.find_or_alloc(pg);
+    page.uptodate = true;
+    inode.mapping.mark_dirty(pg);
+  }
+  ASSERT_EQ(Err::Ok, inode.mapping.writeback(inode, aops));
+  ASSERT_EQ(aops.run_shapes.size(), 3u);
+  EXPECT_EQ(aops.run_shapes[0], std::make_pair(std::uint64_t{0}, std::size_t{3}));
+  EXPECT_EQ(aops.run_shapes[1], std::make_pair(std::uint64_t{7}, std::size_t{2}));
+  EXPECT_EQ(aops.run_shapes[2], std::make_pair(std::uint64_t{20}, std::size_t{1}));
+}
+
+TEST_F(PageCacheTest, WritebackSkipsCleanPages) {
+  Inode inode(sb_, 10);
+  RecordingAops aops(false);
+  auto& clean = inode.mapping.find_or_alloc(0);
+  clean.uptodate = true;
+  auto& dirty = inode.mapping.find_or_alloc(1);
+  dirty.uptodate = true;
+  inode.mapping.mark_dirty(1);
+  ASSERT_EQ(Err::Ok, inode.mapping.writeback(inode, aops));
+  EXPECT_EQ(aops.single_writes, std::vector<std::uint64_t>{1});
+}
+
+TEST_F(PageCacheTest, TruncateDropsPagesAndZeroesTail) {
+  Inode inode(sb_, 10);
+  RecordingAops aops(false);
+  for (std::uint64_t pg = 0; pg < 4; ++pg) {
+    auto& page = inode.mapping.find_or_alloc(pg);
+    page.uptodate = true;
+    std::memset(page.bytes().data(), 0xFF, kPageSize);
+    inode.mapping.mark_dirty(pg);
+  }
+  inode.size = 4 * kPageSize;
+  generic_truncate_pagecache(inode, kPageSize + 100);
+  EXPECT_EQ(inode.size, kPageSize + 100);
+  EXPECT_EQ(inode.mapping.nr_pages(), 2u);  // pages 0 and 1 remain
+  // Tail of page 1 beyond byte 100 is zeroed.
+  Page* p1 = inode.mapping.find(1);
+  ASSERT_NE(p1, nullptr);
+  EXPECT_EQ(p1->bytes()[99], std::byte{0xFF});
+  EXPECT_EQ(p1->bytes()[100], std::byte{0});
+  EXPECT_EQ(p1->bytes()[kPageSize - 1], std::byte{0});
+}
+
+TEST_F(PageCacheTest, HitMissStats) {
+  Inode inode(sb_, 10);
+  RecordingAops aops(false);
+  (void)inode.mapping.read_page(inode, aops, 0);
+  (void)inode.mapping.read_page(inode, aops, 0);
+  EXPECT_EQ(inode.mapping.stats().misses, 1u);
+  EXPECT_EQ(inode.mapping.stats().hits, 1u);
+}
+
+}  // namespace
+}  // namespace bsim::kern

@@ -1,0 +1,245 @@
+// Unit tests for the virtual-time substrate: clocks, locks, batch gate,
+// deterministic RNG, histogram, and the multi-thread runner.
+#include <gtest/gtest.h>
+
+#include "sim/cost_model.h"
+#include "sim/rng.h"
+#include "sim/runner.h"
+#include "sim/stats.h"
+#include "sim/sync.h"
+#include "sim/thread.h"
+
+namespace bsim::sim {
+namespace {
+
+TEST(SimThread, ChargesAndWaits) {
+  SimThread t(0);
+  ScopedThread in(t);
+  charge(100);
+  EXPECT_EQ(now(), 100);
+  t.wait_until(50);  // in the past: no-op
+  EXPECT_EQ(now(), 100);
+  t.wait_until(250);
+  EXPECT_EQ(now(), 250);
+  t.wait(10);
+  EXPECT_EQ(now(), 260);
+}
+
+TEST(SimThread, CpuScaleAppliesToChargesOnly) {
+  SimThread t(0);
+  t.set_cpu_scale(4.0);
+  ScopedThread in(t);
+  charge(100);
+  EXPECT_EQ(now(), 400);
+  t.wait_until(500);  // device waits are not scaled
+  EXPECT_EQ(now(), 500);
+  EXPECT_EQ(t.cpu_charged(), 100);  // unscaled accounting
+}
+
+TEST(SimMutex, SerializesInVirtualTime) {
+  SimThread a(0);
+  SimThread b(1);
+  SimMutex mu;
+
+  {
+    ScopedThread in(a);
+    mu.lock();
+    charge(1000);
+    mu.unlock();  // released at a.now()
+  }
+  {
+    ScopedThread in(b);
+    mu.lock();  // must wait until a released
+    EXPECT_GE(now(), a.now());
+    mu.unlock();
+  }
+  EXPECT_EQ(mu.acquires(), 2u);
+  EXPECT_EQ(mu.contended_acquires(), 1u);
+}
+
+TEST(SimMutex, UncontendedIsCheap) {
+  SimThread t(0);
+  ScopedThread in(t);
+  SimMutex mu;
+  mu.lock();
+  mu.unlock();
+  EXPECT_EQ(now(), costs().lock_uncontended);
+  EXPECT_EQ(mu.contended_acquires(), 0u);
+}
+
+TEST(SimRwLock, ReadersDoNotSerialize) {
+  SimRwLock rw;
+  SimThread a(0);
+  SimThread b(1);
+  {
+    ScopedThread in(a);
+    rw.lock_shared();
+    charge(1000);
+    rw.unlock_shared();
+  }
+  {
+    ScopedThread in(b);
+    rw.lock_shared();
+    // b did not have to wait for a's read section.
+    EXPECT_LT(now(), 1000);
+    rw.unlock_shared();
+  }
+  SimThread c(2);
+  {
+    ScopedThread in(c);
+    rw.lock();  // writer waits for last reader
+    EXPECT_GE(now(), 1000);
+    rw.unlock();
+  }
+}
+
+TEST(BatchGate, SharesCostWithinWindow) {
+  BatchGate gate(usec(100));
+  SimThread a(0);
+  SimThread b(1);
+  Nanos done_a = 0;
+  {
+    ScopedThread in(a);
+    done_a = gate.join(usec(500));
+    EXPECT_EQ(done_a, usec(600));  // window + cost
+  }
+  {
+    ScopedThread in(b);
+    b.wait_until(usec(50));  // arrives within the window
+    const Nanos done_b = gate.join(usec(500));
+    EXPECT_EQ(done_b, done_a);  // shares the in-flight batch
+  }
+  EXPECT_EQ(gate.batches_started(), 1u);
+  EXPECT_EQ(gate.joins(), 1u);
+
+  SimThread c(2);
+  {
+    ScopedThread in(c);
+    c.wait_until(usec(1000));  // far past the batch
+    const Nanos done_c = gate.join(usec(500));
+    EXPECT_EQ(done_c, usec(1600));
+  }
+  EXPECT_EQ(gate.batches_started(), 2u);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, BelowAndRangeBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+    const auto v = rng.range(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+    const double u = rng.unit();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, SizeAroundRespectsBounds) {
+  Rng rng(3);
+  std::uint64_t sum = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    const auto v = rng.size_around(16384, 1 << 20);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, std::uint64_t{1} << 20);
+    sum += v;
+  }
+  const double mean = static_cast<double>(sum) / kSamples;
+  EXPECT_GT(mean, 8000.0);   // roughly centered on the requested mean
+  EXPECT_LT(mean, 32000.0);
+}
+
+TEST(LatencyHistogram, MeanMinMaxQuantiles) {
+  LatencyHistogram h;
+  for (Nanos v : {100, 200, 300, 400, 1000}) h.record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.min(), 100);
+  EXPECT_EQ(h.max(), 1000);
+  EXPECT_DOUBLE_EQ(h.mean(), 400.0);
+  EXPECT_GE(h.quantile(0.99), 512);  // log-bucket upper bound
+}
+
+TEST(LatencyHistogram, Merge) {
+  LatencyHistogram a;
+  LatencyHistogram b;
+  a.record(10);
+  b.record(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1000);
+}
+
+class FixedWork final : public Workload {
+ public:
+  FixedWork(Nanos per_op, int nops) : per_op_(per_op), remaining_(nops) {}
+  std::int64_t step() override {
+    if (remaining_ == 0) return -1;
+    remaining_ -= 1;
+    charge(per_op_);
+    return 1;
+  }
+
+ private:
+  Nanos per_op_;
+  int remaining_;
+};
+
+TEST(Runner, SingleThreadRate) {
+  std::vector<std::unique_ptr<Workload>> jobs;
+  jobs.push_back(std::make_unique<FixedWork>(usec(10), 1000));
+  RunnerOptions opts;
+  opts.horizon = sec(1);
+  auto stats = run_workloads(jobs, opts);
+  EXPECT_EQ(stats.ops, 1000u);
+  EXPECT_NEAR(stats.ops_per_sec(), 100000.0, 2000.0);
+}
+
+TEST(Runner, HorizonStopsWork) {
+  std::vector<std::unique_ptr<Workload>> jobs;
+  jobs.push_back(std::make_unique<FixedWork>(usec(100), 1 << 30));
+  RunnerOptions opts;
+  opts.horizon = msec(10);
+  auto stats = run_workloads(jobs, opts);
+  EXPECT_NEAR(static_cast<double>(stats.ops), 100.0, 3.0);
+}
+
+TEST(Runner, CpuContentionScalesThroughput) {
+  // With 8 cores, 32 CPU-bound threads should aggregate to ~8x a single
+  // thread's rate, not 32x.
+  auto run_with = [](int nthreads) {
+    std::vector<std::unique_ptr<Workload>> jobs;
+    for (int i = 0; i < nthreads; ++i) {
+      jobs.push_back(std::make_unique<FixedWork>(usec(10), 1 << 30));
+    }
+    RunnerOptions opts;
+    opts.horizon = msec(100);
+    opts.cpu_cores = 8;
+    return run_workloads(jobs, opts).ops_per_sec();
+  };
+  const double one = run_with(1);
+  const double eight = run_with(8);
+  const double thirty_two = run_with(32);
+  EXPECT_NEAR(eight / one, 8.0, 0.5);
+  EXPECT_NEAR(thirty_two / one, 8.0, 0.5);  // capped at core count
+}
+
+TEST(Runner, MaxOpsCap) {
+  std::vector<std::unique_ptr<Workload>> jobs;
+  jobs.push_back(std::make_unique<FixedWork>(usec(1), 1 << 30));
+  RunnerOptions opts;
+  opts.horizon = sec(100);
+  opts.max_ops = 500;
+  auto stats = run_workloads(jobs, opts);
+  EXPECT_EQ(stats.ops, 500u);
+}
+
+}  // namespace
+}  // namespace bsim::sim
