@@ -15,6 +15,7 @@ int main() {
   std::printf("Ablation A1: ->writepage vs ->writepages (seq 1MB writes)\n");
   std::printf("%-10s %12s %14s %16s\n", "fs", "MBps", "log commits",
               "blocks logged");
+  JsonReport json("ablation_writeback", "MBps");
 
   for (const auto& [label, fsname] :
        std::vector<std::pair<std::string, std::string>>{
@@ -48,6 +49,9 @@ int main() {
                 stats.mbytes_per_sec(),
                 static_cast<unsigned long long>(commits),
                 static_cast<unsigned long long>(blocks));
+    json.add(label, "MBps", stats.mbytes_per_sec());
+    json.add(label, "log_commits", static_cast<double>(commits));
+    json.add(label, "blocks_logged", static_cast<double>(blocks));
   }
   std::printf(
       "\n(same data volume -> similar blocks logged; the commit-count gap is "

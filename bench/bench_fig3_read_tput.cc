@@ -28,6 +28,7 @@ int main() {
                         {"1024KB", 1 << 20, 3'000}};
 
   std::printf("Figure 3: Read Performance (32KB-1024KB), Throughput MBps\n");
+  JsonReport json("fig3_read_tput", "MBps");
   for (const auto& size : sizes) {
     std::printf("\n(%s reads)\n", size.label);
     std::printf("%-10s %10s %10s %10s %10s\n", "fs", "seq-1t", "seq-32t",
@@ -45,6 +46,8 @@ int main() {
                                                  size.iosize, tid, 42);
         });
         std::printf(" %10.0f", stats.mbytes_per_sec());
+        json.add(label, std::string(cfg.label) + "/" + size.label,
+                 stats.mbytes_per_sec());
         std::fflush(stdout);
       }
       std::printf("\n");

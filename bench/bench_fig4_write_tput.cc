@@ -33,6 +33,7 @@ int main() {
                         {"1024KB", 1 << 20, 1'000}};
 
   std::printf("Figure 4: Write Performance, Throughput (MBps)\n");
+  JsonReport json("fig4_write_tput", "MBps");
   for (const auto& size : sizes) {
     std::printf("\n(%s writes)\n", size.label);
     std::printf("%-10s %10s %10s %10s\n", "fs", "seq-1t", "rnd-1t",
@@ -51,6 +52,8 @@ int main() {
                                                   size.iosize, tid, 42);
         });
         std::printf(" %10.1f", stats.mbytes_per_sec());
+        json.add(label, std::string(cfg.label) + "/" + size.label,
+                 stats.mbytes_per_sec());
         std::fflush(stdout);
       }
       std::printf("\n");

@@ -66,4 +66,60 @@ inline void print_header(const char* title, const char* unit) {
 
 inline void print_row_label(const char* label) { std::printf("%-12s", label); }
 
+/// Machine-readable result sink: collects (series, label, value) rows and
+/// writes BENCH_<name>.json next to the binary on destruction, so every
+/// bench run leaves a data point and the perf trajectory accumulates
+/// across PRs.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string name, std::string unit = "")
+      : name_(std::move(name)), unit_(std::move(unit)) {}
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  ~JsonReport() { write(); }
+
+  /// e.g. add("Bento", "seq-1t/32KB", 114.2)
+  void add(std::string series, std::string label, double value) {
+    rows_.push_back(Row{std::move(series), std::move(label), value});
+  }
+
+ private:
+  struct Row {
+    std::string series;
+    std::string label;
+    double value;
+  };
+
+  static void escape(std::FILE* f, const std::string& s) {
+    for (const char c : s) {
+      if (c == '"' || c == '\\') std::fputc('\\', f);
+      std::fputc(c, f);
+    }
+  }
+
+  void write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return;
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"unit\": \"%s\",\n"
+                    "  \"rows\": [\n", name_.c_str(), unit_.c_str());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "    {\"series\": \"");
+      escape(f, rows_[i].series);
+      std::fprintf(f, "\", \"label\": \"");
+      escape(f, rows_[i].label);
+      std::fprintf(f, "\", \"value\": %.6g}%s\n", rows_[i].value,
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+  }
+
+  std::string name_;
+  std::string unit_;
+  std::vector<Row> rows_;
+};
+
 }  // namespace bsim::bench

@@ -52,6 +52,19 @@ Result<std::uint32_t> FileSystem::write(const Request&, SbRef, Ino,
   return Err::NoSys;
 }
 
+Result<std::uint32_t> FileSystem::read_bulk(
+    const Request& req, SbRef sb, Ino ino, std::uint64_t off,
+    std::span<const std::span<std::byte>> pages) {
+  std::uint32_t total = 0;
+  for (const auto& page : pages) {
+    auto r = read(req, sb.reborrow(), ino, 0, off + total, page);
+    if (!r.ok()) return r.error();
+    total += r.value();
+    if (r.value() < page.size()) break;  // EOF
+  }
+  return total;
+}
+
 Result<std::uint32_t> FileSystem::write_bulk(
     const Request& req, SbRef sb, Ino ino, std::uint64_t off,
     std::span<const std::span<const std::byte>> pages) {

@@ -143,6 +143,12 @@ class FileSystem {
   virtual Result<std::uint32_t> read(const Request& req, SbRef sb, Ino ino,
                                      std::uint64_t fh, std::uint64_t off,
                                      std::span<std::byte> out);
+  /// Batched read of contiguous pages (the ->readpages readahead path).
+  /// File systems that override this turn the run into one bio-layer
+  /// submission. Default: loop read(). Short reads terminate the run.
+  virtual Result<std::uint32_t> read_bulk(const Request& req, SbRef sb,
+                                          Ino ino, std::uint64_t off,
+                                          std::span<const std::span<std::byte>> pages);
   virtual Result<std::uint32_t> write(const Request& req, SbRef sb, Ino ino,
                                       std::uint64_t fh, std::uint64_t off,
                                       std::span<const std::byte> in);

@@ -319,6 +319,29 @@ Err BentoModule::readpage(kern::Inode& inode, std::uint64_t pgoff,
   return Err::Ok;
 }
 
+Err BentoModule::readpages(kern::Inode& inode, std::uint64_t first_pgoff,
+                           std::span<const std::span<std::byte>> pages) {
+  // The readahead path: one dispatch for the whole run; the FS turns it
+  // into one batched block submission (read_bulk).
+  channel(0, pages.size() * kern::kPageSize);
+  auto r = fs_->read_bulk(mkreq(), borrow(), inode.ino(),
+                          first_pgoff * kern::kPageSize, pages);
+  assert(ledger_.balanced());
+  if (!r.ok()) return r.error();
+  // Short reads leave the tail pages zero-filled (holes / EOF).
+  std::uint64_t remaining = r.value();
+  for (const auto& page : pages) {
+    if (remaining >= page.size()) {
+      remaining -= page.size();
+      continue;
+    }
+    std::fill(page.begin() + static_cast<std::ptrdiff_t>(remaining),
+              page.end(), std::byte{0});
+    remaining = 0;
+  }
+  return Err::Ok;
+}
+
 Err BentoModule::writepage(kern::Inode& inode, std::uint64_t pgoff,
                            std::span<const std::byte> in) {
   channel(in.size(), 0);

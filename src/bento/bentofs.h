@@ -97,6 +97,9 @@ class BentoModule : public kern::InodeOps,
   // ---- AddressSpaceOps (file data via the page cache) ----
   Err readpage(kern::Inode& inode, std::uint64_t pgoff,
                std::span<std::byte> out) override;
+  Err readpages(kern::Inode& inode, std::uint64_t first_pgoff,
+                std::span<const std::span<std::byte>> pages) override;
+  [[nodiscard]] bool has_readpages() const override { return true; }
   Err writepage(kern::Inode& inode, std::uint64_t pgoff,
                 std::span<const std::byte> in) override;
   Err writepages(kern::Inode& inode,

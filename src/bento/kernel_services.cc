@@ -10,6 +10,33 @@ BufferHeadHandle BlockBackend::make_handle(BlockBackend& owner, void* impl,
   return BufferHeadHandle(owner, impl, blockno);
 }
 
+kern::Result<std::vector<BufferHeadHandle>> BlockBackend::bread_batch(
+    std::span<const std::uint64_t> blocknos) {
+  // Unbatched default (userspace backends): one bread per block.
+  std::vector<BufferHeadHandle> out;
+  out.reserve(blocknos.size());
+  for (const std::uint64_t blockno : blocknos) {
+    auto r = bread(blockno);
+    if (!r.ok()) return r.error();
+    out.push_back(std::move(r.value()));
+  }
+  return out;
+}
+
+void BlockBackend::bh_sync_batch(std::span<void* const> impls) {
+  for (void* impl : impls) bh_sync(impl);
+}
+
+void SuperBlockCap::sync_batch(std::span<BufferHeadHandle* const> handles) {
+  std::vector<void*> impls;
+  impls.reserve(handles.size());
+  for (BufferHeadHandle* h : handles) {
+    assert(h != nullptr && *h && "sync_batch over an empty handle");
+    impls.push_back(h->impl_);
+  }
+  backend_->bh_sync_batch(impls);
+}
+
 std::span<std::byte> BufferHeadHandle::data() {
   assert(owner_ != nullptr && "use of empty BufferHeadHandle");
   sim::charge(sim::costs().bento_wrapper_check);
@@ -52,6 +79,18 @@ kern::Result<BufferHeadHandle> KernelBlockBackend::bread(
   return make_handle(*this, r.value(), blockno);
 }
 
+kern::Result<std::vector<BufferHeadHandle>> KernelBlockBackend::bread_batch(
+    std::span<const std::uint64_t> blocknos) {
+  auto r = cache_->bread_batch(blocknos);
+  if (!r.ok()) return r.error();
+  std::vector<BufferHeadHandle> out;
+  out.reserve(r.value().size());
+  for (std::size_t i = 0; i < r.value().size(); ++i) {
+    out.push_back(make_handle(*this, r.value()[i], blocknos[i]));
+  }
+  return out;
+}
+
 kern::Result<BufferHeadHandle> KernelBlockBackend::getblk(
     std::uint64_t blockno) {
   auto r = cache_->getblk(blockno);
@@ -69,6 +108,15 @@ void KernelBlockBackend::bh_set_dirty(void* impl) {
 
 void KernelBlockBackend::bh_sync(void* impl) {
   cache_->sync_dirty_buffer(static_cast<kern::BufferHead*>(impl));
+}
+
+void KernelBlockBackend::bh_sync_batch(std::span<void* const> impls) {
+  std::vector<kern::BufferHead*> bhs;
+  bhs.reserve(impls.size());
+  for (void* impl : impls) {
+    bhs.push_back(static_cast<kern::BufferHead*>(impl));
+  }
+  cache_->sync_dirty_buffers(bhs);
 }
 
 void KernelBlockBackend::bh_release(void* impl) {

@@ -18,6 +18,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "kernel/buffer_cache.h"
 #include "kernel/errno.h"
@@ -44,12 +45,20 @@ class BlockBackend {
   friend class SuperBlockCap;
   friend class BufferHeadHandle;
   virtual kern::Result<BufferHeadHandle> bread(std::uint64_t blockno) = 0;
+  /// Batched read: one bio-layer submission in the kernel backend; the
+  /// default loops bread() (the unbatched userspace behaviour).
+  virtual kern::Result<std::vector<BufferHeadHandle>> bread_batch(
+      std::span<const std::uint64_t> blocknos);
   virtual kern::Result<BufferHeadHandle> getblk(std::uint64_t blockno) = 0;
   virtual std::span<std::byte> bh_data(void* impl) = 0;
   virtual void bh_set_dirty(void* impl) = 0;
   /// Synchronous durable write of this block (sync_dirty_buffer in the
   /// kernel; pwrite + whole-file fsync from userspace — §6.4).
   virtual void bh_sync(void* impl) = 0;
+  /// Batched synchronous write of many blocks: one request-queue
+  /// submission in the kernel; from userspace the pwrites batch but the
+  /// whole-file fsync is paid once for the batch. Default loops bh_sync.
+  virtual void bh_sync_batch(std::span<void* const> impls);
   virtual void bh_release(void* impl) = 0;
 
   /// For subclasses constructing handles.
@@ -95,6 +104,7 @@ class BufferHeadHandle {
 
  private:
   friend class BlockBackend;
+  friend class SuperBlockCap;  // sync_batch gathers impl pointers
   BufferHeadHandle(BlockBackend& owner, void* impl, std::uint64_t blockno)
       : owner_(&owner), impl_(impl), blockno_(blockno) {}
 
@@ -136,10 +146,19 @@ class SuperBlockCap {
   kern::Result<BufferHeadHandle> bread(std::uint64_t blockno) {
     return backend_->bread(blockno);
   }
+  /// Read many blocks as one batched submission (bio-layer merge +
+  /// channel overlap in the kernel backend). Handles are returned in
+  /// `blocknos` order.
+  kern::Result<std::vector<BufferHeadHandle>> bread_batch(
+      std::span<const std::uint64_t> blocknos) {
+    return backend_->bread_batch(blocknos);
+  }
   /// Get a block that will be fully overwritten.
   kern::Result<BufferHeadHandle> getblk(std::uint64_t blockno) {
     return backend_->getblk(blockno);
   }
+  /// Synchronously write `handles` as one batch (journal commit runs).
+  void sync_batch(std::span<BufferHeadHandle* const> handles);
   /// Durability barrier.
   void flush_all() { backend_->flush_all(); }
 
@@ -168,10 +187,13 @@ class KernelBlockBackend final : public BlockBackend {
 
  protected:
   kern::Result<BufferHeadHandle> bread(std::uint64_t blockno) override;
+  kern::Result<std::vector<BufferHeadHandle>> bread_batch(
+      std::span<const std::uint64_t> blocknos) override;
   kern::Result<BufferHeadHandle> getblk(std::uint64_t blockno) override;
   std::span<std::byte> bh_data(void* impl) override;
   void bh_set_dirty(void* impl) override;
   void bh_sync(void* impl) override;
+  void bh_sync_batch(std::span<void* const> impls) override;
   void bh_release(void* impl) override;
 
  private:

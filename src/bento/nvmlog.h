@@ -141,6 +141,11 @@ class NvmLogFs final : public FileSystem {
 
   kern::Err append_record(Ino ino, std::uint64_t off,
                           std::span<const std::byte> data, std::uint16_t op);
+  /// Scatter-gather append: one record (header + checksum) covering all
+  /// `segs` as a contiguous payload at `off` — the bulk-write fast path.
+  kern::Err append_record_gather(Ino ino, std::uint64_t off,
+                                 std::span<const std::span<const std::byte>> segs,
+                                 std::uint16_t op);
   /// Drop pending extents at/after `size` and trim a straddler (the
   /// in-memory effect of a truncate; shared by setattr and replay).
   static void apply_truncate(Pending& p, std::uint64_t size);

@@ -134,6 +134,31 @@ void UserBlockBackend::bh_sync(void* impl) {
   buf->dirty = false;
 }
 
+void UserBlockBackend::bh_sync_batch(std::span<void* const> impls) {
+  // A batched commit run from userspace: the pwrites are unavoidable, but
+  // the whole-file fsync — §6.4's dominant term — is paid once for the
+  // run instead of once per block. With io_uring the pwrites and the
+  // trailing fsync additionally share one crossing.
+  if (ring_ != nullptr) {
+    for (void* impl : impls) {
+      auto* buf = static_cast<UserBuf*>(impl);
+      ring_write(*buf);
+      buf->dirty = false;
+    }
+    ring_finish(/*fsync=*/true);
+    return;
+  }
+  for (void* impl : impls) {
+    auto* buf = static_cast<UserBuf*>(impl);
+    (void)kernel_->pwrite(*proc_, fd_, {buf->data.data(), buf->data.size()},
+                          buf->blockno * blk::kBlockSize);
+    stats_.pwrites += 1;
+    buf->dirty = false;
+  }
+  (void)kernel_->fsync(*proc_, fd_);
+  stats_.fsyncs += 1;
+}
+
 void UserBlockBackend::bh_release(void* impl) {
   auto* buf = static_cast<UserBuf*>(impl);
   assert(buf->refcount > 0);

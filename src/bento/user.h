@@ -53,6 +53,7 @@ class UserBlockBackend final : public BlockBackend {
   std::span<std::byte> bh_data(void* impl) override;
   void bh_set_dirty(void* impl) override;
   void bh_sync(void* impl) override;
+  void bh_sync_batch(std::span<void* const> impls) override;
   void bh_release(void* impl) override;
 
  private:

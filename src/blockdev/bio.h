@@ -1,0 +1,136 @@
+// The bio / request layer: Linux-style block-I/O descriptors between the
+// kernel (caches, journals, io_uring) and the device.
+//
+// A Bio is one logical block request from a subsystem: an op plus a run of
+// *consecutive* disk blocks, each block backed by its own memory segment
+// (scatter-gather, like Linux's bio_vec array). Callers build batches of
+// bios and hand them to a RequestQueue, which
+//   - elevator-sorts the batch by start block (reads and writes
+//     separately),
+//   - merges back-to-back bios into single device requests (the
+//     adjacent-block merge a real request queue performs),
+//   - dispatches each merged request to a device channel, so a batch
+//     occupies up to `DeviceParams::channels` channels *concurrently* in
+//     virtual time, and
+//   - waits until every request completes (submission is synchronous at
+//     the batch boundary, like submit_bio_wait over a plugged queue).
+//
+// Per-bio completion times are recorded in Bio::done_at, so tests and
+// stats can observe out-of-order completion inside a batch even though the
+// submitting thread only resumes at the batch barrier.
+//
+// The scalar BlockDevice::read/write entry points are one-bio wrappers
+// over this layer; every block access in the simulation funnels through
+// RequestQueue::submit.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace bsim::blk {
+
+class BlockDevice;
+
+inline constexpr std::uint32_t kBlockSize = 4096;
+
+enum class BioOp : std::uint8_t { Read, Write };
+
+/// One block-sized memory segment of a bio's payload.
+struct BioVec {
+  std::uint64_t blockno = 0;
+  std::span<std::byte> data{};          // destination (Read)
+  std::span<const std::byte> wdata{};   // source (Write)
+};
+
+/// One logical block-I/O request: `op` over consecutive blocks.
+struct Bio {
+  BioOp op = BioOp::Read;
+  std::vector<BioVec> vecs;
+  /// Absolute virtual completion time, set by RequestQueue::submit.
+  sim::Nanos done_at = 0;
+
+  Bio() = default;
+  explicit Bio(BioOp o) : op(o) {}
+
+  [[nodiscard]] bool empty() const { return vecs.empty(); }
+  [[nodiscard]] std::size_t nblocks() const { return vecs.size(); }
+  [[nodiscard]] std::uint64_t first_block() const {
+    assert(!vecs.empty());
+    return vecs.front().blockno;
+  }
+  /// One past the last block (the merge point for an adjacent bio).
+  [[nodiscard]] std::uint64_t end_block() const {
+    assert(!vecs.empty());
+    return vecs.back().blockno + 1;
+  }
+
+  /// Append a read segment; blocks in one bio must be consecutive.
+  void add_read(std::uint64_t blockno, std::span<std::byte> out) {
+    assert(op == BioOp::Read);
+    assert(out.size() >= kBlockSize);
+    assert(vecs.empty() || blockno == end_block());
+    vecs.push_back(BioVec{blockno, out.subspan(0, kBlockSize), {}});
+  }
+
+  /// Append a write segment; blocks in one bio must be consecutive.
+  void add_write(std::uint64_t blockno, std::span<const std::byte> in) {
+    assert(op == BioOp::Write);
+    assert(in.size() >= kBlockSize);
+    assert(vecs.empty() || blockno == end_block());
+    vecs.push_back(BioVec{blockno, {}, in.subspan(0, kBlockSize)});
+  }
+
+  static Bio single_read(std::uint64_t blockno, std::span<std::byte> out) {
+    Bio b(BioOp::Read);
+    b.add_read(blockno, out);
+    return b;
+  }
+
+  static Bio single_write(std::uint64_t blockno,
+                          std::span<const std::byte> in) {
+    Bio b(BioOp::Write);
+    b.add_write(blockno, in);
+    return b;
+  }
+};
+
+/// Batch-level accounting; request-level counts (requests, merges,
+/// blocks) live in DeviceStats, where the merged commands execute.
+struct RequestQueueStats {
+  std::uint64_t batches = 0;  // submit() calls
+  std::uint64_t bios = 0;     // bios submitted
+};
+
+/// The per-device request queue. All timed block traffic goes through
+/// submit(); BlockDevice owns one (BlockDevice::queue()).
+class RequestQueue {
+ public:
+  explicit RequestQueue(BlockDevice& dev) : dev_(&dev) {}
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  /// Submit a batch: sort, merge, dispatch across device channels, then
+  /// wait for the whole batch (timed). Returns the completion time of the
+  /// last request; each bio's own completion is left in its done_at.
+  /// Reads and writes in one batch must not overlap block ranges (no
+  /// consumer mixes them; a batch is one direction of one subsystem).
+  sim::Nanos submit(std::span<Bio> bios);
+
+  /// One-bio convenience (the scalar read/write path).
+  sim::Nanos submit(Bio& bio) { return submit(std::span<Bio>(&bio, 1)); }
+
+  [[nodiscard]] const RequestQueueStats& stats() const { return stats_; }
+
+ private:
+  void dispatch(std::vector<Bio*>& list, sim::Nanos& last_done);
+
+  BlockDevice* dev_;
+  RequestQueueStats stats_;
+};
+
+}  // namespace bsim::blk

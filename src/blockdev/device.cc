@@ -34,48 +34,90 @@ sim::Nanos BlockDevice::service(sim::Nanos latency) {
   return done;
 }
 
+sim::Nanos BlockDevice::do_request(std::span<Bio* const> bios) {
+  assert(!bios.empty());
+  const BioOp op = bios.front()->op;
+  std::size_t nblocks = 0;
+  for (const Bio* b : bios) nblocks += b->vecs.size();
+  stats_.max_request_blocks = std::max<std::uint64_t>(
+      stats_.max_request_blocks, nblocks);
+  stats_.merges += bios.size() - 1;
+
+  if (op == BioOp::Read) {
+    // A merged request is one device command: only its first block can be
+    // random-priced; the tail streams at the sequential rate regardless of
+    // what preceded the request.
+    const bool sequential =
+        bios.front()->first_block() == last_block_read_ + 1;
+    last_block_read_ = bios.back()->end_block() - 1;
+    const sim::Nanos first_lat =
+        sequential ? params_.read_lat_seq : params_.read_lat_rand;
+    const sim::Nanos lat =
+        first_lat + static_cast<sim::Nanos>(nblocks - 1) * params_.read_lat_seq;
+    stats_.seq_read_blocks +=
+        static_cast<std::uint64_t>(nblocks - 1) + (sequential ? 1 : 0);
+    const sim::Nanos done = service(lat);
+    stats_.reads += nblocks;
+    stats_.read_requests += 1;
+    for (Bio* b : bios) {
+      for (BioVec& v : b->vecs) {
+        std::memcpy(v.data.data(), slot(v.blockno).data(), kBlockSize);
+      }
+    }
+    return done;
+  }
+
+  // Write: per-block transfer into the volatile cache, with forced destage
+  // when it is full. One bio is one write command for the crash model; a
+  // dead device keeps charging time but never changes media state.
+  // `occupancy` tracks what dirty_ will hold as the request's blocks land,
+  // so every block of a large batch prices its own destage once the cache
+  // is full (matching the scalar write-then-write sequence).
+  sim::Nanos lat = 0;
+  stats_.write_requests += 1;
+  std::size_t occupancy = dirty_.size();
+  for (Bio* b : bios) {
+    for (const BioVec& v : b->vecs) {
+      lat += params_.write_xfer;
+      if (occupancy >= params_.write_cache_blocks) {
+        lat += params_.destage_per_block;
+        if (!dirty_.empty()) {
+          stats_.blocks_destaged += 1;
+          dirty_.erase(dirty_.begin());
+        }
+      } else if (!dirty_.contains(v.blockno)) {
+        occupancy += 1;
+      }
+    }
+    stats_.writes += b->vecs.size();
+    if (kill_armed_) {
+      if (kill_countdown_ == 0) dead_ = true;
+      else kill_countdown_ -= 1;
+    }
+    if (dead_) continue;  // power died: this bio never reached the device
+    for (const BioVec& v : b->vecs) {
+      auto& dst = slot(v.blockno);
+      if (!dirty_.contains(v.blockno)) {
+        std::unique_ptr<BlockData> pre;
+        if (crash_tracking_) pre = std::make_unique<BlockData>(dst);
+        dirty_.emplace(v.blockno, std::move(pre));
+      }
+      std::memcpy(dst.data(), v.wdata.data(), kBlockSize);
+    }
+  }
+  return service(lat);
+}
+
 void BlockDevice::read(std::uint64_t blockno, std::span<std::byte> out) {
   assert(out.size() >= kBlockSize);
-  const bool sequential = blockno == last_block_read_ + 1;
-  last_block_read_ = blockno;
-  const sim::Nanos done =
-      service(sequential ? params_.read_lat_seq : params_.read_lat_rand);
-  sim::current().wait_until(done);
-  stats_.reads += 1;
-  std::memcpy(out.data(), slot(blockno).data(), kBlockSize);
+  Bio bio = Bio::single_read(blockno, out);
+  queue_.submit(bio);
 }
 
 void BlockDevice::write(std::uint64_t blockno, std::span<const std::byte> in) {
   assert(in.size() >= kBlockSize);
-  // Forced destage when the volatile cache is full: the write behaves like
-  // a media program instead of a cache transfer.
-  sim::Nanos latency = params_.write_xfer;
-  if (dirty_.size() >= params_.write_cache_blocks) {
-    latency += params_.destage_per_block;
-    // Oldest-written semantics are irrelevant for timing; make one slot
-    // durable to bound the dirty set.
-    if (!dirty_.empty()) {
-      stats_.blocks_destaged += 1;
-      dirty_.erase(dirty_.begin());
-    }
-  }
-  const sim::Nanos done = service(latency);
-  sim::current().wait_until(done);
-  stats_.writes += 1;
-
-  if (kill_armed_) {
-    if (kill_countdown_ == 0) dead_ = true;
-    else kill_countdown_ -= 1;
-  }
-  if (dead_) return;  // power died: the write never reached the device
-
-  auto& dst = slot(blockno);
-  if (!dirty_.contains(blockno)) {
-    std::unique_ptr<BlockData> pre;
-    if (crash_tracking_) pre = std::make_unique<BlockData>(dst);
-    dirty_.emplace(blockno, std::move(pre));
-  }
-  std::memcpy(dst.data(), in.data(), kBlockSize);
+  Bio bio = Bio::single_write(blockno, in);
+  queue_.submit(bio);
 }
 
 void BlockDevice::flush() {

@@ -8,6 +8,11 @@
 //   - a volatile write cache: writes complete once transferred; they become
 //     durable only on FLUSH (or forced destage when the cache fills),
 //   - an explicit FLUSH whose cost grows with the dirty-block count.
+// All timed I/O enters through the bio/request layer (blockdev/bio.h):
+// RequestQueue::submit merges adjacent bios and dispatches each merged
+// request to the earliest-free channel, so a batch overlaps up to
+// `channels` requests in virtual time. The scalar read()/write() calls are
+// one-bio wrappers kept for convenience.
 // Crash tracking (for journal crash-consistency tests) can revert all
 // non-durable writes, optionally keeping a caller-chosen subset to model
 // partially persisted write caches.
@@ -20,12 +25,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "blockdev/bio.h"
 #include "sim/rng.h"
 #include "sim/time.h"
 
 namespace bsim::blk {
-
-inline constexpr std::uint32_t kBlockSize = 4096;
 
 using BlockData = std::array<std::byte, kBlockSize>;
 
@@ -41,11 +45,17 @@ struct DeviceParams {
 };
 
 struct DeviceStats {
-  std::uint64_t reads = 0;
-  std::uint64_t writes = 0;
+  std::uint64_t reads = 0;    // blocks read
+  std::uint64_t writes = 0;   // blocks written (write commands = bios)
   std::uint64_t flushes = 0;
   std::uint64_t blocks_destaged = 0;
   sim::Nanos busy = 0;
+  // ---- request-level accounting (bio layer) ----
+  std::uint64_t read_requests = 0;   // merged read commands issued
+  std::uint64_t write_requests = 0;  // merged write commands issued
+  std::uint64_t merges = 0;          // bios folded into a preceding request
+  std::uint64_t seq_read_blocks = 0; // blocks priced at read_lat_seq
+  std::uint64_t max_request_blocks = 0;  // largest merged request seen
 };
 
 class BlockDevice {
@@ -61,10 +71,18 @@ class BlockDevice {
   [[nodiscard]] const DeviceParams& params() const { return params_; }
   [[nodiscard]] std::uint64_t dirty_blocks() const { return dirty_.size(); }
 
-  /// Read one block into `out` (timed).
+  /// The device's request queue — the submission path every cache,
+  /// journal, and async-syscall layer batches through.
+  [[nodiscard]] RequestQueue& queue() { return queue_; }
+
+  /// Batched submission (timed): forwards to queue().submit().
+  sim::Nanos submit(std::span<Bio> bios) { return queue_.submit(bios); }
+
+  /// Read one block into `out` (timed). One-bio convenience wrapper.
   void read(std::uint64_t blockno, std::span<std::byte> out);
 
   /// Write one block from `in` into the volatile write cache (timed).
+  /// One-bio convenience wrapper.
   void write(std::uint64_t blockno, std::span<const std::byte> in);
 
   /// FLUSH: destage the write cache and make everything durable (timed).
@@ -80,6 +98,8 @@ class BlockDevice {
   /// Kill the device after `n` more write commands: later writes and
   /// flushes are accepted (and timed) but never change media state — the
   /// instant-power-death model used by the torn-commit crash sweep.
+  /// A write command is one *bio*: a multi-block bio applies atomically,
+  /// but distinct bios in one batch can straddle the kill point.
   void kill_after(std::uint64_t n);
   [[nodiscard]] bool dead() const { return dead_; }
   /// Simulate power loss: every write since the last flush() is reverted,
@@ -89,8 +109,14 @@ class BlockDevice {
   void crash(double survive_p, sim::Rng& rng);
 
  private:
+  friend class RequestQueue;
+
   BlockData& slot(std::uint64_t blockno);
   sim::Nanos service(sim::Nanos latency);
+  /// Execute one merged request (same-op bios covering consecutive
+  /// blocks): price it, occupy a channel, apply data. Returns the absolute
+  /// completion time; does NOT wait (the queue owns the batch barrier).
+  sim::Nanos do_request(std::span<Bio* const> bios);
 
   DeviceParams params_;
   std::vector<std::unique_ptr<BlockData>> blocks_;
@@ -104,6 +130,7 @@ class BlockDevice {
   bool kill_armed_ = false;
   std::uint64_t last_block_read_ = ~0ULL;
   DeviceStats stats_;
+  RequestQueue queue_{*this};
 };
 
 }  // namespace bsim::blk

@@ -46,29 +46,41 @@ Err Ext4Mount::j_commit(bool flush_device) {
     for (std::size_t i = 0; i < n; ++i) {
       desc.blocks[i] = running_txn_[written + i];
     }
-    // Descriptor + data sequentially into the journal region.
-    auto db = bc.getblk(super_.jstart);
-    if (!db.ok()) return db.error();
-    std::memcpy(db.value()->bytes().data(), &desc, sizeof(desc));
-    bc.mark_dirty(db.value());
-    bc.sync_dirty_buffer(db.value());
-    bc.brelse(db.value());
-    for (std::size_t i = 0; i < n; ++i) {
-      auto src = bc.bread(running_txn_[written + i]);
-      if (!src.ok()) return src.error();
-      auto dst = bc.getblk(super_.jstart + 1 + static_cast<std::uint32_t>(i));
-      if (!dst.ok()) {
+    // Descriptor + data into the journal region, submitted as ONE batch:
+    // the run is contiguous from jstart, so the request queue merges it
+    // into a single multi-block device command (JBD2 writes a transaction
+    // the same way).
+    {
+      std::vector<kern::BufferHead*> jrun;
+      jrun.reserve(n + 1);
+      auto db = bc.getblk(super_.jstart);
+      if (!db.ok()) return db.error();
+      std::memcpy(db.value()->bytes().data(), &desc, sizeof(desc));
+      bc.mark_dirty(db.value());
+      jrun.push_back(db.value());
+      for (std::size_t i = 0; i < n; ++i) {
+        auto src = bc.bread(running_txn_[written + i]);
+        if (!src.ok()) {
+          for (auto* bh : jrun) bc.brelse(bh);
+          return src.error();
+        }
+        auto dst = bc.getblk(super_.jstart + 1 + static_cast<std::uint32_t>(i));
+        if (!dst.ok()) {
+          bc.brelse(src.value());
+          for (auto* bh : jrun) bc.brelse(bh);
+          return dst.error();
+        }
+        std::memcpy(dst.value()->bytes().data(), src.value()->bytes().data(),
+                    kBlockSize);
+        bc.mark_dirty(dst.value());
+        jrun.push_back(dst.value());
         bc.brelse(src.value());
-        return dst.error();
       }
-      std::memcpy(dst.value()->bytes().data(), src.value()->bytes().data(),
-                  kBlockSize);
-      bc.mark_dirty(dst.value());
-      bc.sync_dirty_buffer(dst.value());
-      bc.brelse(dst.value());
-      bc.brelse(src.value());
+      bc.sync_dirty_buffers(jrun);
+      for (auto* bh : jrun) bc.brelse(bh);
     }
-    // Commit record.
+    // Commit record: strictly ordered after the journal data (the batch
+    // above completed before this write is issued).
     JCommit commit;
     commit.magic = kJCommitMagic;
     commit.seq = jseq_;
@@ -80,13 +92,22 @@ Err Ext4Mount::j_commit(bool flush_device) {
     bc.brelse(cb.value());
 
     // Checkpoint: write home locations (device write cache; durability
-    // comes from the journal + the fsync-path flush).
-    for (std::size_t i = 0; i < n; ++i) {
-      auto bh = bc.bread(running_txn_[written + i]);
-      if (!bh.ok()) return bh.error();
-      bc.mark_dirty(bh.value());
-      bc.sync_dirty_buffer(bh.value());
-      bc.brelse(bh.value());
+    // comes from the journal + the fsync-path flush). Scattered blocks,
+    // one batch: requests spread across the device's channels.
+    {
+      std::vector<kern::BufferHead*> homes;
+      homes.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        auto bh = bc.bread(running_txn_[written + i]);
+        if (!bh.ok()) {
+          for (auto* h : homes) bc.brelse(h);
+          return bh.error();
+        }
+        bc.mark_dirty(bh.value());
+        homes.push_back(bh.value());
+      }
+      bc.sync_dirty_buffers(homes);
+      for (auto* h : homes) bc.brelse(h);
     }
     jseq_ += 1;
     jstats_.commits += 1;
@@ -153,21 +174,32 @@ Err Ext4Mount::j_recover() {
     return Err::Ok;  // uncommitted transaction: discard
   }
   jstats_.recoveries += 1;
+  // Replay: batched read of the contiguous journal run, then one batched
+  // install of the home locations.
+  std::vector<std::uint64_t> jblocks;
+  jblocks.reserve(desc.n);
   for (std::uint32_t i = 0; i < desc.n; ++i) {
-    auto src = bc.bread(super_.jstart + 1 + i);
-    if (!src.ok()) return src.error();
+    jblocks.push_back(super_.jstart + 1 + i);
+  }
+  auto srcs = bc.bread_batch(jblocks);
+  if (!srcs.ok()) return srcs.error();
+  std::vector<kern::BufferHead*> homes;
+  homes.reserve(desc.n);
+  for (std::uint32_t i = 0; i < desc.n; ++i) {
     auto dst = bc.getblk(desc.blocks[i]);
     if (!dst.ok()) {
-      bc.brelse(src.value());
+      for (auto* h : homes) bc.brelse(h);
+      for (auto* s : srcs.value()) bc.brelse(s);
       return dst.error();
     }
-    std::memcpy(dst.value()->bytes().data(), src.value()->bytes().data(),
+    std::memcpy(dst.value()->bytes().data(), srcs.value()[i]->bytes().data(),
                 kBlockSize);
     bc.mark_dirty(dst.value());
-    bc.sync_dirty_buffer(dst.value());
-    bc.brelse(dst.value());
-    bc.brelse(src.value());
+    homes.push_back(dst.value());
   }
+  bc.sync_dirty_buffers(homes);
+  for (auto* h : homes) bc.brelse(h);
+  for (auto* s : srcs.value()) bc.brelse(s);
   // Clear the descriptor so replay is not repeated.
   auto zb = bc.getblk(super_.jstart);
   if (!zb.ok()) return zb.error();
@@ -1059,6 +1091,51 @@ Err Ext4Mount::readpage(kern::Inode& inode, std::uint64_t pgoff,
     done += chunk;
   }
   if (done < out.size()) std::memset(out.data() + done, 0, out.size() - done);
+  return Err::Ok;
+}
+
+Err Ext4Mount::readpages(kern::Inode& inode, std::uint64_t first_pgoff,
+                         std::span<const std::span<std::byte>> pages) {
+  // Resolve the run's mapped blocks, fetch them in one batched submission
+  // (extent-adjacent blocks merge into multi-block bios), and copy
+  // straight out of the pinned batch handles.
+  static_assert(kern::kPageSize == kBlockSize,
+                "readpages maps one block per page");
+  EInode* e = ei(inode);
+  auto& bc = sb_->bufcache();
+  std::vector<std::uint64_t> addrs;            // mapped blocks, run order
+  std::vector<std::size_t> page_slot(pages.size(), SIZE_MAX);  // -> addrs idx
+  for (std::size_t i = 0; i < pages.size(); ++i) {
+    const std::uint64_t off = (first_pgoff + i) * kern::kPageSize;
+    if (off >= e->d.size) break;
+    auto addr = bmap(inode, off / kBlockSize, /*alloc=*/false);
+    if (!addr.ok()) return addr.error();
+    if (addr.value() != 0) {
+      page_slot[i] = addrs.size();
+      addrs.push_back(addr.value());
+    }
+  }
+  std::vector<kern::BufferHead*> batch;
+  if (!addrs.empty()) {
+    auto r = bc.bread_batch(addrs);
+    if (!r.ok()) return r.error();
+    batch = std::move(r.value());
+  }
+  for (std::size_t i = 0; i < pages.size(); ++i) {
+    const std::uint64_t off = (first_pgoff + i) * kern::kPageSize;
+    if (off >= e->d.size || page_slot[i] == SIZE_MAX) {
+      std::fill(pages[i].begin(), pages[i].end(), std::byte{0});
+      continue;
+    }
+    const std::size_t chunk = static_cast<std::size_t>(std::min<std::uint64_t>(
+        pages[i].size(), e->d.size - off));
+    std::memcpy(pages[i].data(), batch[page_slot[i]]->bytes().data(), chunk);
+    if (chunk < pages[i].size()) {
+      std::fill(pages[i].begin() + static_cast<std::ptrdiff_t>(chunk),
+                pages[i].end(), std::byte{0});
+    }
+  }
+  for (auto* bh : batch) bc.brelse(bh);
   return Err::Ok;
 }
 

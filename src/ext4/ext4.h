@@ -65,7 +65,10 @@ class Ext4Mount final : public kern::InodeOps,
   void put_super(kern::SuperBlock& sb) override;
   void evict_inode(kern::Inode& inode) override;
 
-  // AddressSpaceOps: batched writepages (like real ext4).
+  // AddressSpaceOps: batched writepages + readpages (like real ext4).
+  kern::Err readpages(kern::Inode& inode, std::uint64_t first_pgoff,
+                      std::span<const std::span<std::byte>> pages) override;
+  [[nodiscard]] bool has_readpages() const override { return true; }
   kern::Err readpage(kern::Inode& inode, std::uint64_t pgoff,
                      std::span<std::byte> out) override;
   kern::Err writepage(kern::Inode& inode, std::uint64_t pgoff,

@@ -174,7 +174,7 @@ Err FuseModule::writepages(kern::Inode& inode,
   for (const auto& run : runs) {
     std::size_t i = 0;
     while (i < run.pages.size()) {
-      const std::size_t n = std::min(kMaxWritePages, run.pages.size() - i);
+      const std::size_t n = std::min(kMaxPages, run.pages.size() - i);
       kern::PageRun sub;
       sub.first_pgoff = run.first_pgoff + i;
       sub.pages.assign(run.pages.begin() + static_cast<std::ptrdiff_t>(i),
@@ -184,6 +184,20 @@ Err FuseModule::writepages(kern::Inode& inode,
     }
   }
   return BentoModule::writepages(inode, chunked);
+}
+
+Err FuseModule::readpages(kern::Inode& inode, std::uint64_t first_pgoff,
+                          std::span<const std::span<std::byte>> pages) {
+  // Readahead runs split at the FUSE request cap, one daemon round trip
+  // per sub-run (the driver's batching ends at max_pages).
+  std::size_t i = 0;
+  while (i < pages.size()) {
+    const std::size_t n = std::min(kMaxPages, pages.size() - i);
+    BSIM_TRY(BentoModule::readpages(inode, first_pgoff + i,
+                                    pages.subspan(i, n)));
+    i += n;
+  }
+  return Err::Ok;
 }
 
 kern::Result<kern::SuperBlock*> FuseFsType::mount(blk::BlockDevice& dev,

@@ -54,6 +54,11 @@ class FuseModule final : public bento::BentoModule {
   kern::Err writepages(kern::Inode& inode,
                        std::span<const kern::PageRun> runs) override;
 
+  /// Readahead is capped the same way: a run becomes ceil(n/max_pages)
+  /// FUSE READ requests (each one still a daemon round trip).
+  kern::Err readpages(kern::Inode& inode, std::uint64_t first_pgoff,
+                      std::span<const std::span<std::byte>> pages) override;
+
   // ---- ExtFUSE interception (fast path + invalidation) ----
   kern::Result<kern::Inode*> lookup(kern::Inode& dir,
                               std::string_view name) override;
@@ -73,7 +78,7 @@ class FuseModule final : public bento::BentoModule {
   kern::Err writepage(kern::Inode& inode, std::uint64_t pgoff,
                       std::span<const std::byte> in) override;
 
-  static constexpr std::size_t kMaxWritePages = 32;
+  static constexpr std::size_t kMaxPages = 32;
 
  protected:
   /// Request transport: marshal + two crossings + payload copies.

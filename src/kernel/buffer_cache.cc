@@ -1,5 +1,6 @@
 #include "kernel/buffer_cache.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "sim/cost_model.h"
@@ -21,6 +22,43 @@ Result<BufferHead*> BufferCache::bread(std::uint64_t blockno) {
     bh->uptodate = true;
   }
   return bh;
+}
+
+Result<std::vector<BufferHead*>> BufferCache::bread_batch(
+    std::span<const std::uint64_t> blocknos) {
+  std::vector<BufferHead*> out;
+  out.reserve(blocknos.size());
+  std::vector<blk::Bio> bios;
+  for (const std::uint64_t blockno : blocknos) {
+    auto r = lookup_or_create(blockno);
+    if (!r.ok()) {
+      for (BufferHead* bh : out) brelse(bh);
+      return r.error();
+    }
+    BufferHead* bh = r.value();
+    out.push_back(bh);
+    if (!bh->uptodate) {
+      // One bio per missing buffer; the queue merges adjacent blocks.
+      bios.push_back(blk::Bio::single_read(blockno, bh->bytes()));
+    }
+  }
+  if (!bios.empty()) {
+    dev_.submit(bios);
+    for (BufferHead* bh : out) bh->uptodate = true;
+  }
+  return out;
+}
+
+void BufferCache::readahead(std::uint64_t start, std::size_t n) {
+  std::vector<std::uint64_t> blocknos;
+  blocknos.reserve(n);
+  for (std::size_t i = 0; i < n && start + i < dev_.nblocks(); ++i) {
+    blocknos.push_back(start + i);
+  }
+  auto r = bread_batch(blocknos);
+  if (!r.ok()) return;  // best-effort: readahead failures are silent
+  // Readahead holds no references once the data is resident.
+  for (BufferHead* bh : r.value()) brelse(bh);
 }
 
 Result<BufferHead*> BufferCache::getblk(std::uint64_t blockno) {
@@ -76,14 +114,33 @@ void BufferCache::sync_dirty_buffer(BufferHead* bh) {
   stats_.writebacks += 1;
 }
 
-void BufferCache::sync_all() {
-  for (auto& [blockno, bh] : map_) {
-    if (bh->dirty) {
-      dev_.write(blockno, bh->bytes());
-      bh->dirty = false;
-      stats_.writebacks += 1;
-    }
+void BufferCache::sync_dirty_buffers(std::span<BufferHead* const> bhs) {
+  if (bhs.empty()) return;
+  std::vector<blk::Bio> bios;
+  bios.reserve(bhs.size());
+  for (BufferHead* bh : bhs) {
+    assert(bh != nullptr && bh->cache == this);
+    bios.push_back(blk::Bio::single_write(bh->blockno, bh->bytes()));
   }
+  dev_.submit(bios);
+  for (BufferHead* bh : bhs) {
+    bh->dirty = false;
+    stats_.writebacks += 1;
+  }
+}
+
+void BufferCache::sync_all() {
+  // Gather the dirty set and push it through the request queue as one
+  // batch, in ascending block order so adjacent blocks merge.
+  std::vector<BufferHead*> dirty;
+  for (auto& [blockno, bh] : map_) {
+    if (bh->dirty) dirty.push_back(bh.get());
+  }
+  std::sort(dirty.begin(), dirty.end(),
+            [](const BufferHead* a, const BufferHead* b) {
+              return a->blockno < b->blockno;
+            });
+  sync_dirty_buffers(dirty);
 }
 
 void BufferCache::issue_flush() { dev_.flush(); }

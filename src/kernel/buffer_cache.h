@@ -13,6 +13,7 @@
 #include <memory>
 #include <span>
 #include <unordered_map>
+#include <vector>
 
 #include "blockdev/device.h"
 #include "kernel/errno.h"
@@ -58,6 +59,18 @@ class BufferCache {
   /// Read a block through the cache (timed). Increments the refcount.
   Result<BufferHead*> bread(std::uint64_t blockno);
 
+  /// Read many blocks through the cache as ONE batched device submission:
+  /// misses become bios that the request queue merges and spreads across
+  /// device channels. Returns the buffers in `blocknos` order, each with a
+  /// reference the caller must brelse. On error no references are leaked.
+  Result<std::vector<BufferHead*>> bread_batch(
+      std::span<const std::uint64_t> blocknos);
+
+  /// Populate the cache for [start, start+n) without taking references
+  /// (the readahead path). Blocks beyond the device and blocks already
+  /// cached are skipped; the rest arrive via one batched submission.
+  void readahead(std::uint64_t start, std::size_t n);
+
   /// Get a buffer without reading the device. The buffer is marked
   /// uptodate: the caller is declaring it will fully overwrite the block,
   /// and a later bread() must return the in-cache contents, never re-read
@@ -73,7 +86,13 @@ class BufferCache {
   /// sync_dirty_buffer this waits for the transfer, not for a cache FLUSH.
   void sync_dirty_buffer(BufferHead* bh);
 
-  /// Write back every dirty buffer (timed).
+  /// Batched writeback: one request-queue submission for all `bhs`
+  /// (journal commit paths hand their whole log run here). Clears dirty
+  /// bits; counts one writeback per buffer.
+  void sync_dirty_buffers(std::span<BufferHead* const> bhs);
+
+  /// Write back every dirty buffer (timed) as one batched submission in
+  /// ascending block order.
   void sync_all();
 
   /// Issue a device cache FLUSH (timed) — blkdev_issue_flush.

@@ -336,13 +336,15 @@ Result<std::uint64_t> Kernel::bdev_read(OpenFile& f, std::span<std::byte> out,
     return Err::Inval;  // O_DIRECT alignment
   }
   sim::charge(sim::costs().user_blockio_extra);
-  std::uint64_t done = 0;
-  while (done < out.size()) {
-    dev.read((off + done) / dev.block_size(),
-             out.subspan(static_cast<std::size_t>(done), dev.block_size()));
-    done += dev.block_size();
+  // The whole span is one contiguous run: submit it as ONE multi-block
+  // bio instead of block-at-a-time reads.
+  blk::Bio bio(blk::BioOp::Read);
+  for (std::uint64_t done = 0; done < out.size(); done += dev.block_size()) {
+    bio.add_read((off + done) / dev.block_size(),
+                 out.subspan(static_cast<std::size_t>(done), dev.block_size()));
   }
-  return done;
+  if (!bio.empty()) dev.queue().submit(bio);
+  return static_cast<std::uint64_t>(out.size());
 }
 
 Result<std::uint64_t> Kernel::bdev_write(OpenFile& f,
@@ -353,13 +355,13 @@ Result<std::uint64_t> Kernel::bdev_write(OpenFile& f,
     return Err::Inval;
   }
   sim::charge(sim::costs().user_blockio_extra);
-  std::uint64_t done = 0;
-  while (done < in.size()) {
-    dev.write((off + done) / dev.block_size(),
-              in.subspan(static_cast<std::size_t>(done), dev.block_size()));
-    done += dev.block_size();
+  blk::Bio bio(blk::BioOp::Write);
+  for (std::uint64_t done = 0; done < in.size(); done += dev.block_size()) {
+    bio.add_write((off + done) / dev.block_size(),
+                  in.subspan(static_cast<std::size_t>(done), dev.block_size()));
   }
-  return done;
+  if (!bio.empty()) dev.queue().submit(bio);
+  return static_cast<std::uint64_t>(in.size());
 }
 
 Result<std::uint64_t> Kernel::read(Process& p, int fd,

@@ -7,6 +7,18 @@
 
 namespace bsim::kern {
 
+Err AddressSpaceOps::readpages(Inode& inode, std::uint64_t first_pgoff,
+                               std::span<const std::span<std::byte>> pages) {
+  // Default: per-page behaviour for file systems that opt in to the
+  // batched entry point but not to batched I/O.
+  std::uint64_t pgoff = first_pgoff;
+  for (const auto& page : pages) {
+    BSIM_TRY(readpage(inode, pgoff, page));
+    pgoff += 1;
+  }
+  return Err::Ok;
+}
+
 Err AddressSpaceOps::writepages(Inode& inode, std::span<const PageRun> runs) {
   // Default implementation used by the generic writeback path when a file
   // system opts in to batching but wants per-page behaviour anyway.
@@ -30,6 +42,11 @@ Page* AddressSpace::find(std::uint64_t pgoff) {
   }
   stats_.hits += 1;
   return &it->second;
+}
+
+bool AddressSpace::resident(std::uint64_t pgoff) const {
+  auto it = pages_.find(pgoff);
+  return it != pages_.end() && it->second.uptodate;
 }
 
 Page& AddressSpace::find_or_alloc(std::uint64_t pgoff) {
@@ -58,6 +75,46 @@ Result<Page*> AddressSpace::read_page(Inode& inode, AddressSpaceOps& aops,
     page.uptodate = true;
   }
   return &page;
+}
+
+Err AddressSpace::read_pages(Inode& inode, AddressSpaceOps& aops,
+                             std::uint64_t pgoff, std::size_t n) {
+  if (n == 0) return Err::Ok;
+  if (!aops.has_readpages()) {
+    for (std::size_t i = 0; i < n; ++i) {
+      auto r = read_page(inode, aops, pgoff + i);
+      if (!r.ok()) return r.error();
+    }
+    return Err::Ok;
+  }
+  // Allocate the whole window, then fill each contiguous run of
+  // not-uptodate pages with one batched ->readpages call.
+  std::vector<Page*> pages;
+  pages.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pages.push_back(&find_or_alloc(pgoff + i));
+  }
+  std::size_t i = 0;
+  while (i < n) {
+    if (pages[i]->uptodate) {
+      i += 1;
+      continue;
+    }
+    std::size_t j = i + 1;
+    while (j < n && !pages[j]->uptodate) j += 1;
+    std::vector<std::span<std::byte>> spans;
+    spans.reserve(j - i);
+    for (std::size_t k = i; k < j; ++k) spans.push_back(pages[k]->bytes());
+    sim::charge(sim::costs().readpages_batch_overhead +
+                static_cast<sim::Nanos>(j - i) *
+                    sim::costs().readpages_per_page);
+    BSIM_TRY(aops.readpages(inode, pgoff + i, spans));
+    for (std::size_t k = i; k < j; ++k) pages[k]->uptodate = true;
+    stats_.readahead_batches += 1;
+    stats_.readahead_pages += j - i;
+    i = j;
+  }
+  return Err::Ok;
 }
 
 void AddressSpace::mark_dirty(std::uint64_t pgoff) {

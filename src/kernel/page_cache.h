@@ -45,6 +45,15 @@ class AddressSpaceOps {
   virtual Err readpage(Inode& inode, std::uint64_t pgoff,
                        std::span<std::byte> out) = 0;
 
+  /// Batched fill of a contiguous page run (the readahead path): file
+  /// systems that opt in translate the run into multi-block bios and one
+  /// request-queue submission. Only called when has_readpages() is true;
+  /// the default loops ->readpage.
+  virtual Err readpages(Inode& inode, std::uint64_t first_pgoff,
+                        std::span<const std::span<std::byte>> pages);
+
+  [[nodiscard]] virtual bool has_readpages() const { return false; }
+
   /// Write one page to backing store (the unbatched path).
   virtual Err writepage(Inode& inode, std::uint64_t pgoff,
                         std::span<const std::byte> in) = 0;
@@ -61,6 +70,8 @@ struct AddressSpaceStats {
   std::uint64_t misses = 0;
   std::uint64_t writeback_pages = 0;
   std::uint64_t writeback_calls = 0;
+  std::uint64_t readahead_batches = 0;  // batched ->readpages calls
+  std::uint64_t readahead_pages = 0;    // pages filled by those batches
 };
 
 /// The cached pages of one inode.
@@ -69,12 +80,23 @@ class AddressSpace {
   /// Find a page, or null. Timed (radix lookup under the tree lock).
   Page* find(std::uint64_t pgoff);
 
+  /// Untimed, stat-free presence probe: is the page resident and
+  /// uptodate? The readahead trigger rides the lookup the caller is about
+  /// to pay for anyway (like PG_readahead), so it charges nothing.
+  [[nodiscard]] bool resident(std::uint64_t pgoff) const;
+
   /// Find or allocate (not yet uptodate if fresh). Timed.
   Page& find_or_alloc(std::uint64_t pgoff);
 
   /// Ensure the page is present and uptodate, reading through `aops`.
   Result<Page*> read_page(Inode& inode, AddressSpaceOps& aops,
                           std::uint64_t pgoff);
+
+  /// Ensure [pgoff, pgoff+n) are present and uptodate. Missing runs go
+  /// through aops.readpages when supported (one batched submission per
+  /// contiguous run of misses), else through per-page ->readpage.
+  Err read_pages(Inode& inode, AddressSpaceOps& aops, std::uint64_t pgoff,
+                 std::size_t n);
 
   void mark_dirty(std::uint64_t pgoff);
 

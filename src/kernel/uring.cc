@@ -45,6 +45,61 @@ Err IoUring::prep_fsync(int fd, bool datasync, std::uint64_t user_data) {
   return push(sqe);
 }
 
+unsigned IoUring::drain_bdev_run(const Sqe& first, OpenFile& of) {
+  // Gather the run of consecutive SQEs with the same op on the same
+  // block-device fd and submit them as ONE batch: the request queue
+  // merges adjacent blocks and spreads the rest across device channels,
+  // so an SQ drain amortizes device submission as well as crossings.
+  std::vector<Sqe> run{first};
+  while (!sq_.empty() && sq_.front().op == first.op &&
+         sq_.front().fd == first.fd) {
+    run.push_back(sq_.front());
+    sq_.pop_front();
+  }
+
+  auto& dev = *of.bdev;
+  std::vector<blk::Bio> bios;
+  std::vector<Cqe> cqes(run.size());
+  bios.reserve(run.size());
+  for (std::size_t i = 0; i < run.size(); ++i) {
+    if (i > 0) sim::charge(sim::costs().uring_sqe_dispatch);
+    const Sqe& sqe = run[i];
+    cqes[i].user_data = sqe.user_data;
+    const std::span<const std::byte> wbuf = sqe.write_buf;
+    const std::span<std::byte> rbuf = sqe.read_buf;
+    const std::size_t len =
+        sqe.op == Sqe::Op::Read ? rbuf.size() : wbuf.size();
+    if (sqe.off % dev.block_size() != 0 || len % dev.block_size() != 0) {
+      cqes[i].err = Err::Inval;  // O_DIRECT alignment, per SQE
+      continue;
+    }
+    sim::charge(sim::costs().user_blockio_extra);
+    blk::Bio bio(sqe.op == Sqe::Op::Read ? blk::BioOp::Read
+                                         : blk::BioOp::Write);
+    for (std::uint64_t done = 0; done < len; done += dev.block_size()) {
+      const std::uint64_t blockno = (sqe.off + done) / dev.block_size();
+      if (sqe.op == Sqe::Op::Read) {
+        bio.add_read(blockno, rbuf.subspan(static_cast<std::size_t>(done),
+                                           dev.block_size()));
+      } else {
+        bio.add_write(blockno, wbuf.subspan(static_cast<std::size_t>(done),
+                                            dev.block_size()));
+      }
+    }
+    if (bio.empty()) {
+      cqes[i].res = 0;
+      continue;
+    }
+    bios.push_back(std::move(bio));
+    cqes[i].res = len;
+  }
+  if (!bios.empty()) dev.queue().submit(bios);
+  for (const Cqe& cqe : cqes) cq_.push_back(cqe);
+  stats_.sqes += run.size() - 1;  // caller counts the first
+  stats_.bdev_batches += bios.size() > 1 ? 1 : 0;
+  return static_cast<unsigned>(run.size() - 1);
+}
+
 Result<unsigned> IoUring::submit() {
   // One crossing for the whole batch — the io_uring_enter(2) trap.
   sim::charge(sim::costs().syscall);
@@ -70,11 +125,14 @@ Result<unsigned> IoUring::submit() {
       continue;
     }
     OpenFile& of = *f.value();
+    if (of.bdev != nullptr &&
+        (sqe.op == Sqe::Op::Read || sqe.op == Sqe::Op::Write)) {
+      consumed += drain_bdev_run(sqe, of);
+      continue;
+    }
     switch (sqe.op) {
       case Sqe::Op::Read: {
-        auto r = of.bdev != nullptr
-                     ? kernel_->bdev_read(of, sqe.read_buf, sqe.off)
-                     : kernel_->file_read(of, sqe.read_buf, sqe.off);
+        auto r = kernel_->file_read(of, sqe.read_buf, sqe.off);
         if (r.ok()) {
           cqe.res = r.value();
         } else {
@@ -83,9 +141,7 @@ Result<unsigned> IoUring::submit() {
         break;
       }
       case Sqe::Op::Write: {
-        auto r = of.bdev != nullptr
-                     ? kernel_->bdev_write(of, sqe.write_buf, sqe.off)
-                     : kernel_->file_write(of, sqe.write_buf, sqe.off);
+        auto r = kernel_->file_write(of, sqe.write_buf, sqe.off);
         if (r.ok()) {
           cqe.res = r.value();
         } else {

@@ -84,11 +84,16 @@ class IoUring {
     std::uint64_t sqes = 0;     // ops submitted over the lifetime
     std::uint64_t enters = 0;   // crossings paid
     std::uint64_t cqes = 0;     // completions harvested
+    std::uint64_t bdev_batches = 0;  // multi-bio device submissions
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
   Err push(Sqe sqe);
+  /// Consume the run of consecutive same-op SQEs on block device fd
+  /// `of`, submitting them as one bio batch. `first` has already been
+  /// popped and counted; returns how many further SQEs were consumed.
+  unsigned drain_bdev_run(const Sqe& first, OpenFile& of);
 
   Kernel* kernel_;
   Process* proc_;

@@ -123,6 +123,8 @@ Result<std::uint64_t> generic_file_read(Inode& inode, std::uint64_t off,
   const std::uint64_t want =
       std::min<std::uint64_t>(out.size(), inode.size - off);
 
+  const std::uint64_t last_pg = (off + want - 1) / kPageSize;
+
   std::uint64_t done = 0;
   while (done < want) {
     const std::uint64_t pos = off + done;
@@ -133,6 +135,15 @@ Result<std::uint64_t> generic_file_read(Inode& inode, std::uint64_t off,
                                                          want - done));
     // Hold the per-file lock across lookup + copy (see io_mutex()).
     sim::ScopedLock io(inode.mapping.io_mutex());
+    // Readahead: a miss with more of the read window ahead populates the
+    // remaining pages through the batched ->readpages path (multi-block
+    // bios, one device submission) instead of faulting page-at-a-time.
+    // Cache hits skip this entirely — the probe rides the lookup below.
+    if (last_pg > pgoff && !inode.mapping.resident(pgoff)) {
+      BSIM_TRY(inode.mapping.read_pages(
+          inode, *inode.aops, pgoff,
+          static_cast<std::size_t>(last_pg - pgoff + 1)));
+    }
     auto page = inode.mapping.read_page(inode, *inode.aops, pgoff);
     if (!page.ok()) return page.error();
     sim::charge(sim::costs().page_copy * static_cast<sim::Nanos>(chunk) /

@@ -44,6 +44,10 @@ struct CostModel {
   Nanos dir_scan_per_entry = 15;
   /// Per-inode cost of xv6's linear free-inode scan in ialloc.
   Nanos ialloc_scan_per_inode = 12;
+  /// Per-call overhead of the batched ->readpages readahead path...
+  Nanos readpages_batch_overhead = 1200;
+  /// ...plus this much per page within the batch.
+  Nanos readpages_per_page = 200;
   /// Per-page overhead of the single-page ->writepage path.
   Nanos writepage_overhead = 1800;
   /// Per-call overhead of the batched ->writepages path...

@@ -326,6 +326,32 @@ Result<std::uint32_t> Xv6FileSystem::readi(Cap& sb, MemInode& mi,
   if (off >= mi.d.size) return std::uint32_t{0};
   const std::uint64_t want =
       std::min<std::uint64_t>(out.size(), mi.d.size - off);
+  // Resolve every block once up front; a multi-block read then fetches
+  // the mapped blocks as one batched submission (adjacent file blocks
+  // merge into multi-block bios) and the chunk loop copies from cache.
+  const std::uint64_t first_bn = off / kBlockSize;
+  const std::uint64_t last_bn = (off + want - 1) / kBlockSize;
+  std::vector<std::uint32_t> addrs(
+      static_cast<std::size_t>(last_bn - first_bn + 1), 0);
+  for (std::uint64_t bn = first_bn; bn <= last_bn; ++bn) {
+    auto addr = bmap(sb, mi, bn, /*alloc=*/false);
+    if (!addr.ok()) return addr.error();
+    addrs[static_cast<std::size_t>(bn - first_bn)] = addr.value();
+  }
+  std::vector<std::size_t> slot(addrs.size(), SIZE_MAX);  // -> mapped idx
+  std::vector<std::uint64_t> mapped;
+  for (std::size_t i = 0; i < addrs.size(); ++i) {
+    if (addrs[i] != 0) {
+      slot[i] = mapped.size();
+      mapped.push_back(addrs[i]);
+    }
+  }
+  std::vector<bento::BufferHeadHandle> batch;
+  if (mapped.size() > 1) {
+    auto b = sb.bread_batch(mapped);
+    if (!b.ok()) return b.error();
+    batch = std::move(b.value());  // pinned until the copy loop is done
+  }
   std::uint64_t done = 0;
   while (done < want) {
     const std::uint64_t pos = off + done;
@@ -333,12 +359,14 @@ Result<std::uint32_t> Xv6FileSystem::readi(Cap& sb, MemInode& mi,
     const std::size_t within = static_cast<std::size_t>(pos % kBlockSize);
     const std::size_t chunk = static_cast<std::size_t>(
         std::min<std::uint64_t>(kBlockSize - within, want - done));
-    auto addr = bmap(sb, mi, bn, /*alloc=*/false);
-    if (!addr.ok()) return addr.error();
-    if (addr.value() == 0) {
+    const std::size_t idx = static_cast<std::size_t>(bn - first_bn);
+    if (addrs[idx] == 0) {
       std::memset(out.data() + done, 0, chunk);  // hole
+    } else if (!batch.empty()) {
+      std::memcpy(out.data() + done,
+                  batch[slot[idx]].data().data() + within, chunk);
     } else {
-      auto bh = sb.bread(addr.value());
+      auto bh = sb.bread(addrs[idx]);
       if (!bh.ok()) return bh.error();
       std::memcpy(out.data() + done, bh.value().data().data() + within,
                   chunk);
@@ -915,6 +943,67 @@ bento::Result<std::uint32_t> Xv6FileSystem::write(
     BSIM_TRY(txn.finish());
     total += w.value();
     done += chunk;
+  }
+  return total;
+}
+
+bento::Result<std::uint32_t> Xv6FileSystem::read_bulk(
+    const Request&, SbRef sb, bento::Ino ino, std::uint64_t off,
+    std::span<const std::span<std::byte>> pages) {
+  sim::charge(sim::costs().fs_op_base);
+  auto r = iget(sb.get(), static_cast<std::uint32_t>(ino));
+  if (!r.ok()) return r.error();
+  MemInode& mi = *r.value();
+  bento::SemGuard guard(mi.lock);
+
+  // Unaligned callers fall back to per-page readi (each of which batches
+  // internally). The ->readpages shape — block-aligned, one block per
+  // page — resolves the run once, fetches it in one batched submission,
+  // and copies straight out of the pinned handles.
+  bool aligned = off % kBlockSize == 0;
+  for (const auto& page : pages) aligned = aligned && page.size() == kBlockSize;
+  if (!aligned) {
+    std::uint32_t total = 0;
+    std::uint64_t pos = off;
+    for (const auto& page : pages) {
+      auto n = readi(sb.get(), mi, pos, page);
+      if (!n.ok()) return n.error();
+      total += n.value();
+      pos += n.value();
+      if (n.value() < page.size()) break;  // EOF
+    }
+    return total;
+  }
+
+  if (off >= mi.d.size) return std::uint32_t{0};
+  std::vector<std::size_t> page_slot(pages.size(), SIZE_MAX);
+  std::vector<std::uint64_t> mapped;
+  std::size_t npages = 0;  // pages at least partially inside the file
+  for (std::size_t i = 0; i < pages.size(); ++i) {
+    const std::uint64_t pos = off + i * kBlockSize;
+    if (pos >= mi.d.size) break;
+    npages = i + 1;
+    auto addr = bmap(sb.get(), mi, pos / kBlockSize, /*alloc=*/false);
+    if (!addr.ok()) return addr.error();
+    if (addr.value() != 0) {
+      page_slot[i] = mapped.size();
+      mapped.push_back(addr.value());
+    }
+  }
+  auto batch = sb.get().bread_batch(mapped);
+  if (!batch.ok()) return batch.error();
+  std::uint32_t total = 0;
+  for (std::size_t i = 0; i < npages; ++i) {
+    const std::uint64_t pos = off + i * kBlockSize;
+    const std::size_t chunk = static_cast<std::size_t>(
+        std::min<std::uint64_t>(kBlockSize, mi.d.size - pos));
+    if (page_slot[i] == SIZE_MAX) {
+      std::memset(pages[i].data(), 0, chunk);  // hole
+    } else {
+      std::memcpy(pages[i].data(),
+                  batch.value()[page_slot[i]].data().data(), chunk);
+    }
+    total += static_cast<std::uint32_t>(chunk);
   }
   return total;
 }

@@ -80,6 +80,9 @@ class Xv6FileSystem : public bento::FileSystem {
                                     bento::Ino ino, std::uint64_t fh,
                                     std::uint64_t off,
                                     std::span<std::byte> out) override;
+  bento::Result<std::uint32_t> read_bulk(
+      const bento::Request& req, bento::SbRef sb, bento::Ino ino,
+      std::uint64_t off, std::span<const std::span<std::byte>> pages) override;
   bento::Result<std::uint32_t> write(const bento::Request& req,
                                      bento::SbRef sb, bento::Ino ino,
                                      std::uint64_t fh, std::uint64_t off,

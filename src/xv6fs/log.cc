@@ -82,16 +82,27 @@ Err Log::force_commit(SuperBlockCap& sb) {
 }
 
 Err Log::commit(SuperBlockCap& sb) {
-  // 1. Copy modified blocks into the log area (synchronous writes).
-  for (std::size_t i = 0; i < pending_.size(); ++i) {
-    auto src = sb.bread(pending_[i]);  // cached: holds the new contents
-    if (!src.ok()) return src.error();
-    auto dst = sb.getblk(dsb_.logstart + 1 + static_cast<std::uint32_t>(i));
-    if (!dst.ok()) return dst.error();
-    std::memcpy(dst.value().data().data(), src.value().data().data(),
-                kBlockSize);
-    dst.value().set_dirty();
-    dst.value().sync();
+  // 1. Copy modified blocks into the log area and submit the whole run as
+  //    ONE batch: the log area is contiguous, so the request queue merges
+  //    it into a single multi-block device command instead of
+  //    pending_.size() serialized writes.
+  {
+    std::vector<BufferHeadHandle> dsts;
+    dsts.reserve(pending_.size());
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      auto src = sb.bread(pending_[i]);  // cached: holds the new contents
+      if (!src.ok()) return src.error();
+      auto dst = sb.getblk(dsb_.logstart + 1 + static_cast<std::uint32_t>(i));
+      if (!dst.ok()) return dst.error();
+      std::memcpy(dst.value().data().data(), src.value().data().data(),
+                  kBlockSize);
+      dst.value().set_dirty();
+      dsts.push_back(std::move(dst.value()));
+    }
+    std::vector<BufferHeadHandle*> batch;
+    batch.reserve(dsts.size());
+    for (auto& h : dsts) batch.push_back(&h);
+    sb.sync_batch(batch);
   }
   if (durability_ == Durability::Strict) sb.flush_all();
 
@@ -120,25 +131,42 @@ Err Log::commit(SuperBlockCap& sb) {
 
 Err Log::install(SuperBlockCap& sb, const LogHeader& header,
                  bool recovering) {
-  for (std::uint32_t i = 0; i < header.n; ++i) {
-    if (recovering) {
-      // Replay from the log area into the home location.
-      auto src = sb.bread(dsb_.logstart + 1 + i);
-      if (!src.ok()) return src.error();
+  // Home locations are scattered, so the batch typically stays several
+  // requests — but those spread across the device's channels instead of
+  // serializing on one.
+  std::vector<BufferHeadHandle> dsts;
+  dsts.reserve(header.n);
+  if (recovering) {
+    // Replay from the log area into the home locations; the log-area
+    // reads are one contiguous batched run.
+    std::vector<std::uint64_t> log_blocks;
+    log_blocks.reserve(header.n);
+    for (std::uint32_t i = 0; i < header.n; ++i) {
+      log_blocks.push_back(dsb_.logstart + 1 + i);
+    }
+    auto srcs = sb.bread_batch(log_blocks);
+    if (!srcs.ok()) return srcs.error();
+    for (std::uint32_t i = 0; i < header.n; ++i) {
       auto dst = sb.getblk(header.blocks[i]);
       if (!dst.ok()) return dst.error();
-      std::memcpy(dst.value().data().data(), src.value().data().data(),
-                  kBlockSize);
+      std::memcpy(dst.value().data().data(),
+                  srcs.value()[i].data().data(), kBlockSize);
       dst.value().set_dirty();
-      dst.value().sync();
-    } else {
-      // The cache already holds the new contents; write them home.
+      dsts.push_back(std::move(dst.value()));
+    }
+  } else {
+    // The cache already holds the new contents; write them home.
+    for (std::uint32_t i = 0; i < header.n; ++i) {
       auto bh = sb.bread(header.blocks[i]);
       if (!bh.ok()) return bh.error();
       bh.value().set_dirty();
-      bh.value().sync();
+      dsts.push_back(std::move(bh.value()));
     }
   }
+  std::vector<BufferHeadHandle*> batch;
+  batch.reserve(dsts.size());
+  for (auto& h : dsts) batch.push_back(&h);
+  sb.sync_batch(batch);
   if (durability_ == Durability::Strict) sb.flush_all();
   return Err::Ok;
 }

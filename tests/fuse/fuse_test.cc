@@ -87,7 +87,7 @@ TEST_F(FuseTest, DurableBlockWritesFsyncTheDiskFile) {
 
 TEST_F(FuseTest, WritebackRunsAreChunkedToMaxWritePages) {
   // A 1 MiB dirty run must be split into requests of at most
-  // kMaxWritePages pages (the FUSE max_write limit).
+  // kMaxPages pages (the FUSE max_write limit).
   auto fd = kernel_.open(proc(), "/mnt/big", kern::kOCreat | kern::kOWrOnly);
   ASSERT_TRUE(fd.ok());
   std::vector<std::byte> mb(1 << 20, std::byte{2});
