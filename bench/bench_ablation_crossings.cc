@@ -13,6 +13,7 @@ using namespace bsim::bench;
 
 int main() {
   std::printf("Ablation A2: FUSE crossing-cost sweep (create, 1 thread)\n");
+  JsonReport json("crossings", "creates/s");
   std::printf("%14s %12s\n", "crossing (ns)", "creates/s");
   for (const sim::Nanos crossing : {0, 500, 1500, 3000, 6000}) {
     reset_costs();
@@ -27,6 +28,7 @@ int main() {
     });
     std::printf("%14lld %12.1f\n", static_cast<long long>(crossing),
                 stats.ops_per_sec());
+    json.add("FUSE", std::to_string(crossing) + "ns", stats.ops_per_sec());
     std::fflush(stdout);
   }
   reset_costs();

@@ -79,6 +79,7 @@ int main() {
   reset_costs();
   std::printf("Ablation A6: ExtFUSE (eBPF metadata caching) on a stat-heavy "
               "workload\n\n");
+  JsonReport json("extfuse", "stats/s");
   std::printf("%-20s %14s %10s\n", "deployment", "stats/s", "vs FUSE");
   const double fuse = stat_ops("xv6_fuse", "");
   struct Row {
@@ -99,6 +100,7 @@ int main() {
             ? fuse
             : stat_ops(row.fs, row.opts);
     std::printf("%-20s %14.0f %9.1fx\n", row.label, ops, ops / fuse);
+    json.add(row.label, "stats_per_s", ops);
     std::fflush(stdout);
   }
   std::printf(

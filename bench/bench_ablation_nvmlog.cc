@@ -85,6 +85,7 @@ int main() {
   reset_costs();
   std::printf("Ablation A7: Strata-style NVM op-log over xv6 (paper §3)\n\n");
 
+  JsonReport json("nvmlog", "ops/s");
   std::printf("%-14s %16s %20s %20s\n", "fs", "varmail ops/s",
               "4K append+fsync/s", "64K append+fsync/s");
   for (const auto& [label, fs] :
@@ -96,6 +97,9 @@ int main() {
     const double a4 = append_fsync_ops(fs, 4096);
     const double a64 = append_fsync_ops(fs, 65536);
     std::printf("%-14s %16.0f %20.0f %20.0f\n", label.c_str(), vm, a4, a64);
+    json.add(label, "varmail_ops_per_s", vm);
+    json.add(label, "append_fsync_4k", a4);
+    json.add(label, "append_fsync_64k", a64);
     std::fflush(stdout);
   }
   std::printf(

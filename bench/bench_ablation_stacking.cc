@@ -15,9 +15,11 @@
 // time. Printed as ns/op of 4 KiB cached reads.
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "bento/chacha.h"
+#include "common.h"
 #include "bento/crypt.h"
 #include "sim/cost_model.h"
 #include "sim/thread.h"
@@ -104,6 +106,7 @@ int main() {
   std::printf(
       "Ablation A8: stacked-FS dispatch, 4K cached read through N "
       "encryption layers\n\n");
+  bsim::bench::JsonReport json("stacking", "ns/op");
   std::printf("%8s %22s %26s %10s\n", "layers", "Bento direct (ns/op)",
               "Linux VFS re-entry (ns/op)", "overhead");
   const Measured base = measure(0, 20000);
@@ -111,6 +114,9 @@ int main() {
     const Measured m = measure(layers, 20000);
     std::printf("%8d %22.0f %26.0f %9.2fx\n", layers, m.direct_ns,
                 m.vfs_reentry_ns, m.vfs_reentry_ns / m.direct_ns);
+    json.add("direct", std::to_string(layers) + "layers", m.direct_ns);
+    json.add("vfs_reentry", std::to_string(layers) + "layers",
+             m.vfs_reentry_ns);
   }
   std::printf(
       "\nPer added layer, direct dispatch costs the cipher work plus one\n"

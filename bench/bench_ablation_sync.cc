@@ -26,18 +26,21 @@ double run_create(const char* fs) {
 
 int main() {
   std::printf("Ablation A3: whole-file fsync cost sweep (create, 1 thread)\n");
+  JsonReport json("sync", "creates/s");
   reset_costs();
-  std::printf("%-28s %12.1f\n", "kernel Bento (reference)",
-              run_create("xv6_bento"));
+  const double bento = run_create("xv6_bento");
+  std::printf("%-28s %12.1f\n", "kernel Bento (reference)", bento);
+  json.add("Bento", "reference", bento);
 
   std::printf("%18s %12s\n", "host fsync (us)", "FUSE creates/s");
   for (const sim::Nanos host : {sim::usec(100), sim::usec(500), sim::usec(2200),
                                 sim::usec(5000), sim::usec(10000)}) {
     reset_costs();
     sim::costs().host_file_fsync = host;
+    const double ops = run_create("xv6_fuse");
     std::printf("%18lld %12.1f\n",
-                static_cast<long long>(host / sim::kMicrosecond),
-                run_create("xv6_fuse"));
+                static_cast<long long>(host / sim::kMicrosecond), ops);
+    json.add("FUSE", std::to_string(host / sim::kMicrosecond) + "us", ops);
     std::fflush(stdout);
   }
   reset_costs();

@@ -61,6 +61,7 @@ double write_mbps(const std::string& fs, const std::string& opts) {
 int main() {
   reset_costs();
   std::printf("Ablation A5: FUSE block I/O over io_uring (paper §8.1)\n\n");
+  JsonReport json("uring", "mixed");
 
   std::printf("%-26s %14s %16s\n", "deployment", "creates/s",
               "write MBps(128K)");
@@ -75,6 +76,12 @@ int main() {
   const double uring_c = create_ops("xv6_fuse", "io_uring");
   const double uring_w = write_mbps("xv6_fuse", "io_uring");
   std::printf("%-26s %14.1f %16.1f\n", "FUSE (io_uring)", uring_c, uring_w);
+  json.add("Bento", "creates_per_s", bento_c);
+  json.add("Bento", "write_mbps_128k", bento_w);
+  json.add("FUSE", "creates_per_s", fuse_c);
+  json.add("FUSE", "write_mbps_128k", fuse_w);
+  json.add("FUSE+io_uring", "creates_per_s", uring_c);
+  json.add("FUSE+io_uring", "write_mbps_128k", uring_w);
 
   std::printf("\nio_uring speedup on FUSE:  creates %.2fx, writes %.2fx\n",
               uring_c / fuse_c, uring_w / fuse_w);
@@ -107,6 +114,8 @@ int main() {
     const double uring = create_ops("xv6_fuse", "io_uring", step.plp);
     std::printf("%-28s %14.1f %12.1f %9.2fx\n", step.label, plain, uring,
                 uring / plain);
+    json.add("sweep/plain", step.label, plain);
+    json.add("sweep/io_uring", step.label, uring);
     std::fflush(stdout);
   }
   reset_costs();

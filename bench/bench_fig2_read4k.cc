@@ -22,6 +22,7 @@ int main() {
                             {"rnd-32t", false, 32}};
 
   std::printf("Figure 2: Read Performance (4KB), Ops/sec (x1000)\n");
+  JsonReport json("fig2_read4k", "kops/s");
   std::printf("%-10s %10s %10s %10s %10s\n", "fs", "seq-1t", "seq-32t",
               "rnd-1t", "rnd-32t");
   for (const auto& [label, fsname] : kKernelFses) {
@@ -37,6 +38,7 @@ int main() {
                                                4096, tid, 42);
       });
       std::printf(" %10.1f", stats.ops_per_sec() / 1000.0);
+      json.add(label, cfg.label, stats.ops_per_sec() / 1000.0);
       std::fflush(stdout);
     }
     std::printf("\n");

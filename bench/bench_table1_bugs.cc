@@ -2,13 +2,23 @@
 // comparison (§2.2), regenerated from the categorized corpus by the
 // analysis pipeline in src/bugs.
 #include <cstdio>
+#include <string>
 
 #include "bugs/bugs.h"
+#include "common.h"
 
 int main() {
   const auto records = bsim::bugs::corpus();
   const auto analysis = bsim::bugs::analyze(records);
   std::printf("%s\n", bsim::bugs::render_table1(analysis).c_str());
   std::printf("%s\n", bsim::bugs::render_table2().c_str());
+
+  bsim::bench::JsonReport json("table1_bugs", "bugs");
+  for (const auto& row : analysis.rows) {
+    json.add("table1", std::string(bsim::bugs::subcategory_name(row.subcategory)),
+             row.count);
+  }
+  json.add("summary", "total", analysis.total);
+  json.add("summary", "rust_preventable", analysis.rust_preventable);
   return 0;
 }

@@ -12,6 +12,7 @@ using namespace bsim::bench;
 int main() {
   reset_costs();
   std::printf("Table 5: Delete Microbenchmark Performance (Ops/sec)\n");
+  JsonReport json("table5_delete", "ops/s");
   std::printf("%-10s %12s %12s\n", "fs", "1 Thread", "32 Threads");
   for (const auto& [label, fsname] : kKernelFses) {
     std::printf("%-10s", label.c_str());
@@ -27,6 +28,7 @@ int main() {
                                                  threads);
       });
       std::printf(" %12.0f", stats.ops_per_sec());
+      json.add(label, std::to_string(threads) + "t", stats.ops_per_sec());
       std::fflush(stdout);
     }
     std::printf("\n");

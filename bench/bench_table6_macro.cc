@@ -23,6 +23,7 @@ using namespace bsim::bench;
 int main() {
   reset_costs();
   std::printf("Table 6: Macrobenchmark Performance\n");
+  JsonReport json("table6_macro", "mixed");
   std::printf("%-10s %16s %18s %12s\n", "fs", "Varmail (ops/s)",
               "Fileserver (ops/s)", "Untar (s)");
 
@@ -43,6 +44,7 @@ int main() {
         return std::make_unique<wl::Varmail>(bed, *set, tid, 11);
       });
       std::printf(" %16.0f", stats.ops_per_sec());
+      json.add(label, "varmail_ops_per_s", stats.ops_per_sec());
       std::fflush(stdout);
     }
 
@@ -59,6 +61,7 @@ int main() {
         return std::make_unique<wl::Fileserver>(bed, *set, tid, 13);
       });
       std::printf(" %18.0f", stats.ops_per_sec());
+      json.add(label, "fileserver_ops_per_s", stats.ops_per_sec());
       std::fflush(stdout);
     }
 
@@ -73,6 +76,7 @@ int main() {
         return std::make_unique<wl::Untar>(bed, manifest);
       });
       std::printf(" %12.1f\n", sim::to_seconds(stats.elapsed));
+      json.add(label, "untar_seconds", sim::to_seconds(stats.elapsed));
       std::fflush(stdout);
     }
   }

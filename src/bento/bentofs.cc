@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "kernel/flusher.h"
 #include "sim/cost_model.h"
 #include "sim/thread.h"
 
@@ -358,7 +359,9 @@ Err BentoModule::writepage(kern::Inode& inode, std::uint64_t pgoff,
 }
 
 Err BentoModule::writepages(kern::Inode& inode,
-                            std::span<const kern::PageRun> runs) {
+                            std::span<const kern::PageRun> runs,
+                            std::size_t& completed_runs) {
+  completed_runs = 0;
   for (const auto& run : runs) {
     channel(run.pages.size() * kern::kPageSize, 0);
     std::vector<std::span<const std::byte>> pages;
@@ -373,10 +376,14 @@ Err BentoModule::writepages(kern::Inode& inode,
       pages.push_back(page->bytes().subspan(0, static_cast<std::size_t>(len)));
       remaining -= len;
     }
-    if (pages.empty()) continue;
+    if (pages.empty()) {
+      completed_runs += 1;  // nothing of this run is within EOF
+      continue;
+    }
     auto r = fs_->write_bulk(mkreq(), borrow(), inode.ino(), base, pages);
     assert(ledger_.balanced());
     if (!r.ok()) return r.error();
+    completed_runs += 1;
   }
   return Err::Ok;
 }
@@ -384,7 +391,7 @@ Err BentoModule::writepages(kern::Inode& inode,
 // ---- BentoFsType ----
 
 Result<kern::SuperBlock*> BentoFsType::mount(blk::BlockDevice& dev,
-                                             std::string_view) {
+                                             std::string_view opts) {
   auto sb = std::make_unique<kern::SuperBlock>(dev, /*buffer_cache=*/16384);
   sb->fs_name = name_;
   auto module = std::make_unique<BentoModule>(*sb, factory_());
@@ -392,6 +399,14 @@ Result<kern::SuperBlock*> BentoFsType::mount(blk::BlockDevice& dev,
   sb->s_op = module.get();
   Err e = module->mount_init();
   if (e != Err::Ok) return e;
+  // Background writeback for the kernel-Bento deployment: threshold
+  // writeback moves off the writer's clock. Buffer draining is safe here
+  // because the xv6 log syncs every buffer it dirties before returning,
+  // so nothing WAL-ordered is ever left dirty between operations.
+  // "-o noflusher" keeps the old writer-context behaviour (ablations).
+  kern::FlusherParams fp;
+  fp.drain_buffers = true;
+  kern::maybe_attach_flusher(*sb, opts, fp);
   module.release();  // owned via sb->fs_info, reclaimed in kill_sb
   return sb.release();
 }

@@ -102,8 +102,8 @@ class BentoModule : public kern::InodeOps,
   [[nodiscard]] bool has_readpages() const override { return true; }
   Err writepage(kern::Inode& inode, std::uint64_t pgoff,
                 std::span<const std::byte> in) override;
-  Err writepages(kern::Inode& inode,
-                 std::span<const kern::PageRun> runs) override;
+  Err writepages(kern::Inode& inode, std::span<const kern::PageRun> runs,
+                 std::size_t& completed_runs) override;
   [[nodiscard]] bool has_writepages() const override { return true; }
 
  protected:

@@ -27,14 +27,30 @@ void BlockBackend::bh_sync_batch(std::span<void* const> impls) {
   for (void* impl : impls) bh_sync(impl);
 }
 
+WriteTicket BlockBackend::bh_sync_batch_async(std::span<void* const> impls) {
+  // Unbatched userspace default: no async device path, so the write is
+  // synchronous and the ticket comes back already redeemed.
+  bh_sync_batch(impls);
+  return WriteTicket{};
+}
+
+void BlockBackend::bh_sync_wait(const WriteTicket&) {}
+
 void SuperBlockCap::sync_batch(std::span<BufferHeadHandle* const> handles) {
+  // The barrier form is exactly submit-then-redeem (the default backend
+  // performs the write synchronously and returns an empty ticket).
+  wait(sync_batch_async(handles));
+}
+
+WriteTicket SuperBlockCap::sync_batch_async(
+    std::span<BufferHeadHandle* const> handles) {
   std::vector<void*> impls;
   impls.reserve(handles.size());
   for (BufferHeadHandle* h : handles) {
-    assert(h != nullptr && *h && "sync_batch over an empty handle");
+    assert(h != nullptr && *h && "sync_batch_async over an empty handle");
     impls.push_back(h->impl_);
   }
-  backend_->bh_sync_batch(impls);
+  return backend_->bh_sync_batch_async(impls);
 }
 
 std::span<std::byte> BufferHeadHandle::data() {
@@ -117,6 +133,20 @@ void KernelBlockBackend::bh_sync_batch(std::span<void* const> impls) {
     bhs.push_back(static_cast<kern::BufferHead*>(impl));
   }
   cache_->sync_dirty_buffers(bhs);
+}
+
+WriteTicket KernelBlockBackend::bh_sync_batch_async(
+    std::span<void* const> impls) {
+  std::vector<kern::BufferHead*> bhs;
+  bhs.reserve(impls.size());
+  for (void* impl : impls) {
+    bhs.push_back(static_cast<kern::BufferHead*>(impl));
+  }
+  return WriteTicket{cache_->sync_dirty_buffers_async(bhs)};
+}
+
+void KernelBlockBackend::bh_sync_wait(const WriteTicket& t) {
+  cache_->wait(t.ticket);
 }
 
 void KernelBlockBackend::bh_release(void* impl) {

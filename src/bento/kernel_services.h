@@ -29,6 +29,14 @@ namespace bsim::bento {
 class SuperBlockCap;
 class BufferHeadHandle;
 
+/// Capability for an in-flight asynchronous batch write (the bio layer's
+/// Ticket without kernel pointers). Obtained from
+/// SuperBlockCap::sync_batch_async; redeemed with SuperBlockCap::wait.
+/// Default-constructed tickets are empty and waiting on them is a no-op.
+struct WriteTicket {
+  blk::Ticket ticket{};
+};
+
 /// Where block I/O goes: the two implementations embody the kernel/user
 /// split of Figure 1.
 class BlockBackend {
@@ -59,6 +67,13 @@ class BlockBackend {
   /// submission in the kernel; from userspace the pwrites batch but the
   /// whole-file fsync is paid once for the batch. Default loops bh_sync.
   virtual void bh_sync_batch(std::span<void* const> impls);
+  /// Non-barrier batched write: submit and return a ticket the caller
+  /// redeems with bh_sync_wait, so a journal can overlap its checkpoint
+  /// with subsequent work (QD>1). The default (userspace backends, which
+  /// have no async device path) performs the write synchronously and
+  /// returns an empty ticket.
+  virtual WriteTicket bh_sync_batch_async(std::span<void* const> impls);
+  virtual void bh_sync_wait(const WriteTicket& t);
   virtual void bh_release(void* impl) = 0;
 
   /// For subclasses constructing handles.
@@ -159,6 +174,13 @@ class SuperBlockCap {
   }
   /// Synchronously write `handles` as one batch (journal commit runs).
   void sync_batch(std::span<BufferHeadHandle* const> handles);
+  /// Submit `handles` as one batch WITHOUT waiting: the returned ticket
+  /// is redeemed with wait(), letting file-system code keep a checkpoint
+  /// in flight while it continues (e.g. overlapping the next journal
+  /// record). Media effects land at submission, in submission order.
+  WriteTicket sync_batch_async(std::span<BufferHeadHandle* const> handles);
+  /// Redeem a ticket from sync_batch_async (no-op when already complete).
+  void wait(const WriteTicket& t) { backend_->bh_sync_wait(t); }
   /// Durability barrier.
   void flush_all() { backend_->flush_all(); }
 
@@ -194,6 +216,8 @@ class KernelBlockBackend final : public BlockBackend {
   void bh_set_dirty(void* impl) override;
   void bh_sync(void* impl) override;
   void bh_sync_batch(std::span<void* const> impls) override;
+  WriteTicket bh_sync_batch_async(std::span<void* const> impls) override;
+  void bh_sync_wait(const WriteTicket& t) override;
   void bh_release(void* impl) override;
 
  private:

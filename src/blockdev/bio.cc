@@ -13,10 +13,16 @@ void RequestQueue::dispatch(std::vector<Bio*>& list, sim::Nanos& last_done) {
   });
   std::size_t i = 0;
   while (i < list.size()) {
-    // Grow the request while the next bio starts where this one ends.
+    // Grow the request while the next bio starts where this one ends, or
+    // covers the exact same range (duplicate-block absorption: the stable
+    // sort keeps submission order among equal start blocks, and
+    // do_request applies bios in list order, so the last-submitted data
+    // wins on media — the documented same-block semantics).
     std::size_t j = i + 1;
     while (j < list.size() &&
-           list[j]->first_block() == list[j - 1]->end_block()) {
+           (list[j]->first_block() == list[j - 1]->end_block() ||
+            (list[j]->first_block() == list[j - 1]->first_block() &&
+             list[j]->end_block() == list[j - 1]->end_block()))) {
       j += 1;
     }
     const sim::Nanos done =
@@ -27,8 +33,7 @@ void RequestQueue::dispatch(std::vector<Bio*>& list, sim::Nanos& last_done) {
   }
 }
 
-sim::Nanos RequestQueue::submit(std::span<Bio> bios) {
-  if (bios.empty()) return sim::now();
+sim::Nanos RequestQueue::start_batch(std::span<Bio> bios) {
   stats_.batches += 1;
   stats_.bios += bios.size();
 
@@ -40,13 +45,36 @@ sim::Nanos RequestQueue::submit(std::span<Bio> bios) {
 
   // Writes dispatch before reads so that media effects (and crash-model
   // write-command counting) happen in a deterministic order; the batch
-  // barrier below makes the distinction invisible to timing.
+  // barrier (or ticket redemption) makes the distinction invisible to
+  // timing.
   sim::Nanos last_done = sim::now();
   if (!writes.empty()) dispatch(writes, last_done);
   if (!reads.empty()) dispatch(reads, last_done);
+  return last_done;
+}
 
+sim::Nanos RequestQueue::submit(std::span<Bio> bios) {
+  if (bios.empty()) return sim::now();
+  const sim::Nanos last_done = start_batch(bios);
   sim::current().wait_until(last_done);
   return last_done;
+}
+
+Ticket RequestQueue::submit_async(std::span<Bio> bios) {
+  if (bios.empty()) return Ticket{};
+  const sim::Nanos last_done = start_batch(bios);
+  stats_.async_batches += 1;
+  outstanding_.insert(next_ticket_);
+  stats_.max_inflight = std::max<std::uint64_t>(stats_.max_inflight,
+                                                outstanding_.size());
+  return Ticket{last_done, next_ticket_++};
+}
+
+sim::Nanos RequestQueue::wait(const Ticket& t) {
+  if (!t.valid()) return sim::now();
+  outstanding_.erase(t.id);  // redundant waits are harmless
+  sim::current().wait_until(t.done);
+  return t.done;
 }
 
 }  // namespace bsim::blk

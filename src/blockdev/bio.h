@@ -12,12 +12,24 @@
 //   - dispatches each merged request to a device channel, so a batch
 //     occupies up to `DeviceParams::channels` channels *concurrently* in
 //     virtual time, and
-//   - waits until every request completes (submission is synchronous at
-//     the batch boundary, like submit_bio_wait over a plugged queue).
+//   - either waits until every request completes (`submit`, synchronous at
+//     the batch boundary, like submit_bio_wait over a plugged queue) or
+//     returns a Ticket the caller redeems later (`submit_async`/`wait`),
+//     so one simulated thread can keep several batches in flight across
+//     the device's channels (QD>1).
 //
 // Per-bio completion times are recorded in Bio::done_at, so tests and
 // stats can observe out-of-order completion inside a batch even though the
-// submitting thread only resumes at the batch barrier.
+// submitting thread only resumes at the batch barrier (or at wait()).
+//
+// Same-block bios within one batch are well-defined and deterministic:
+// dispatch stable-sorts by start block, so bios with the SAME start block
+// execute in submission order — for those, the last-submitted data wins
+// on media — and bios with identical block ranges are coalesced into one
+// device request (a queue-level write absorption) instead of splitting a
+// merge run. Partially overlapping ranges with different start blocks
+// apply in ascending-start order (deterministic, but not last-submitted-
+// wins); no consumer submits those in one batch today.
 //
 // The scalar BlockDevice::read/write entry points are one-bio wrappers
 // over this layer; every block access in the simulation funnels through
@@ -27,6 +39,7 @@
 #include <cassert>
 #include <cstdint>
 #include <span>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/time.h"
@@ -52,6 +65,12 @@ struct Bio {
   std::vector<BioVec> vecs;
   /// Absolute virtual completion time, set by RequestQueue::submit.
   sim::Nanos done_at = 0;
+  /// Whether the command actually executed against media. Reads are always
+  /// applied; a write bio issued at or after the crash model's kill point
+  /// is accepted (and timed) but never reaches media, and stays false.
+  /// Dirty-state owners (the buffer cache) must not clear dirty bits for
+  /// unapplied writes.
+  bool applied = false;
 
   Bio() = default;
   explicit Bio(BioOp o) : op(o) {}
@@ -101,8 +120,22 @@ struct Bio {
 /// Batch-level accounting; request-level counts (requests, merges,
 /// blocks) live in DeviceStats, where the merged commands execute.
 struct RequestQueueStats {
-  std::uint64_t batches = 0;  // submit() calls
-  std::uint64_t bios = 0;     // bios submitted
+  std::uint64_t batches = 0;        // submit() + submit_async() calls
+  std::uint64_t bios = 0;           // bios submitted
+  std::uint64_t async_batches = 0;  // batches submitted without a barrier
+  std::uint64_t max_inflight = 0;   // peak unredeemed async tickets
+};
+
+/// Handle for an in-flight async batch. Redeem with RequestQueue::wait;
+/// default-constructed tickets are empty and wait() on them is a no-op.
+/// Tickets may be redeemed in any order — each one independently records
+/// its batch's completion time, so wait order does not affect the clock a
+/// thread ends up at after redeeming a set of tickets.
+struct Ticket {
+  sim::Nanos done = 0;
+  std::uint64_t id = 0;  // 0 = empty
+
+  [[nodiscard]] bool valid() const { return id != 0; }
 };
 
 /// The per-device request queue. All timed block traffic goes through
@@ -124,12 +157,38 @@ class RequestQueue {
   /// One-bio convenience (the scalar read/write path).
   sim::Nanos submit(Bio& bio) { return submit(std::span<Bio>(&bio, 1)); }
 
+  /// Non-barrier submission: sort, merge, and dispatch the batch across
+  /// device channels exactly like submit(), but do NOT advance the calling
+  /// thread to the batch's completion. The returned Ticket records the
+  /// completion time of the batch's last request; redeem it with wait().
+  /// A later submission (async or not) queues behind this batch on busy
+  /// channels, which is what lets one thread hold QD>1 against the device.
+  /// Media effects and the crash model's write-command count still happen
+  /// at submission, in submission order.
+  Ticket submit_async(std::span<Bio> bios);
+
+  /// Redeem a ticket: advance the calling thread to the batch's completion
+  /// (no-op for empty tickets or if the caller's clock is already past it).
+  /// Returns the batch completion time. Tickets may be redeemed in any
+  /// order and at most once each meaningfully; extra waits are harmless.
+  sim::Nanos wait(const Ticket& t);
+
+  /// Unredeemed async tickets (diagnostics). Tracked by ticket identity,
+  /// so redundant waits on an already-redeemed ticket stay harmless.
+  [[nodiscard]] std::uint64_t inflight() const {
+    return outstanding_.size();
+  }
+
   [[nodiscard]] const RequestQueueStats& stats() const { return stats_; }
 
  private:
+  /// Sort + merge + dispatch; fills done_at, returns last completion.
+  sim::Nanos start_batch(std::span<Bio> bios);
   void dispatch(std::vector<Bio*>& list, sim::Nanos& last_done);
 
   BlockDevice* dev_;
+  std::uint64_t next_ticket_ = 1;
+  std::unordered_set<std::uint64_t> outstanding_;  // unredeemed ticket ids
   RequestQueueStats stats_;
 };
 

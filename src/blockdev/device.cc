@@ -60,6 +60,7 @@ sim::Nanos BlockDevice::do_request(std::span<Bio* const> bios) {
     stats_.reads += nblocks;
     stats_.read_requests += 1;
     for (Bio* b : bios) {
+      b->applied = true;
       for (BioVec& v : b->vecs) {
         std::memcpy(v.data.data(), slot(v.blockno).data(), kBlockSize);
       }
@@ -95,6 +96,7 @@ sim::Nanos BlockDevice::do_request(std::span<Bio* const> bios) {
       else kill_countdown_ -= 1;
     }
     if (dead_) continue;  // power died: this bio never reached the device
+    b->applied = true;
     for (const BioVec& v : b->vecs) {
       auto& dst = slot(v.blockno);
       if (!dirty_.contains(v.blockno)) {

@@ -78,6 +78,12 @@ class BlockDevice {
   /// Batched submission (timed): forwards to queue().submit().
   sim::Nanos submit(std::span<Bio> bios) { return queue_.submit(bios); }
 
+  /// Non-barrier batched submission (QD>1): forwards to the queue.
+  Ticket submit_async(std::span<Bio> bios) {
+    return queue_.submit_async(bios);
+  }
+  sim::Nanos wait(const Ticket& t) { return queue_.wait(t); }
+
   /// Read one block into `out` (timed). One-bio convenience wrapper.
   void read(std::uint64_t blockno, std::span<std::byte> out);
 

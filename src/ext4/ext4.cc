@@ -32,6 +32,16 @@ void Ext4Mount::j_write(std::uint32_t blockno) {
 Err Ext4Mount::j_commit(bool flush_device) {
   auto& bc = sb_->bufcache();
   std::size_t written = 0;
+  // Checkpoints are submitted async: record N's home-location writes stay
+  // in flight while record N+1's journal run is written, so commits
+  // overlap checkpointing across the device channels. All tickets are
+  // redeemed before the commit returns (and before any FLUSH) — error
+  // paths included, via fail().
+  std::vector<blk::Ticket> checkpoints;
+  auto fail = [&](Err e) {
+    for (const blk::Ticket& t : checkpoints) bc.wait(t);
+    return e;
+  };
   while (written < running_txn_.size()) {
     // One journal record holds as many tags as fit the descriptor block
     // (and the journal area); huge transactions split into several records.
@@ -54,7 +64,7 @@ Err Ext4Mount::j_commit(bool flush_device) {
       std::vector<kern::BufferHead*> jrun;
       jrun.reserve(n + 1);
       auto db = bc.getblk(super_.jstart);
-      if (!db.ok()) return db.error();
+      if (!db.ok()) return fail(db.error());
       std::memcpy(db.value()->bytes().data(), &desc, sizeof(desc));
       bc.mark_dirty(db.value());
       jrun.push_back(db.value());
@@ -62,13 +72,13 @@ Err Ext4Mount::j_commit(bool flush_device) {
         auto src = bc.bread(running_txn_[written + i]);
         if (!src.ok()) {
           for (auto* bh : jrun) bc.brelse(bh);
-          return src.error();
+          return fail(src.error());
         }
         auto dst = bc.getblk(super_.jstart + 1 + static_cast<std::uint32_t>(i));
         if (!dst.ok()) {
           bc.brelse(src.value());
           for (auto* bh : jrun) bc.brelse(bh);
-          return dst.error();
+          return fail(dst.error());
         }
         std::memcpy(dst.value()->bytes().data(), src.value()->bytes().data(),
                     kBlockSize);
@@ -85,7 +95,7 @@ Err Ext4Mount::j_commit(bool flush_device) {
     commit.magic = kJCommitMagic;
     commit.seq = jseq_;
     auto cb = bc.getblk(super_.jstart + 1 + static_cast<std::uint32_t>(n));
-    if (!cb.ok()) return cb.error();
+    if (!cb.ok()) return fail(cb.error());
     std::memcpy(cb.value()->bytes().data(), &commit, sizeof(commit));
     bc.mark_dirty(cb.value());
     bc.sync_dirty_buffer(cb.value());
@@ -101,12 +111,12 @@ Err Ext4Mount::j_commit(bool flush_device) {
         auto bh = bc.bread(running_txn_[written + i]);
         if (!bh.ok()) {
           for (auto* h : homes) bc.brelse(h);
-          return bh.error();
+          return fail(bh.error());
         }
         bc.mark_dirty(bh.value());
         homes.push_back(bh.value());
       }
-      bc.sync_dirty_buffers(homes);
+      checkpoints.push_back(bc.sync_dirty_buffers_async(homes));
       for (auto* h : homes) bc.brelse(h);
     }
     jseq_ += 1;
@@ -115,6 +125,7 @@ Err Ext4Mount::j_commit(bool flush_device) {
     written += n;
   }
   running_txn_.clear();
+  for (const blk::Ticket& t : checkpoints) bc.wait(t);
   if (flush_device) {
     flush_start_ = sim::now();
     sb_->bdev().flush();
@@ -1150,7 +1161,9 @@ Err Ext4Mount::writepage(kern::Inode& inode, std::uint64_t pgoff,
 }
 
 Err Ext4Mount::writepages(kern::Inode& inode,
-                          std::span<const kern::PageRun> runs) {
+                          std::span<const kern::PageRun> runs,
+                          std::size_t& completed_runs) {
+  completed_runs = 0;
   for (const auto& run : runs) {
     std::uint64_t pos = run.first_pgoff * kern::kPageSize;
     for (const kern::Page* page : run.pages) {
@@ -1161,6 +1174,7 @@ Err Ext4Mount::writepages(kern::Inode& inode,
           inode, pos, page->bytes().subspan(0, static_cast<std::size_t>(len))));
       pos += len;
     }
+    completed_runs += 1;
   }
   return Err::Ok;
 }

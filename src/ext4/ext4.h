@@ -74,7 +74,8 @@ class Ext4Mount final : public kern::InodeOps,
   kern::Err writepage(kern::Inode& inode, std::uint64_t pgoff,
                       std::span<const std::byte> in) override;
   kern::Err writepages(kern::Inode& inode,
-                       std::span<const kern::PageRun> runs) override;
+                       std::span<const kern::PageRun> runs,
+                       std::size_t& completed_runs) override;
   [[nodiscard]] bool has_writepages() const override { return true; }
 
  private:

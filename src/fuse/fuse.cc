@@ -166,13 +166,17 @@ Err FuseModule::writepage(kern::Inode& inode, std::uint64_t pgoff,
 }
 
 Err FuseModule::writepages(kern::Inode& inode,
-                           std::span<const kern::PageRun> runs) {
+                           std::span<const kern::PageRun> runs,
+                           std::size_t& completed_runs) {
   if (filter_ != nullptr) filter_->invalidate_attr(inode.ino());
   // Split each run into FUSE-sized write requests (max_pages per request);
   // the base implementation then issues one request per (sub-)run.
   std::vector<kern::PageRun> chunked;
+  std::vector<std::size_t> chunks_per_run;
+  chunks_per_run.reserve(runs.size());
   for (const auto& run : runs) {
     std::size_t i = 0;
+    std::size_t nchunks = 0;
     while (i < run.pages.size()) {
       const std::size_t n = std::min(kMaxPages, run.pages.size() - i);
       kern::PageRun sub;
@@ -181,9 +185,22 @@ Err FuseModule::writepages(kern::Inode& inode,
                        run.pages.begin() + static_cast<std::ptrdiff_t>(i + n));
       chunked.push_back(std::move(sub));
       i += n;
+      nchunks += 1;
     }
+    chunks_per_run.push_back(nchunks);
   }
-  return BentoModule::writepages(inode, chunked);
+  // An original run completed only if ALL of its sub-requests did: map the
+  // completed-chunk prefix back to a completed-run prefix for the caller's
+  // dirty-state accounting.
+  std::size_t completed_chunks = 0;
+  const Err e = BentoModule::writepages(inode, chunked, completed_chunks);
+  completed_runs = 0;
+  for (const std::size_t nchunks : chunks_per_run) {
+    if (completed_chunks < nchunks) break;
+    completed_chunks -= nchunks;
+    completed_runs += 1;
+  }
+  return e;
 }
 
 Err FuseModule::readpages(kern::Inode& inode, std::uint64_t first_pgoff,

@@ -52,7 +52,8 @@ class FuseModule final : public bento::BentoModule {
   /// FUSE caps write requests at max_pages (128 KiB default); large
   /// writeback runs are split into multiple requests.
   kern::Err writepages(kern::Inode& inode,
-                       std::span<const kern::PageRun> runs) override;
+                       std::span<const kern::PageRun> runs,
+                       std::size_t& completed_runs) override;
 
   /// Readahead is capped the same way: a run becomes ceil(n/max_pages)
   /// FUSE READ requests (each one still a daemon round trip).

@@ -109,30 +109,44 @@ void BufferCache::brelse(BufferHead* bh) {
 
 void BufferCache::sync_dirty_buffer(BufferHead* bh) {
   assert(bh != nullptr && bh->cache == this);
-  dev_.write(bh->blockno, bh->bytes());
-  bh->dirty = false;
-  stats_.writebacks += 1;
+  blk::Bio bio = blk::Bio::single_write(bh->blockno, bh->bytes());
+  dev_.queue().submit(bio);
+  // A write command that never executed (crash-model kill point) did not
+  // write the buffer back: it must stay dirty.
+  if (bio.applied) {
+    set_clean(bh);
+    stats_.writebacks += 1;
+  }
 }
 
 void BufferCache::sync_dirty_buffers(std::span<BufferHead* const> bhs) {
-  if (bhs.empty()) return;
+  dev_.wait(sync_dirty_buffers_async(bhs));
+}
+
+blk::Ticket BufferCache::sync_dirty_buffers_async(
+    std::span<BufferHead* const> bhs) {
+  if (bhs.empty()) return blk::Ticket{};
   std::vector<blk::Bio> bios;
   bios.reserve(bhs.size());
   for (BufferHead* bh : bhs) {
     assert(bh != nullptr && bh->cache == this);
     bios.push_back(blk::Bio::single_write(bh->blockno, bh->bytes()));
   }
-  dev_.submit(bios);
-  for (BufferHead* bh : bhs) {
-    bh->dirty = false;
+  const blk::Ticket t = dev_.submit_async(bios);
+  // Media effects land at submission; only the wait is deferred. Clear
+  // dirty state for exactly the bios whose write command executed — an
+  // early kill leaves the tail of the batch dirty for the next sync.
+  for (std::size_t i = 0; i < bhs.size(); ++i) {
+    if (!bios[i].applied) continue;
+    set_clean(bhs[i]);
     stats_.writebacks += 1;
   }
+  return t;
 }
 
-void BufferCache::sync_all() {
-  // Gather the dirty set and push it through the request queue as one
-  // batch, in ascending block order so adjacent blocks merge.
+std::vector<BufferHead*> BufferCache::collect_dirty() {
   std::vector<BufferHead*> dirty;
+  dirty.reserve(nr_dirty_);
   for (auto& [blockno, bh] : map_) {
     if (bh->dirty) dirty.push_back(bh.get());
   }
@@ -140,7 +154,41 @@ void BufferCache::sync_all() {
             [](const BufferHead* a, const BufferHead* b) {
               return a->blockno < b->blockno;
             });
+  return dirty;
+}
+
+void BufferCache::sync_all() {
+  // Gather the dirty set and push it through the request queue as one
+  // batch, in ascending block order so adjacent blocks merge.
+  std::vector<BufferHead*> dirty = collect_dirty();
   sync_dirty_buffers(dirty);
+}
+
+std::size_t BufferCache::flush_dirty_async(std::size_t max_batch,
+                                           std::size_t queue_depth) {
+  assert(max_batch > 0 && queue_depth > 0);
+  const std::size_t before = nr_dirty_;
+  std::vector<BufferHead*> dirty = collect_dirty();
+  std::vector<blk::Ticket> inflight;
+  inflight.reserve(queue_depth);
+  std::size_t i = 0;
+  while (i < dirty.size()) {
+    const std::size_t n = std::min(max_batch, dirty.size() - i);
+    if (inflight.size() == queue_depth) {
+      // Redeem the oldest ticket to keep at most `queue_depth` batches in
+      // flight (wait order does not affect determinism; see bio.h).
+      dev_.wait(inflight.front());
+      inflight.erase(inflight.begin());
+    }
+    const blk::Ticket t = sync_dirty_buffers_async(
+        std::span<BufferHead* const>(dirty.data() + i, n));
+    if (t.valid()) inflight.push_back(t);
+    i += n;
+  }
+  for (const blk::Ticket& t : inflight) dev_.wait(t);
+  // Report what was actually cleaned: commands the crash model swallowed
+  // leave their buffers dirty and are not writebacks.
+  return before - nr_dirty_;
 }
 
 void BufferCache::issue_flush() { dev_.flush(); }
@@ -170,8 +218,13 @@ void BufferCache::evict_if_needed() {
     BufferHead* bh = mit->second.get();
     if (bh->refcount > 0) continue;
     if (bh->dirty) {
-      dev_.write(blockno, bh->bytes());
-      stats_.writebacks += 1;
+      blk::Bio bio = blk::Bio::single_write(blockno, bh->bytes());
+      dev_.queue().submit(bio);
+      set_clean(bh);
+      // A write the crash model swallowed is not a writeback — but the
+      // victim is still evicted: after power death the volatile copy is
+      // doomed either way, and eviction must keep making progress.
+      if (bio.applied) stats_.writebacks += 1;
     }
     stats_.evictions += 1;
     lru_.erase(std::next(it).base());

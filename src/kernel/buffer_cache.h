@@ -80,20 +80,47 @@ class BufferCache {
   /// Drop one reference.
   void brelse(BufferHead* bh);
 
-  void mark_dirty(BufferHead* bh) { bh->dirty = true; }
+  void mark_dirty(BufferHead* bh) {
+    if (!bh->dirty) {
+      bh->dirty = true;
+      nr_dirty_ += 1;
+    }
+  }
 
   /// Synchronously write one buffer to the device (timed). Like Linux's
   /// sync_dirty_buffer this waits for the transfer, not for a cache FLUSH.
   void sync_dirty_buffer(BufferHead* bh);
 
   /// Batched writeback: one request-queue submission for all `bhs`
-  /// (journal commit paths hand their whole log run here). Clears dirty
-  /// bits; counts one writeback per buffer.
+  /// (journal commit paths hand their whole log run here). Counts one
+  /// writeback per buffer. A buffer's dirty bit is cleared only if its
+  /// write command actually executed — under the crash model's
+  /// kill_after, bios at or past the kill point never reach media and
+  /// their buffers stay dirty (they were NOT written back).
   void sync_dirty_buffers(std::span<BufferHead* const> bhs);
+
+  /// Non-barrier batched writeback: same submission (and the same
+  /// applied-aware dirty clearing, which happens at submission time when
+  /// media effects land), but the caller redeems the returned ticket
+  /// later, so several batches can be in flight (QD>1). An empty span
+  /// returns an empty ticket.
+  blk::Ticket sync_dirty_buffers_async(std::span<BufferHead* const> bhs);
+
+  /// Redeem a ticket from sync_dirty_buffers_async (timed).
+  void wait(const blk::Ticket& t) { dev_.wait(t); }
 
   /// Write back every dirty buffer (timed) as one batched submission in
   /// ascending block order.
   void sync_all();
+
+  /// Background-writeback drain: every dirty buffer, ascending block
+  /// order, split into batches of at most `max_batch` buffers submitted
+  /// through the async path with up to `queue_depth` batches in flight;
+  /// waits for all of them before returning. Returns the number of
+  /// buffers actually written back (a dead device's swallowed commands
+  /// leave their buffers dirty and are not counted).
+  std::size_t flush_dirty_async(std::size_t max_batch,
+                                std::size_t queue_depth);
 
   /// Issue a device cache FLUSH (timed) — blkdev_issue_flush.
   void issue_flush();
@@ -103,12 +130,25 @@ class BufferCache {
 
   [[nodiscard]] const BufferCacheStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t cached_blocks() const { return map_.size(); }
+  /// Currently dirty buffers (the flusher's wake threshold input).
+  [[nodiscard]] std::size_t nr_dirty() const { return nr_dirty_; }
+  /// Capacity in blocks (0 = unbounded); dirty ratio = nr_dirty/capacity.
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] blk::BlockDevice& device() { return dev_; }
   [[nodiscard]] std::uint64_t outstanding_refs() const { return outstanding_refs_; }
 
  private:
   Result<BufferHead*> lookup_or_create(std::uint64_t blockno);
   void evict_if_needed();
+  void set_clean(BufferHead* bh) {
+    if (bh->dirty) {
+      bh->dirty = false;
+      assert(nr_dirty_ > 0);
+      nr_dirty_ -= 1;
+    }
+  }
+  /// Gather the dirty set in ascending block order.
+  std::vector<BufferHead*> collect_dirty();
 
   blk::BlockDevice& dev_;
   std::size_t capacity_;
@@ -117,6 +157,7 @@ class BufferCache {
   std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> lru_pos_;
   sim::SimMutex lock_;
   std::uint64_t outstanding_refs_ = 0;
+  std::size_t nr_dirty_ = 0;
   BufferCacheStats stats_;
 };
 

@@ -1,0 +1,116 @@
+#include "kernel/flusher.h"
+
+#include <algorithm>
+
+#include "kernel/vfs.h"
+#include "sim/thread.h"
+
+namespace bsim::kern {
+
+Flusher::Flusher(SuperBlock& sb, FlusherParams params)
+    : sb_(&sb), params_(params), thread_(-2) {
+  // First periodic wake is one period after attach (mounts happen at
+  // arbitrary virtual times), not at absolute time `period`.
+  const sim::SimThread* t = sim::current_or_null();
+  next_timer_ = (t != nullptr ? t->now() : 0) + params_.period;
+}
+
+bool Flusher::wake_due(const Inode* hint,
+                       std::size_t page_threshold) const {
+  if (hint != nullptr && page_threshold != 0 &&
+      hint->mapping.nr_dirty() >= page_threshold) {
+    return true;
+  }
+  if (params_.drain_buffers) {
+    const BufferCache& bc = sb_->bufcache();
+    const std::size_t limit =
+        bc.capacity() > 0
+            ? std::max<std::size_t>(
+                  1, static_cast<std::size_t>(
+                         static_cast<double>(bc.capacity()) *
+                         params_.dirty_ratio))
+            : params_.dirty_buffers_min;
+    if (bc.nr_dirty() >= limit) return true;
+  }
+  return false;
+}
+
+void Flusher::poke(Inode* hint, std::size_t page_threshold) {
+  if (running_) return;  // poked from flusher context; already draining
+  stats_.pokes += 1;
+  const bool timer_due = sim::now() >= next_timer_;
+  const bool threshold = wake_due(hint, page_threshold);
+  if (timer_due || threshold) {
+    stats_.wakeups += 1;
+    if (threshold) stats_.threshold_wakeups += 1;
+    if (timer_due) stats_.timer_wakeups += 1;
+    run_cycle(timer_due);
+  }
+  // Backpressure: bound how far in-flight background writeback may run
+  // ahead of the writer. The flusher's clock is where its drains
+  // complete; if that is more than max_backlog past the writer, the
+  // dirty limit is hit and the writer waits until the backlog shrinks to
+  // the window (throttling it to the drain rate at steady state).
+  const sim::Nanos limit = sim::now() + params_.max_backlog;
+  if (thread_.now() > limit) {
+    const sim::Nanos resume = thread_.now() - params_.max_backlog;
+    stats_.throttle_waits += 1;
+    stats_.throttled += resume - sim::now();
+    sim::current().wait_until(resume);
+  }
+}
+
+void Flusher::run_cycle(bool timer_due) {
+  // A wake drains everything dirty (hint-first ordering would only
+  // reorder within one already-off-writer-clock cycle).
+  const sim::Nanos wake_at = sim::now();
+  running_ = true;
+  {
+    // Everything below charges the flusher's clock, not the writer's: the
+    // drain starts at the poke (or later, if a previous cycle is still
+    // "running" in virtual time — its clock is already past the poke).
+    sim::ScopedThread in(thread_);
+    thread_.wait_until(wake_at);
+
+    // Pages first: collect the dirty inodes, then push each through its
+    // file system's normal writeback path (batched ->writepages where
+    // supported). Collecting first keeps the walk stable if FS code
+    // touches the inode cache mid-drain.
+    std::vector<Inode*> dirty;
+    sb_->for_each_inode([&dirty](Inode& inode) {
+      if (inode.type == FileType::Regular && inode.aops != nullptr &&
+          inode.mapping.nr_dirty() > 0) {
+        dirty.push_back(&inode);
+      }
+    });
+    for (Inode* inode : dirty) {
+      const std::size_t before = inode->mapping.nr_dirty();
+      if (generic_writeback(*inode) != Err::Ok) {
+        // Background writeback has no caller to report to; the pages that
+        // failed stay dirty and will be retried (or surface the error on
+        // the foreground fsync path).
+        stats_.errors += 1;
+      }
+      stats_.pages_flushed += before - inode->mapping.nr_dirty();
+    }
+
+    // Then buffers: one elevator-sorted pass through the async request
+    // path, several batches in flight across the device channels.
+    if (params_.drain_buffers && sb_->bufcache().nr_dirty() > 0) {
+      stats_.buffers_flushed += sb_->bufcache().flush_dirty_async(
+          params_.max_batch, params_.queue_depth);
+    }
+  }
+  running_ = false;
+  if (timer_due) next_timer_ = wake_at + params_.period;
+}
+
+void Flusher::wait_idle() { sim::current().wait_until(thread_.now()); }
+
+void maybe_attach_flusher(SuperBlock& sb, std::string_view opts,
+                          FlusherParams params) {
+  if (opts.find("noflusher") != std::string_view::npos) return;
+  sb.attach_flusher(std::make_unique<Flusher>(sb, params));
+}
+
+}  // namespace bsim::kern

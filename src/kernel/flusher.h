@@ -1,0 +1,143 @@
+// Background writeback: a per-device flusher thread (pdflush / the
+// per-bdi flusher in Linux terms) that drains dirty pages and dirty
+// buffers OFF the writer's clock.
+//
+// Before this existed, every sync ran in writer context at queue depth 1:
+// generic_file_write did its own threshold writeback, and fsync paths
+// paid sync_all inline. The flusher moves the steady-state draining to a
+// dedicated simulated thread per device:
+//
+//   - Writers poke() it from the generic write path (the
+//     balance_dirty_pages hook). The flusher decides whether to wake —
+//     an inode crossed its dirty-page threshold, the buffer cache
+//     crossed its dirty ratio, or the kupdated-style periodic timer
+//     expired — and, if so, drains on ITS OWN virtual clock. The writer
+//     is not charged; the device channels are occupied at flusher time,
+//     so foreground I/O submitted meanwhile queues behind it exactly as
+//     real background writeback competes for the device.
+//   - Dirty pages drain through the file system's normal ->writepages
+//     path (generic_writeback), so journaling semantics are unchanged —
+//     the work just happens on the flusher thread.
+//   - Dirty buffers drain in large elevator-sorted batches through the
+//     request queue's ASYNC path (BufferCache::flush_dirty_async), with
+//     several batches in flight across the device channels (QD>1).
+//   - Durability barriers (fsync / sync(2)) call wait_idle() so the
+//     foreground thread cannot observe "durable" at a clock earlier than
+//     the background writeback it depends on. Device FLUSH additionally
+//     barriers on all channels, covering flusher-issued transfers.
+//
+// Determinism: the simulation is sequential — poke() runs the drain
+// inline (on a different clock), at program points that are a
+// deterministic function of the workload. Crash-sweep tests therefore
+// stay reproducible; media write order is program order, as before.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "sim/thread.h"
+#include "sim/time.h"
+
+namespace bsim::kern {
+
+class Inode;
+class SuperBlock;
+
+struct FlusherParams {
+  /// Drain when an inode accumulates this many dirty pages (the trigger
+  /// that used to run writeback in writer context).
+  std::size_t dirty_pages_threshold = 256;
+  /// Drain when the buffer cache's dirty fraction exceeds this (of its
+  /// capacity, for bounded caches).
+  double dirty_ratio = 0.10;
+  /// Absolute dirty-buffer trigger for unbounded caches (capacity 0).
+  std::size_t dirty_buffers_min = 1024;
+  /// kupdated-style periodic writeback: a poke after this much virtual
+  /// time drains everything even below the thresholds.
+  sim::Nanos period = 30 * sim::kMillisecond;
+  /// Backpressure (the dirty-limit half of balance_dirty_pages): the
+  /// writer may run at most this much virtual time ahead of the
+  /// background writeback it triggered. Within the window, writes
+  /// complete at memory speed and drains pipeline with foreground work;
+  /// once the device falls further behind, the writer is throttled to
+  /// the drain rate — so steady-state buffered-write throughput stays
+  /// device-bound (with a bounded in-flight bonus) instead of becoming
+  /// an unbounded-dirty-memory measurement.
+  sim::Nanos max_backlog = 16 * sim::kMillisecond;
+  /// Buffers per async submission when draining the buffer cache.
+  std::size_t max_batch = 256;
+  /// Async batches kept in flight while draining buffers (QD>1).
+  std::size_t queue_depth = 4;
+  /// Whether to drain the buffer cache at all. Journaling file systems
+  /// that must order metadata behind their journal manage buffer
+  /// writeback themselves and leave this off.
+  bool drain_buffers = false;
+};
+
+struct FlusherStats {
+  std::uint64_t pokes = 0;              // writer-side hook invocations
+  std::uint64_t wakeups = 0;            // pokes that drained something
+  std::uint64_t threshold_wakeups = 0;  // woken by a dirty threshold
+  std::uint64_t timer_wakeups = 0;      // woken by the periodic timer
+  std::uint64_t pages_flushed = 0;
+  std::uint64_t buffers_flushed = 0;
+  std::uint64_t throttle_waits = 0;   // pokes that hit the backlog limit
+  sim::Nanos throttled = 0;           // total writer time spent throttled
+  std::uint64_t errors = 0;  // writeback errors swallowed in background
+};
+
+/// One background writeback thread for one mounted superblock (and hence
+/// one device). Owned by the SuperBlock; file systems opt in at mount.
+class Flusher {
+ public:
+  explicit Flusher(SuperBlock& sb, FlusherParams params = {});
+
+  Flusher(const Flusher&) = delete;
+  Flusher& operator=(const Flusher&) = delete;
+
+  /// Writer-side hook (called with the writer's clock current). Decides
+  /// whether to wake; any drain runs on the flusher's own clock, starting
+  /// no earlier than the poke. `hint` is the inode the writer dirtied
+  /// (may be null for metadata-only pokes).
+  void poke(Inode* hint) { poke(hint, params_.dirty_pages_threshold); }
+
+  /// Same, with the caller's per-write dirty-page threshold (the
+  /// GenericWriteOptions knob): it overrides the flusher's default for
+  /// the hint-inode trigger so the two knobs cannot drift. 0 disables the
+  /// hint trigger for this poke (the timer and buffer ratio still apply).
+  void poke(Inode* hint, std::size_t page_threshold);
+
+  /// Foreground durability barrier: advance the calling thread past all
+  /// writeback the flusher has completed.
+  void wait_idle();
+
+  /// Would a poke right now wake the flusher? (exposed for tests)
+  [[nodiscard]] bool wake_due(const Inode* hint) const {
+    return wake_due(hint, params_.dirty_pages_threshold);
+  }
+  [[nodiscard]] bool wake_due(const Inode* hint,
+                              std::size_t page_threshold) const;
+
+  [[nodiscard]] const FlusherStats& stats() const { return stats_; }
+  [[nodiscard]] sim::Nanos last_completion() const { return thread_.now(); }
+  [[nodiscard]] const FlusherParams& params() const { return params_; }
+
+ private:
+  void run_cycle(bool timer_due);
+
+  SuperBlock* sb_;
+  FlusherParams params_;
+  sim::SimThread thread_;
+  sim::Nanos next_timer_;
+  bool running_ = false;  // reentrancy guard (poke from flusher context)
+  FlusherStats stats_;
+};
+
+/// Mount-time helper shared by the deployments that opt in to background
+/// writeback: attach a flusher to `sb` unless the mount options contain
+/// "noflusher" (the writer-context ablation escape hatch).
+void maybe_attach_flusher(SuperBlock& sb, std::string_view opts,
+                          FlusherParams params = {});
+
+}  // namespace bsim::kern

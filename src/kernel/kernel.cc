@@ -447,6 +447,14 @@ Err Kernel::do_fsync(OpenFile& of, bool datasync) {
     of.bdev->flush();
     return Err::Ok;
   }
+  // Catch up with THIS inode's background writeback before the FS fsync
+  // runs: pages the flusher already pushed through the file system must
+  // be complete in virtual time before fsync can claim durability over
+  // them. Per-inode (like waiting on PAGECACHE_TAG_WRITEBACK), so an
+  // unrelated file's background writeback never charges this fsync; done
+  // here (not per-FS) so every deployment that attaches a flusher gets
+  // the ordering for free. A no-op when writeback ran on this thread.
+  sim::current().wait_until(of.inode->mapping.writeback_done_at());
   return of.inode->fop->fsync(*of.inode, of.fh, datasync);
 }
 

@@ -1,5 +1,6 @@
 #include "kernel/page_cache.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "sim/cost_model.h"
@@ -19,15 +20,18 @@ Err AddressSpaceOps::readpages(Inode& inode, std::uint64_t first_pgoff,
   return Err::Ok;
 }
 
-Err AddressSpaceOps::writepages(Inode& inode, std::span<const PageRun> runs) {
+Err AddressSpaceOps::writepages(Inode& inode, std::span<const PageRun> runs,
+                                std::size_t& completed_runs) {
   // Default implementation used by the generic writeback path when a file
   // system opts in to batching but wants per-page behaviour anyway.
+  completed_runs = 0;
   for (const auto& run : runs) {
     std::uint64_t pgoff = run.first_pgoff;
     for (const Page* page : run.pages) {
       BSIM_TRY(writepage(inode, pgoff, page->bytes()));
       pgoff += 1;
     }
+    completed_runs += 1;
   }
   return Err::Ok;
 }
@@ -130,6 +134,11 @@ void AddressSpace::mark_dirty(std::uint64_t pgoff) {
 Err AddressSpace::writeback(Inode& inode, AddressSpaceOps& aops) {
   if (nr_dirty_ == 0) return Err::Ok;
   stats_.writeback_calls += 1;
+  // Record when this mapping's writeback completed on the clock that ran
+  // it (the fsync dependency when the background flusher did the work).
+  const auto stamp = [this] {
+    writeback_done_at_ = std::max(writeback_done_at_, sim::now());
+  };
 
   if (aops.has_writepages()) {
     // Coalesce dirty pages into contiguous runs (the ->writepages path);
@@ -147,26 +156,48 @@ Err AddressSpace::writeback(Inode& inode, AddressSpaceOps& aops) {
     sim::charge(sim::costs().writepages_batch_overhead +
                 static_cast<sim::Nanos>(npages) *
                     sim::costs().writepages_per_page);
-    BSIM_TRY(aops.writepages(inode, runs));
-    for (const std::uint64_t pgoff : dirty_pages_) {
-      pages_.at(pgoff).dirty = false;
+    std::size_t completed = 0;
+    const Err e = aops.writepages(inode, runs, completed);
+    assert(completed <= runs.size());
+    assert((e != Err::Ok || completed == runs.size()) &&
+           "writepages returned Ok without completing every run");
+    // Clear dirty state for exactly the completed prefix; pages in runs
+    // that never reached backing store stay dirty (and stay in the
+    // dirty-tag index) so the next writeback retries only them.
+    for (std::size_t r = 0; r < completed; ++r) {
+      std::uint64_t pgoff = runs[r].first_pgoff;
+      for (std::size_t p = 0; p < runs[r].pages.size(); ++p, ++pgoff) {
+        pages_.at(pgoff).dirty = false;
+        dirty_pages_.erase(pgoff);
+        assert(nr_dirty_ > 0);
+        nr_dirty_ -= 1;
+        stats_.writeback_pages += 1;
+      }
     }
-    dirty_pages_.clear();
-    nr_dirty_ = 0;
-    stats_.writeback_pages += npages;
-    return Err::Ok;
+    stamp();
+    return e;
   }
 
   // Unbatched ->writepage path: one call (and one charge) per dirty page.
-  for (const std::uint64_t pgoff : dirty_pages_) {
+  // Dirty state is retired page-by-page so a mid-loop failure leaves the
+  // index consistent: written pages are clean AND out of the index, the
+  // rest stay dirty.
+  for (auto it = dirty_pages_.begin(); it != dirty_pages_.end();) {
+    const std::uint64_t pgoff = *it;
     Page& page = pages_.at(pgoff);
     sim::charge(sim::costs().writepage_overhead);
-    BSIM_TRY(aops.writepage(inode, pgoff, page.bytes()));
+    const Err e = aops.writepage(inode, pgoff, page.bytes());
+    if (e != Err::Ok) {
+      stamp();
+      return e;
+    }
     page.dirty = false;
+    assert(nr_dirty_ > 0);
+    nr_dirty_ -= 1;
     stats_.writeback_pages += 1;
+    it = dirty_pages_.erase(it);
   }
-  dirty_pages_.clear();
-  nr_dirty_ = 0;
+  stamp();
   return Err::Ok;
 }
 

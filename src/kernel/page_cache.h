@@ -60,7 +60,14 @@ class AddressSpaceOps {
 
   /// Batched writeback of contiguous runs. Only called when
   /// has_writepages() is true; the default VFS path loops ->writepage.
-  virtual Err writepages(Inode& inode, std::span<const PageRun> runs);
+  /// Implementations MUST set `completed_runs` to the number of leading
+  /// runs that fully reached backing store (== runs.size() on success):
+  /// on a mid-run failure the caller clears dirty state for exactly that
+  /// prefix and keeps the remaining pages dirty for the next writeback,
+  /// instead of either re-submitting runs that already reached media or
+  /// dropping dirty data that never did.
+  virtual Err writepages(Inode& inode, std::span<const PageRun> runs,
+                         std::size_t& completed_runs);
 
   [[nodiscard]] virtual bool has_writepages() const { return false; }
 };
@@ -101,7 +108,9 @@ class AddressSpace {
   void mark_dirty(std::uint64_t pgoff);
 
   /// Write every dirty page back through `aops` (batched when supported),
-  /// in pgoff order. Clears dirty bits.
+  /// in pgoff order. Clears dirty bits for exactly the pages that reached
+  /// backing store: a partial failure keeps the unwritten tail dirty so
+  /// the next writeback retries only what is still pending.
   Err writeback(Inode& inode, AddressSpaceOps& aops);
 
   /// Drop pages at or beyond `from_pgoff` (truncate).
@@ -121,6 +130,14 @@ class AddressSpace {
 
   [[nodiscard]] std::size_t nr_pages() const { return pages_.size(); }
   [[nodiscard]] std::size_t nr_dirty() const { return nr_dirty_; }
+  /// Absolute virtual completion time of this mapping's latest writeback,
+  /// on whichever thread ran it. fsync waits on THIS (per-inode, like
+  /// waiting on PAGECACHE_TAG_WRITEBACK) rather than on everything the
+  /// background flusher ever did — an unrelated file's writeback never
+  /// charges this inode's fsync.
+  [[nodiscard]] sim::Nanos writeback_done_at() const {
+    return writeback_done_at_;
+  }
   [[nodiscard]] const AddressSpaceStats& stats() const { return stats_; }
 
  private:
@@ -130,6 +147,7 @@ class AddressSpace {
   /// workload on a large file is O(dirty) per fsync, not O(file).
   std::set<std::uint64_t> dirty_pages_;
   std::size_t nr_dirty_ = 0;
+  sim::Nanos writeback_done_at_ = 0;
   sim::SimMutex tree_lock_{sim::SimMutex::Kind::Spin};
   AddressSpaceStats stats_;
 };

@@ -45,7 +45,13 @@ Err IoUring::prep_fsync(int fd, bool datasync, std::uint64_t user_data) {
   return push(sqe);
 }
 
-unsigned IoUring::drain_bdev_run(const Sqe& first, OpenFile& of) {
+void IoUring::wait_inflight(std::vector<InflightRun>& inflight) {
+  for (const InflightRun& run : inflight) run.dev->wait(run.ticket);
+  inflight.clear();
+}
+
+unsigned IoUring::drain_bdev_run(const Sqe& first, OpenFile& of,
+                                 std::vector<InflightRun>& inflight) {
   // Gather the run of consecutive SQEs with the same op on the same
   // block-device fd and submit them as ONE batch: the request queue
   // merges adjacent blocks and spreads the rest across device channels,
@@ -93,7 +99,18 @@ unsigned IoUring::drain_bdev_run(const Sqe& first, OpenFile& of) {
     bios.push_back(std::move(bio));
     cqes[i].res = len;
   }
-  if (!bios.empty()) dev.queue().submit(bios);
+  if (!bios.empty()) {
+    // Async submission: this run's requests stay in flight while the SQ
+    // drain continues, so consecutive runs (different ops or fds) overlap
+    // across the device channels — QD>1 from one submitting thread. The
+    // barrier is wait_inflight(), before any ordering-sensitive SQE and
+    // before io_uring_enter returns.
+    const blk::Ticket t = dev.submit_async(bios);
+    inflight.push_back(InflightRun{&dev, t});
+    stats_.async_runs += 1;
+    stats_.max_inflight_runs =
+        std::max<std::uint64_t>(stats_.max_inflight_runs, inflight.size());
+  }
   for (const Cqe& cqe : cqes) cq_.push_back(cqe);
   stats_.sqes += run.size() - 1;  // caller counts the first
   stats_.bdev_batches += bios.size() > 1 ? 1 : 0;
@@ -106,6 +123,7 @@ Result<unsigned> IoUring::submit() {
   stats_.enters += 1;
 
   unsigned consumed = 0;
+  std::vector<InflightRun> inflight;
   while (!sq_.empty()) {
     const Sqe sqe = sq_.front();
     sq_.pop_front();
@@ -127,9 +145,13 @@ Result<unsigned> IoUring::submit() {
     OpenFile& of = *f.value();
     if (of.bdev != nullptr &&
         (sqe.op == Sqe::Op::Read || sqe.op == Sqe::Op::Write)) {
-      consumed += drain_bdev_run(sqe, of);
+      consumed += drain_bdev_run(sqe, of, inflight);
       continue;
     }
+    // Ordering-sensitive SQE (fsync, or a file op that may touch the same
+    // blocks through a file system): complete all in-flight bdev runs
+    // before it executes.
+    wait_inflight(inflight);
     switch (sqe.op) {
       case Sqe::Op::Read: {
         auto r = kernel_->file_read(of, sqe.read_buf, sqe.off);
@@ -155,6 +177,7 @@ Result<unsigned> IoUring::submit() {
     }
     cq_.push_back(cqe);
   }
+  wait_inflight(inflight);
   return consumed;
 }
 

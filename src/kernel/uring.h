@@ -85,15 +85,28 @@ class IoUring {
     std::uint64_t enters = 0;   // crossings paid
     std::uint64_t cqes = 0;     // completions harvested
     std::uint64_t bdev_batches = 0;  // multi-bio device submissions
+    std::uint64_t async_runs = 0;    // bdev runs left in flight (QD>1)
+    std::uint64_t max_inflight_runs = 0;  // peak overlapped bdev runs
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
  private:
+  struct InflightRun {
+    blk::BlockDevice* dev = nullptr;
+    blk::Ticket ticket;
+  };
+
   Err push(Sqe sqe);
   /// Consume the run of consecutive same-op SQEs on block device fd
-  /// `of`, submitting them as one bio batch. `first` has already been
-  /// popped and counted; returns how many further SQEs were consumed.
-  unsigned drain_bdev_run(const Sqe& first, OpenFile& of);
+  /// `of`, submitting them as one ASYNC bio batch whose ticket is pushed
+  /// onto `inflight` (successive runs in one SQ drain overlap across the
+  /// device channels). `first` has already been popped and counted;
+  /// returns how many further SQEs were consumed.
+  unsigned drain_bdev_run(const Sqe& first, OpenFile& of,
+                          std::vector<InflightRun>& inflight);
+  /// Redeem every in-flight bdev run (the completion barrier before an
+  /// fsync / non-bdev SQE executes, and before submit() returns).
+  void wait_inflight(std::vector<InflightRun>& inflight);
 
   Kernel* kernel_;
   Process* proc_;

@@ -43,6 +43,10 @@ Err FileOps::readdir(Inode&, std::uint64_t&, const DirFiller&) {
   return Err::NotDir;
 }
 
+void SuperBlock::attach_flusher(std::unique_ptr<Flusher> flusher) {
+  flusher_ = std::move(flusher);
+}
+
 // ---- SuperBlock: inode cache ----
 
 Inode* SuperBlock::iget_cached(Ino ino) {
@@ -105,6 +109,7 @@ void SuperBlock::dcache_drop_dir(Inode& dir) {
 }
 
 Err SuperBlock::sync_all() {
+  if (flusher_) flusher_->wait_idle();
   for (auto& [ino, inode] : icache_) {
     if (inode->type == FileType::Regular && inode->aops != nullptr) {
       BSIM_TRY(generic_writeback(*inode));
@@ -189,10 +194,15 @@ Result<std::uint64_t> generic_file_write(Inode& inode, std::uint64_t off,
   inode.size = std::max(inode.size, off + done);
   inode.mtime = sim::now();
 
-  // balance_dirty_pages analogue: writers are throttled by doing writeback
-  // themselves once the inode accumulates enough dirty pages.
-  if (opts.dirty_threshold != 0 &&
-      inode.mapping.nr_dirty() >= opts.dirty_threshold) {
+  // balance_dirty_pages analogue. With a flusher attached, the drain runs
+  // on the background thread's clock (the writer is only charged the
+  // poke); without one, writers are throttled by doing the writeback
+  // themselves once the inode accumulates enough dirty pages. The
+  // caller's dirty_threshold governs the trigger in both cases.
+  if (Flusher* f = inode.sb().flusher(); f != nullptr) {
+    f->poke(&inode, opts.dirty_threshold);
+  } else if (opts.dirty_threshold != 0 &&
+             inode.mapping.nr_dirty() >= opts.dirty_threshold) {
     BSIM_TRY(generic_writeback(inode));
   }
   return done;

@@ -20,6 +20,7 @@
 
 #include "kernel/buffer_cache.h"
 #include "kernel/errno.h"
+#include "kernel/flusher.h"
 #include "kernel/page_cache.h"
 #include "kernel/types.h"
 #include "sim/sync.h"
@@ -160,10 +161,21 @@ class SuperBlock {
   void dcache_drop_dir(Inode& dir);
 
   /// Write back all cached file pages + fs metadata (sync(2) path).
+  /// Waits for the background flusher first, so "synced" is never earlier
+  /// in virtual time than writeback that already ran in the background.
   Err sync_all();
+
+  // ---- background writeback ----
+  /// Attach a per-device flusher thread (file systems opt in at mount;
+  /// see kernel/flusher.h). Generic write paths then hand threshold
+  /// writeback to it instead of running writer-context sync.
+  void attach_flusher(std::unique_ptr<Flusher> flusher);
+  [[nodiscard]] Flusher* flusher() { return flusher_.get(); }
 
  private:
   static std::string dkey(Inode& dir, std::string_view name);
+
+  std::unique_ptr<Flusher> flusher_;
 
   BufferCache bufcache_;
   std::unordered_map<Ino, std::unique_ptr<Inode>> icache_;

@@ -115,13 +115,25 @@ Err Log::commit(SuperBlockCap& sb) {
   BSIM_TRY(write_header(sb, header));
   if (durability_ == Durability::Strict) sb.flush_all();
 
-  // 3. Install to home locations.
-  BSIM_TRY(install(sb, header, /*recovering=*/false));
+  // 3. Install to home locations — submitted async so step 4 overlaps
+  //    the checkpoint's tail across the device channels. Media effects
+  //    land at submission (program order), so the header clear below is
+  //    still ordered after the install writes on media.
+  bento::WriteTicket install_ticket;
+  BSIM_TRY(install(sb, header, /*recovering=*/false, &install_ticket));
 
-  // 4. Clear the header; the log space is reusable.
+  // 4. Clear the header; the log space is reusable. In Strict mode the
+  //    FLUSH inside install() already barriered the checkpoint; in
+  //    Relaxed mode (no durability guarantees) the clear overlaps it.
+  //    The install ticket is redeemed on the error path too (fsync
+  //    semantics: transfers have completed when commit returns).
   header = LogHeader{};
-  BSIM_TRY(write_header(sb, header));
-  if (durability_ == Durability::Strict) sb.flush_all();
+  const Err clear_err = write_header(sb, header);
+  if (clear_err == Err::Ok && durability_ == Durability::Strict) {
+    sb.flush_all();
+  }
+  sb.wait(install_ticket);
+  if (clear_err != Err::Ok) return clear_err;
 
   stats_.commits += 1;
   stats_.blocks_logged += pending_.size();
@@ -130,7 +142,7 @@ Err Log::commit(SuperBlockCap& sb) {
 }
 
 Err Log::install(SuperBlockCap& sb, const LogHeader& header,
-                 bool recovering) {
+                 bool recovering, bento::WriteTicket* out_ticket) {
   // Home locations are scattered, so the batch typically stays several
   // requests — but those spread across the device's channels instead of
   // serializing on one.
@@ -166,8 +178,13 @@ Err Log::install(SuperBlockCap& sb, const LogHeader& header,
   std::vector<BufferHeadHandle*> batch;
   batch.reserve(dsts.size());
   for (auto& h : dsts) batch.push_back(&h);
-  sb.sync_batch(batch);
+  const bento::WriteTicket ticket = sb.sync_batch_async(batch);
   if (durability_ == Durability::Strict) sb.flush_all();
+  if (out_ticket != nullptr) {
+    *out_ticket = ticket;  // caller overlaps the checkpoint, then waits
+  } else {
+    sb.wait(ticket);
+  }
   return Err::Ok;
 }
 

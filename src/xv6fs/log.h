@@ -77,8 +77,15 @@ class Log {
 
  private:
   kern::Err commit(bento::SuperBlockCap& sb);
+  /// Install logged blocks to their home locations. The checkpoint batch
+  /// is submitted through the async path: when `out_ticket` is non-null
+  /// the (possibly still in-flight) ticket is handed to the caller so the
+  /// next commit step can overlap the checkpoint; otherwise install waits
+  /// itself. In Strict mode the FLUSH barrier inside install covers the
+  /// async writes either way.
   kern::Err install(bento::SuperBlockCap& sb, const LogHeader& header,
-                    bool recovering);
+                    bool recovering,
+                    bento::WriteTicket* out_ticket = nullptr);
   kern::Err write_header(bento::SuperBlockCap& sb, const LogHeader& header);
   kern::Err read_header(bento::SuperBlockCap& sb, LogHeader& out);
 

@@ -7,6 +7,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "kernel/flusher.h"
 #include "sim/cost_model.h"
 #include "sim/thread.h"
 
@@ -1066,7 +1067,7 @@ class Xv6cFsType final : public kern::FileSystemType {
   [[nodiscard]] std::string_view name() const override { return name_; }
 
   kern::Result<kern::SuperBlock*> mount(blk::BlockDevice& dev,
-                                        std::string_view) override {
+                                        std::string_view opts) override {
     auto sb = std::make_unique<kern::SuperBlock>(dev, 16384);
     sb->fs_name = name_;
     auto mnt = std::make_unique<Xv6cMount>(*sb);
@@ -1074,6 +1075,13 @@ class Xv6cFsType final : public kern::FileSystemType {
     sb->s_op = mnt.get();
     Err e = mnt->mount_init();
     if (e != Err::Ok) return e;
+    // Background writeback for the kernel (C-VFS) deployment, same
+    // rationale as the Bento mount: the synchronous per-buffer log leaves
+    // no WAL-ordered buffer dirty between operations, so buffer draining
+    // is safe. "-o noflusher" restores writer-context sync.
+    kern::FlusherParams fp;
+    fp.drain_buffers = true;
+    kern::maybe_attach_flusher(*sb, opts, fp);
     mnt.release();
     return sb.release();
   }

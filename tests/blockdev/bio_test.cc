@@ -165,6 +165,147 @@ TEST_F(BioTest, DataLandsInEachBioVec) {
   EXPECT_EQ(w1, r1);
 }
 
+// ---- async submission (QD>1) ----
+
+TEST_F(BioTest, SubmitAsyncOverlapsBatchesInVirtualTime) {
+  auto p = small_params();
+  BlockDevice dev(p);
+  const Nanos t0 = sim::now();
+
+  // Batch A: one long merged run — occupies one channel for a while.
+  std::array<std::byte, kBlockSize> big[8]{};
+  std::vector<Bio> a;
+  {
+    Bio run(BioOp::Read);
+    for (std::uint64_t i = 0; i < 8; ++i) run.add_read(100 + i, big[i]);
+    a.push_back(std::move(run));
+  }
+  const Ticket ta = dev.submit_async(a);
+
+  // The submitting thread did NOT advance: the batch is in flight.
+  EXPECT_EQ(sim::now(), t0);
+  EXPECT_EQ(dev.queue().inflight(), 1u);
+
+  // Batch B, submitted while A is in flight, lands on a free channel and
+  // completes BEFORE A — two batches overlap from one thread (QD=2).
+  std::array<std::byte, kBlockSize> small{};
+  std::vector<Bio> b;
+  b.push_back(Bio::single_read(600, small));
+  const Ticket tb = dev.submit_async(b);
+
+  EXPECT_EQ(sim::now(), t0);  // still not advanced
+  EXPECT_EQ(ta.done - t0, p.read_lat_rand + 7 * p.read_lat_seq);
+  EXPECT_EQ(tb.done - t0, p.read_lat_rand);
+  EXPECT_LT(tb.done, ta.done);  // B finished while A was still in flight
+  EXPECT_EQ(a[0].done_at, ta.done);
+  EXPECT_EQ(b[0].done_at, tb.done);
+  EXPECT_EQ(dev.queue().stats().async_batches, 2u);
+  EXPECT_EQ(dev.queue().stats().max_inflight, 2u);
+
+  // Redeem out of submission order: each wait advances to ITS batch's
+  // completion, so after redeeming both the clock is at max(ta, tb)
+  // regardless of wait order.
+  dev.wait(tb);
+  EXPECT_EQ(sim::now(), tb.done);
+  dev.wait(ta);
+  EXPECT_EQ(sim::now(), ta.done);
+  EXPECT_EQ(dev.queue().inflight(), 0u);
+}
+
+TEST_F(BioTest, WaitOrderDoesNotAffectFinalClock) {
+  // The same two async batches on two identical devices, redeemed in
+  // opposite orders, leave the thread at the same virtual time — wait
+  // order does not affect determinism.
+  auto p = small_params();
+  p.channels = 2;
+  Nanos final_clock[2] = {0, 0};
+  for (int order = 0; order < 2; ++order) {
+    sim::SimThread t(order + 1);
+    sim::ScopedThread in(t);
+    BlockDevice dev(p);
+    std::array<std::byte, kBlockSize> b0[4]{}, b1{};
+    std::vector<Bio> a;
+    {
+      Bio run(BioOp::Read);
+      for (std::uint64_t i = 0; i < 4; ++i) run.add_read(10 + i, b0[i]);
+      a.push_back(std::move(run));
+    }
+    std::vector<Bio> b;
+    b.push_back(Bio::single_read(700, b1));
+    const Ticket ta = dev.submit_async(a);
+    const Ticket tb = dev.submit_async(b);
+    if (order == 0) {
+      dev.wait(ta);
+      dev.wait(tb);
+    } else {
+      dev.wait(tb);
+      dev.wait(ta);
+    }
+    final_clock[order] = sim::now();
+  }
+  EXPECT_EQ(final_clock[0], final_clock[1]);
+}
+
+TEST_F(BioTest, AsyncBatchesQueueBehindEachOtherOnBusyChannels) {
+  auto p = small_params();
+  p.channels = 1;  // force the second batch to queue behind the first
+  BlockDevice dev(p);
+  std::array<std::byte, kBlockSize> r0{}, r1{};
+  std::vector<Bio> a, b;
+  a.push_back(Bio::single_read(10, r0));
+  b.push_back(Bio::single_read(500, r1));
+  const Nanos t0 = sim::now();
+  const Ticket ta = dev.submit_async(a);
+  const Ticket tb = dev.submit_async(b);
+  // One channel: B starts when A finishes.
+  EXPECT_EQ(ta.done - t0, p.read_lat_rand);
+  EXPECT_EQ(tb.done - t0, 2 * p.read_lat_rand);
+  dev.wait(ta);
+  dev.wait(tb);
+  EXPECT_EQ(sim::now(), tb.done);
+}
+
+// ---- same-block bios within one batch ----
+
+TEST_F(BioTest, DuplicateBlockWritesCoalesceAndLastSubmittedWins) {
+  BlockDevice dev(small_params());
+  const auto first = pattern(1);
+  const auto second = pattern(2);
+  const auto tail = pattern(3);
+  std::vector<Bio> bios;
+  bios.push_back(Bio::single_write(100, first));
+  bios.push_back(Bio::single_write(100, second));  // same block, later
+  bios.push_back(Bio::single_write(101, tail));
+  dev.submit(bios);
+
+  // Identical-range bios are absorbed into the request instead of
+  // splitting the 100-101 merge: one write command for the batch.
+  EXPECT_EQ(dev.stats().write_requests, 1u);
+  EXPECT_EQ(dev.stats().merges, 2u);
+  EXPECT_EQ(dev.stats().writes, 3u);  // three bios transferred
+
+  // Last-submitted data wins on media.
+  std::array<std::byte, kBlockSize> r{};
+  dev.read_untimed(100, r);
+  EXPECT_EQ(r, second);
+  dev.read_untimed(101, r);
+  EXPECT_EQ(r, tail);
+}
+
+TEST_F(BioTest, DuplicateBlockReadsBothReceiveData) {
+  BlockDevice dev(small_params());
+  const auto w = pattern(9);
+  dev.write_untimed(42, w);
+  std::array<std::byte, kBlockSize> r0{}, r1{};
+  std::vector<Bio> bios;
+  bios.push_back(Bio::single_read(42, r0));
+  bios.push_back(Bio::single_read(42, r1));
+  dev.submit(bios);
+  EXPECT_EQ(dev.stats().read_requests, 1u);  // coalesced
+  EXPECT_EQ(r0, w);
+  EXPECT_EQ(r1, w);
+}
+
 // ---- crash model ----
 
 TEST_F(BioTest, KillAfterCountsWriteCommandsPerBio) {
@@ -225,6 +366,80 @@ TEST_F(BioTest, ScalarWritesStillCountIndividually) {
   EXPECT_FALSE(dev.dead());
   dev.write(3, w);
   EXPECT_TRUE(dev.dead());
+}
+
+TEST_F(BioTest, BatchedSyncKeepsUnexecutedBuffersDirty) {
+  // Regression: sync_dirty_buffers used to clear bh->dirty for the whole
+  // span even when kill_after aborted the batched submission early, so
+  // buffers whose write command never executed were silently "clean" and
+  // never retried. Dirty state must track exactly what reached media.
+  BlockDevice dev(small_params());
+  kern::BufferCache cache(dev, 0);
+  dev.enable_crash_tracking();
+
+  std::vector<kern::BufferHead*> held;
+  for (std::uint64_t b : {10ull, 20ull, 30ull}) {  // scattered: 3 commands
+    auto bh = cache.getblk(b);
+    ASSERT_TRUE(bh.ok());
+    cache.mark_dirty(bh.value());
+    held.push_back(bh.value());
+  }
+  EXPECT_EQ(cache.nr_dirty(), 3u);
+
+  dev.kill_after(1);  // one more write command reaches media
+  cache.sync_dirty_buffers(held);
+  EXPECT_TRUE(dev.dead());
+
+  // Sorted dispatch: block 10's command executed; 20 hit the kill point
+  // and 30 was issued to a dead device. Only 10 was written back.
+  EXPECT_FALSE(held[0]->dirty);
+  EXPECT_TRUE(held[1]->dirty);
+  EXPECT_TRUE(held[2]->dirty);
+  EXPECT_EQ(cache.nr_dirty(), 2u);
+  EXPECT_EQ(cache.stats().writebacks, 1u);
+  for (auto* bh : held) cache.brelse(bh);
+}
+
+TEST_F(BioTest, ScalarSyncOnDeadDeviceKeepsBufferDirty) {
+  BlockDevice dev(small_params());
+  kern::BufferCache cache(dev, 0);
+  dev.enable_crash_tracking();
+  dev.kill_after(0);  // next write command dies
+
+  auto bh = cache.getblk(77);
+  ASSERT_TRUE(bh.ok());
+  cache.mark_dirty(bh.value());
+  cache.sync_dirty_buffer(bh.value());
+  EXPECT_TRUE(dev.dead());
+  EXPECT_TRUE(bh.value()->dirty) << "write never executed: must stay dirty";
+  EXPECT_EQ(cache.stats().writebacks, 0u);
+  cache.brelse(bh.value());
+}
+
+TEST_F(BioTest, FlushDirtyAsyncDrainsWithMultipleBatchesInFlight) {
+  auto p = small_params();
+  BlockDevice dev(p);
+  kern::BufferCache cache(dev, 0);
+
+  // 64 scattered dirty buffers (stride 2 prevents merging into one run).
+  std::vector<kern::BufferHead*> held;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    auto bh = cache.getblk(i * 2);
+    ASSERT_TRUE(bh.ok());
+    cache.mark_dirty(bh.value());
+    held.push_back(bh.value());
+  }
+  const std::size_t written =
+      cache.flush_dirty_async(/*max_batch=*/16, /*queue_depth=*/4);
+  EXPECT_EQ(written, 64u);
+  EXPECT_EQ(cache.nr_dirty(), 0u);
+  EXPECT_EQ(dev.queue().stats().async_batches, 4u);  // 64/16
+  EXPECT_GE(dev.queue().stats().max_inflight, 2u);   // QD>1 achieved
+  EXPECT_EQ(dev.queue().inflight(), 0u);             // all redeemed
+  for (auto* bh : held) {
+    EXPECT_FALSE(bh->dirty);
+    cache.brelse(bh);
+  }
 }
 
 // ---- batched buffer-cache writeback ----

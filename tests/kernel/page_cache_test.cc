@@ -28,9 +28,12 @@ class RecordingAops final : public AddressSpaceOps {
     single_writes.push_back(pgoff);
     return Err::Ok;
   }
-  Err writepages(Inode&, std::span<const PageRun> runs) override {
+  Err writepages(Inode&, std::span<const PageRun> runs,
+                 std::size_t& completed_runs) override {
+    completed_runs = 0;
     for (const auto& r : runs) {
       run_shapes.emplace_back(r.first_pgoff, r.pages.size());
+      completed_runs += 1;
     }
     return Err::Ok;
   }
@@ -130,6 +133,119 @@ TEST_F(PageCacheTest, TruncateDropsPagesAndZeroesTail) {
   EXPECT_EQ(p1->bytes()[99], std::byte{0xFF});
   EXPECT_EQ(p1->bytes()[100], std::byte{0});
   EXPECT_EQ(p1->bytes()[kPageSize - 1], std::byte{0});
+}
+
+/// Fault injection: fails every writepages run (and every writepage call)
+/// past a configurable budget — the mid-run failure the partial-writeback
+/// regression tests drive.
+class FailingAops final : public AddressSpaceOps {
+ public:
+  FailingAops(bool batched, std::size_t budget)
+      : batched_(batched), budget_(budget) {}
+
+  Err readpage(Inode&, std::uint64_t, std::span<std::byte> out) override {
+    std::memset(out.data(), 0, out.size());
+    return Err::Ok;
+  }
+  Err writepage(Inode&, std::uint64_t pgoff,
+                std::span<const std::byte>) override {
+    if (budget_ == 0) return Err::Io;
+    budget_ -= 1;
+    written_pages.push_back(pgoff);
+    return Err::Ok;
+  }
+  Err writepages(Inode&, std::span<const PageRun> runs,
+                 std::size_t& completed_runs) override {
+    completed_runs = 0;
+    for (const auto& run : runs) {
+      if (budget_ == 0) return Err::Io;  // this run never reached media
+      budget_ -= 1;
+      written_runs.emplace_back(run.first_pgoff, run.pages.size());
+      completed_runs += 1;
+    }
+    return Err::Ok;
+  }
+  [[nodiscard]] bool has_writepages() const override { return batched_; }
+
+  void refill(std::size_t budget) { budget_ = budget; }
+
+  std::vector<std::uint64_t> written_pages;
+  std::vector<std::pair<std::uint64_t, std::size_t>> written_runs;
+
+ private:
+  bool batched_;
+  std::size_t budget_;
+};
+
+TEST_F(PageCacheTest, PartialWritepagesFailureClearsExactlyCompletedPrefix) {
+  // Regression: writeback used to clear NO dirty state when ->writepages
+  // failed mid-run, so runs that already reached media were re-submitted
+  // on the next sync (duplicate journal transactions, duplicate device
+  // writes). Now exactly the completed prefix is retired.
+  Inode inode(sb_, 10);
+  FailingAops aops(/*batched=*/true, /*budget=*/1);  // 1 run, then EIO
+  for (std::uint64_t pg : {0ULL, 1ULL, 2ULL, 7ULL, 8ULL, 20ULL}) {
+    auto& page = inode.mapping.find_or_alloc(pg);
+    page.uptodate = true;
+    inode.mapping.mark_dirty(pg);
+  }
+  ASSERT_EQ(inode.mapping.nr_dirty(), 6u);
+
+  // Runs: [0-2], [7-8], [20]. Budget 1: run [0-2] completes, [7-8] fails.
+  EXPECT_EQ(Err::Io, inode.mapping.writeback(inode, aops));
+  ASSERT_EQ(aops.written_runs.size(), 1u);
+  EXPECT_EQ(aops.written_runs[0],
+            std::make_pair(std::uint64_t{0}, std::size_t{3}));
+  // Completed prefix clean; failed tail still dirty.
+  EXPECT_EQ(inode.mapping.nr_dirty(), 3u);
+  EXPECT_FALSE(inode.mapping.find(0)->dirty);
+  EXPECT_FALSE(inode.mapping.find(2)->dirty);
+  EXPECT_TRUE(inode.mapping.find(7)->dirty);
+  EXPECT_TRUE(inode.mapping.find(8)->dirty);
+  EXPECT_TRUE(inode.mapping.find(20)->dirty);
+
+  // Re-dirtying an already-dirty page must not double-count.
+  inode.mapping.mark_dirty(7);
+  EXPECT_EQ(inode.mapping.nr_dirty(), 3u);
+
+  // The retry submits ONLY the still-dirty runs — nothing is written
+  // twice and nothing is lost.
+  aops.refill(100);
+  EXPECT_EQ(Err::Ok, inode.mapping.writeback(inode, aops));
+  ASSERT_EQ(aops.written_runs.size(), 3u);
+  EXPECT_EQ(aops.written_runs[1],
+            std::make_pair(std::uint64_t{7}, std::size_t{2}));
+  EXPECT_EQ(aops.written_runs[2],
+            std::make_pair(std::uint64_t{20}, std::size_t{1}));
+  EXPECT_EQ(inode.mapping.nr_dirty(), 0u);
+}
+
+TEST_F(PageCacheTest, PartialWritepageFailureKeepsIndexConsistent) {
+  // The unbatched path had the dual bug: pages written before a mid-loop
+  // failure were marked clean but stayed in the dirty-tag index, so
+  // nr_dirty went inconsistent (and a later mark_dirty double-counted).
+  Inode inode(sb_, 10);
+  FailingAops aops(/*batched=*/false, /*budget=*/2);  // 2 pages, then EIO
+  for (std::uint64_t pg : {0ULL, 1ULL, 5ULL, 9ULL}) {
+    auto& page = inode.mapping.find_or_alloc(pg);
+    page.uptodate = true;
+    inode.mapping.mark_dirty(pg);
+  }
+
+  EXPECT_EQ(Err::Io, inode.mapping.writeback(inode, aops));
+  EXPECT_EQ(aops.written_pages, (std::vector<std::uint64_t>{0, 1}));
+  EXPECT_EQ(inode.mapping.nr_dirty(), 2u);
+  EXPECT_FALSE(inode.mapping.find(1)->dirty);
+  EXPECT_TRUE(inode.mapping.find(5)->dirty);
+
+  // mark_dirty on a retired page re-enters the index exactly once.
+  inode.mapping.mark_dirty(0);
+  EXPECT_EQ(inode.mapping.nr_dirty(), 3u);
+
+  aops.refill(100);
+  EXPECT_EQ(Err::Ok, inode.mapping.writeback(inode, aops));
+  EXPECT_EQ(aops.written_pages, (std::vector<std::uint64_t>{0, 1, 0, 5, 9}));
+  EXPECT_EQ(inode.mapping.nr_dirty(), 0u);
 }
 
 TEST_F(PageCacheTest, HitMissStats) {
