@@ -40,6 +40,8 @@ struct BenchRun {
   std::uint64_t device_blocks = 262'144;  // 1 GiB
   std::string mount_opts;
   blk::DeviceParams device;  // latency model (nblocks overridden)
+  int stripe_devices = 1;    // >1: mount on a striped volume
+  std::uint64_t stripe_chunk_blocks = 16;
 };
 
 inline sim::RunStats run_bench(const BenchRun& cfg,
@@ -49,6 +51,8 @@ inline sim::RunStats run_bench(const BenchRun& cfg,
   opts.device_blocks = cfg.device_blocks;
   opts.mount_opts = cfg.mount_opts;
   opts.device = cfg.device;
+  opts.stripe_devices = cfg.stripe_devices;
+  opts.stripe_chunk_blocks = cfg.stripe_chunk_blocks;
   wl::TestBed bed(opts);
   std::vector<std::unique_ptr<sim::Workload>> jobs;
   jobs.reserve(static_cast<std::size_t>(cfg.nthreads));

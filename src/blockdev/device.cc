@@ -14,8 +14,14 @@ BlockDevice::BlockDevice(DeviceParams params)
       blocks_(params.nblocks),
       channel_free_(static_cast<std::size_t>(std::max(params.channels, 1)), 0) {}
 
+BlockDevice::BlockDevice(DeviceParams params, NoBacking)
+    : params_(params),
+      channel_free_(static_cast<std::size_t>(std::max(params.channels, 1)), 0) {}
+
+BlockDevice::~BlockDevice() = default;
+
 BlockData& BlockDevice::slot(std::uint64_t blockno) {
-  if (blockno >= params_.nblocks) throw std::out_of_range("blockno beyond device");
+  if (blockno >= blocks_.size()) throw std::out_of_range("blockno beyond device");
   auto& p = blocks_[blockno];
   if (!p) {
     p = std::make_unique<BlockData>();
@@ -113,18 +119,21 @@ sim::Nanos BlockDevice::do_request(std::span<Bio* const> bios) {
 void BlockDevice::read(std::uint64_t blockno, std::span<std::byte> out) {
   assert(out.size() >= kBlockSize);
   Bio bio = Bio::single_read(blockno, out);
-  queue_.submit(bio);
+  submit(bio);  // virtual: routes through the striping layer when present
 }
 
 void BlockDevice::write(std::uint64_t blockno, std::span<const std::byte> in) {
   assert(in.size() >= kBlockSize);
   Bio bio = Bio::single_write(blockno, in);
-  queue_.submit(bio);
+  submit(bio);
 }
 
-void BlockDevice::flush() {
+void BlockDevice::flush() { sim::current().wait_until(flush_nowait()); }
+
+sim::Nanos BlockDevice::flush_nowait() {
   // FLUSH is a barrier: it starts after all in-flight requests and blocks
-  // the whole device until the cache is destaged.
+  // the whole device until the cache is destaged. State effects land here
+  // (at submission); the caller decides when to observe the completion.
   const sim::Nanos cost =
       params_.flush_base +
       static_cast<sim::Nanos>(dirty_.size()) * params_.destage_per_block;
@@ -133,11 +142,11 @@ void BlockDevice::flush() {
   const sim::Nanos done = start + cost;
   for (auto& ch : channel_free_) ch = done;
   stats_.busy += cost;
-  sim::current().wait_until(done);
   stats_.flushes += 1;
-  if (dead_) return;  // dead device: nothing destages
+  if (dead_) return done;  // dead device: nothing destages
   stats_.blocks_destaged += dirty_.size();
   dirty_.clear();
+  return done;
 }
 
 void BlockDevice::read_untimed(std::uint64_t blockno, std::span<std::byte> out) {

@@ -61,28 +61,54 @@ struct DeviceStats {
 class BlockDevice {
  public:
   explicit BlockDevice(DeviceParams params);
+  virtual ~BlockDevice();
 
   BlockDevice(const BlockDevice&) = delete;
   BlockDevice& operator=(const BlockDevice&) = delete;
 
   [[nodiscard]] std::uint64_t nblocks() const { return params_.nblocks; }
   [[nodiscard]] std::uint32_t block_size() const { return kBlockSize; }
-  [[nodiscard]] const DeviceStats& stats() const { return stats_; }
+  [[nodiscard]] virtual const DeviceStats& stats() const { return stats_; }
   [[nodiscard]] const DeviceParams& params() const { return params_; }
-  [[nodiscard]] std::uint64_t dirty_blocks() const { return dirty_.size(); }
+  [[nodiscard]] virtual std::uint64_t dirty_blocks() const {
+    return dirty_.size();
+  }
+
+  // ---- fan-out introspection (striped volumes; see blockdev/striped.h) --
+  /// Number of physical member devices behind this one (1 for a plain
+  /// device). Per-device subsystems (the background flusher) size
+  /// themselves by this.
+  [[nodiscard]] virtual std::size_t fan_out() const { return 1; }
+  /// Member device `i` (this device itself for a plain device).
+  [[nodiscard]] virtual BlockDevice& fan_child(std::size_t i) {
+    (void)i;
+    return *this;
+  }
+  /// Which member device owns logical block `blockno` (0 for plain).
+  [[nodiscard]] virtual std::size_t child_of(std::uint64_t blockno) const {
+    (void)blockno;
+    return 0;
+  }
 
   /// The device's request queue — the submission path every cache,
-  /// journal, and async-syscall layer batches through.
+  /// journal, and async-syscall layer batches through. Plain devices
+  /// only: a striped volume routes through submit()/submit_async(), which
+  /// fan out to one queue per member device.
   [[nodiscard]] RequestQueue& queue() { return queue_; }
 
   /// Batched submission (timed): forwards to queue().submit().
-  sim::Nanos submit(std::span<Bio> bios) { return queue_.submit(bios); }
+  virtual sim::Nanos submit(std::span<Bio> bios) {
+    return queue_.submit(bios);
+  }
+
+  /// One-bio convenience over the (virtual) batched submission.
+  sim::Nanos submit(Bio& bio) { return submit(std::span<Bio>(&bio, 1)); }
 
   /// Non-barrier batched submission (QD>1): forwards to the queue.
-  Ticket submit_async(std::span<Bio> bios) {
+  virtual Ticket submit_async(std::span<Bio> bios) {
     return queue_.submit_async(bios);
   }
-  sim::Nanos wait(const Ticket& t) { return queue_.wait(t); }
+  virtual sim::Nanos wait(const Ticket& t) { return queue_.wait(t); }
 
   /// Read one block into `out` (timed). One-bio convenience wrapper.
   void read(std::uint64_t blockno, std::span<std::byte> out);
@@ -94,25 +120,44 @@ class BlockDevice {
   /// FLUSH: destage the write cache and make everything durable (timed).
   void flush();
 
+  /// FLUSH without advancing the calling thread: applies all media/state
+  /// effects and returns the absolute completion time. flush() is
+  /// wait_until(flush_nowait()); a striped volume flushes its members in
+  /// parallel by taking the max of their completions.
+  virtual sim::Nanos flush_nowait();
+
   /// Untimed access for mkfs-style tooling and tests.
-  void read_untimed(std::uint64_t blockno, std::span<std::byte> out);
-  void write_untimed(std::uint64_t blockno, std::span<const std::byte> in);
+  virtual void read_untimed(std::uint64_t blockno, std::span<std::byte> out);
+  virtual void write_untimed(std::uint64_t blockno,
+                             std::span<const std::byte> in);
 
   // ---- Crash simulation ----
   /// Start recording pre-images of non-durable writes.
-  void enable_crash_tracking();
+  virtual void enable_crash_tracking();
   /// Kill the device after `n` more write commands: later writes and
   /// flushes are accepted (and timed) but never change media state — the
   /// instant-power-death model used by the torn-commit crash sweep.
   /// A write command is one *bio*: a multi-block bio applies atomically,
   /// but distinct bios in one batch can straddle the kill point.
-  void kill_after(std::uint64_t n);
-  [[nodiscard]] bool dead() const { return dead_; }
+  virtual void kill_after(std::uint64_t n);
+  /// Immediate power death, no countdown: from now on writes and flushes
+  /// are accepted (and timed) but never change media state. kill_after's
+  /// arming reaches this state lazily at the (n+1)'th write command; an
+  /// aggregate volume calls power_off on every member at its own counting
+  /// point so the whole volume dies at one instant.
+  virtual void power_off() { dead_ = true; }
+  [[nodiscard]] virtual bool dead() const { return dead_; }
   /// Simulate power loss: every write since the last flush() is reverted,
   /// except that each non-durable block independently survives with
   /// probability `survive_p` (0 = lose all volatile state). Deterministic
   /// under the given rng. Clears the dirty set; the device is then "clean".
-  void crash(double survive_p, sim::Rng& rng);
+  virtual void crash(double survive_p, sim::Rng& rng);
+
+ protected:
+  /// For aggregate devices that expose the logical geometry in `params`
+  /// but keep no backing store of their own (StripedDevice).
+  struct NoBacking {};
+  BlockDevice(DeviceParams params, NoBacking);
 
  private:
   friend class RequestQueue;

@@ -1,0 +1,316 @@
+#include "blockdev/striped.h"
+
+#include <algorithm>
+#include <cassert>
+#include <charconv>
+#include <stdexcept>
+
+#include "sim/thread.h"
+
+namespace bsim::blk {
+
+StripeParams merge_stripe_opts(std::string_view opts, StripeParams base) {
+  std::size_t i = 0;
+  while (i < opts.size()) {
+    while (i < opts.size() && (opts[i] == ',' || opts[i] == ' ')) ++i;
+    std::size_t j = i;
+    while (j < opts.size() && opts[j] != ',' && opts[j] != ' ') ++j;
+    const std::string_view tok = opts.substr(i, j - i);
+    const auto num_after = [&](std::string_view prefix,
+                               std::uint64_t& out) {
+      if (!tok.starts_with(prefix)) return false;
+      const std::string_view v = tok.substr(prefix.size());
+      const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+      // The whole value must be digits: "chunk=16k" is malformed, not 16.
+      return ec == std::errc{} && ptr == v.data() + v.size();
+    };
+    std::uint64_t n = 0;
+    if (num_after("stripe=", n) && n >= 1) {
+      base.ndevices = static_cast<std::size_t>(n);
+    } else if (num_after("chunk=", n) && n > 0) {
+      base.chunk_blocks = n;
+    } else if (tok == "linear") {
+      base.mode = StripeMode::Linear;
+    }
+    i = j;
+  }
+  return base;
+}
+
+std::optional<StripeParams> stripe_params_from_opts(std::string_view opts) {
+  StripeParams off;
+  off.ndevices = 1;  // striping only on an explicit stripe=N>1 token
+  const StripeParams merged = merge_stripe_opts(opts, off);
+  if (merged.ndevices <= 1) return std::nullopt;
+  return merged;
+}
+
+DeviceParams StripedDevice::volume_params(
+    const StripeParams& sp, const std::vector<DeviceParams>& children) {
+  assert(!children.empty());
+  DeviceParams p = children.front();
+  std::uint64_t usable = children.front().nblocks;
+  if (sp.mode == StripeMode::Raid0) {
+    usable -= usable % sp.chunk_blocks;
+  }
+  p.nblocks = usable * children.size();
+  p.channels = 0;
+  for (const DeviceParams& c : children) p.channels += c.channels;
+  return p;
+}
+
+StripedDevice::StripedDevice(StripeParams sp, DeviceParams child_params)
+    : StripedDevice(sp, std::vector<DeviceParams>(
+                            std::max<std::size_t>(sp.ndevices, 1),
+                            child_params)) {}
+
+StripedDevice::StripedDevice(StripeParams sp,
+                             std::vector<DeviceParams> child_params)
+    : BlockDevice(volume_params(sp, child_params), NoBacking{}),
+      stripe_(sp) {
+  stripe_.ndevices = child_params.size();
+  child_usable_ = child_params.front().nblocks;
+  if (stripe_.mode == StripeMode::Raid0) {
+    assert(stripe_.chunk_blocks > 0);
+    child_usable_ -= child_usable_ % stripe_.chunk_blocks;
+  }
+  if (child_usable_ == 0) {
+    throw std::invalid_argument("striped member smaller than one chunk");
+  }
+  children_.reserve(child_params.size());
+  for (const DeviceParams& p : child_params) {
+    // Raid0 requires a uniform usable size; linear concat uses the same
+    // rule so the logical->member mapping stays a pure function.
+    std::uint64_t usable = p.nblocks;
+    if (stripe_.mode == StripeMode::Raid0) usable -= usable % stripe_.chunk_blocks;
+    if (usable != child_usable_) {
+      throw std::invalid_argument("striped members must be the same size");
+    }
+    children_.push_back(std::make_unique<BlockDevice>(p));
+  }
+}
+
+StripedDevice::~StripedDevice() = default;
+
+std::size_t StripedDevice::child_of(std::uint64_t blockno) const {
+  if (stripe_.mode == StripeMode::Linear) {
+    return static_cast<std::size_t>(blockno / child_usable_);
+  }
+  return static_cast<std::size_t>((blockno / stripe_.chunk_blocks) %
+                                  children_.size());
+}
+
+std::uint64_t StripedDevice::child_block_of(std::uint64_t blockno) const {
+  if (stripe_.mode == StripeMode::Linear) return blockno % child_usable_;
+  const std::uint64_t chunk = blockno / stripe_.chunk_blocks;
+  return (chunk / children_.size()) * stripe_.chunk_blocks +
+         blockno % stripe_.chunk_blocks;
+}
+
+void StripedDevice::submit_fragments(const std::vector<Bio*>& parents,
+                                     ChildTickets& tickets,
+                                     sim::Nanos& last_done) {
+  const std::size_t n = children_.size();
+  std::vector<std::vector<Bio>> frags(n);
+  std::vector<std::vector<Bio*>> owners(n);  // aligned with frags[c]
+
+  for (Bio* parent : parents) {
+    assert(!parent->vecs.empty() && "submitting an empty bio");
+    parent->done_at = 0;
+    parent->applied = true;  // AND-ed with every fragment below
+    std::size_t nfrags = 0;
+    std::size_t cur_child = n;  // sentinel: no open fragment
+    for (const BioVec& v : parent->vecs) {
+      const std::size_t c = child_of(v.blockno);
+      const std::uint64_t cb = child_block_of(v.blockno);
+      if (c != cur_child) {
+        frags[c].emplace_back(parent->op);
+        owners[c].push_back(parent);
+        cur_child = c;
+        nfrags += 1;
+      }
+      Bio& frag = frags[c].back();
+      if (parent->op == BioOp::Read) {
+        frag.add_read(cb, v.data);
+      } else {
+        frag.add_write(cb, v.wdata);
+      }
+    }
+    vstats_.fragments += nfrags;
+    if (nfrags > 1) vstats_.boundary_splits += 1;
+  }
+
+  // Submit each member's share as ONE async batch, in member order: the
+  // member queue elevator-sorts/merges independently, media effects land
+  // now, and the caller ends up holding all members' tickets at once.
+  for (std::size_t c = 0; c < n; ++c) {
+    if (frags[c].empty()) continue;
+    const Ticket t = children_[c]->submit_async(frags[c]);
+    tickets.emplace_back(c, t);
+    last_done = std::max(last_done, t.done);
+    for (std::size_t i = 0; i < frags[c].size(); ++i) {
+      Bio* parent = owners[c][i];
+      parent->done_at = std::max(parent->done_at, frags[c][i].done_at);
+      if (!frags[c][i].applied) parent->applied = false;
+    }
+  }
+}
+
+StripedDevice::ChildTickets StripedDevice::route_batch(std::span<Bio> bios,
+                                                       sim::Nanos& last_done) {
+  vstats_.batches += 1;
+  vstats_.bios += bios.size();
+
+  // Mirror the single-device queue's crash-count order: writes are counted
+  // bio-by-bio in stable first-block order (see RequestQueue::dispatch),
+  // so kill_after(n) on a striped volume selects the SAME n logical bios
+  // as on one device for an identical submission sequence.
+  std::vector<Bio*> writes, survivors, killed;
+  for (Bio& b : bios) {
+    if (b.op == BioOp::Write) writes.push_back(&b);
+  }
+  std::stable_sort(writes.begin(), writes.end(),
+                   [](const Bio* a, const Bio* b) {
+                     return a->first_block() < b->first_block();
+                   });
+  bool fire = false;
+  for (Bio* w : writes) {
+    if (kill_armed_ && !fire) {
+      if (kill_countdown_ == 0) fire = true;
+      else kill_countdown_ -= 1;
+    }
+    (fire ? killed : survivors).push_back(w);
+  }
+  for (Bio& b : bios) {
+    if (b.op == BioOp::Read) survivors.push_back(&b);
+  }
+
+  ChildTickets tickets;
+  submit_fragments(survivors, tickets, last_done);
+  if (fire) {
+    // Power dies across the whole volume AT THIS INSTANT: every member
+    // swallows all later write commands and flushes (accepted and timed,
+    // never applied) — the same moment the single-device countdown would
+    // flip dead_, so flush/destage behaviour stays comparable.
+    volume_dead_ = true;
+    kill_armed_ = false;
+    for (auto& c : children_) c->power_off();
+    submit_fragments(killed, tickets, last_done);
+  }
+  return tickets;
+}
+
+sim::Nanos StripedDevice::submit(std::span<Bio> bios) {
+  if (bios.empty()) return sim::now();
+  sim::Nanos last_done = sim::now();
+  ChildTickets tickets = route_batch(bios, last_done);
+  for (auto& [c, t] : tickets) children_[c]->wait(t);
+  sim::current().wait_until(last_done);
+  return last_done;
+}
+
+Ticket StripedDevice::submit_async(std::span<Bio> bios) {
+  if (bios.empty()) return Ticket{};
+  sim::Nanos last_done = sim::now();
+  ChildTickets tickets = route_batch(bios, last_done);
+  vstats_.async_batches += 1;
+  const std::uint64_t id = next_ticket_++;
+  outstanding_.emplace(id, std::move(tickets));
+  vstats_.max_inflight =
+      std::max<std::uint64_t>(vstats_.max_inflight, outstanding_.size());
+  return Ticket{last_done, id};
+}
+
+sim::Nanos StripedDevice::wait(const Ticket& t) {
+  if (!t.valid()) return sim::now();
+  auto it = outstanding_.find(t.id);
+  if (it != outstanding_.end()) {
+    for (auto& [c, ct] : it->second) children_[c]->wait(ct);
+    outstanding_.erase(it);
+  }
+  sim::current().wait_until(t.done);  // redundant waits are harmless
+  return t.done;
+}
+
+sim::Nanos StripedDevice::flush_nowait() {
+  // FLUSH every member in parallel: each barriers its own channels; the
+  // volume's flush completes when the slowest member destages.
+  sim::Nanos done = sim::now();
+  for (auto& c : children_) done = std::max(done, c->flush_nowait());
+  return done;
+}
+
+void StripedDevice::read_untimed(std::uint64_t blockno,
+                                 std::span<std::byte> out) {
+  children_[child_of(blockno)]->read_untimed(child_block_of(blockno), out);
+}
+
+void StripedDevice::write_untimed(std::uint64_t blockno,
+                                  std::span<const std::byte> in) {
+  children_[child_of(blockno)]->write_untimed(child_block_of(blockno), in);
+}
+
+void StripedDevice::enable_crash_tracking() {
+  for (auto& c : children_) c->enable_crash_tracking();
+}
+
+void StripedDevice::kill_after(std::uint64_t n) {
+  kill_armed_ = true;
+  kill_countdown_ = n;
+}
+
+void StripedDevice::kill_after_child(std::size_t child, std::uint64_t n) {
+  assert(child < children_.size());
+  children_[child]->kill_after(n);
+}
+
+void StripedDevice::power_off() {
+  volume_dead_ = true;
+  kill_armed_ = false;
+  for (auto& c : children_) c->power_off();
+}
+
+bool StripedDevice::dead() const {
+  if (volume_dead_) return true;
+  for (const auto& c : children_) {
+    if (c->dead()) return true;
+  }
+  return false;
+}
+
+void StripedDevice::crash(double survive_p, sim::Rng& rng) {
+  volume_dead_ = false;
+  kill_armed_ = false;
+  for (auto& c : children_) c->crash(survive_p, rng);
+}
+
+std::uint64_t StripedDevice::dirty_blocks() const {
+  std::uint64_t total = 0;
+  for (const auto& c : children_) total += c->dirty_blocks();
+  return total;
+}
+
+const DeviceStats& StripedDevice::stats() const {
+  // Like the base class, the returned reference is a live view: it
+  // reflects whatever I/O has happened by the time it is read (here via
+  // re-aggregation on each call). Callers wanting a snapshot to diff
+  // against must copy the struct, exactly as with a plain device.
+  agg_ = DeviceStats{};
+  for (const auto& c : children_) {
+    const DeviceStats& s = c->stats();
+    agg_.reads += s.reads;
+    agg_.writes += s.writes;
+    agg_.flushes += s.flushes;
+    agg_.blocks_destaged += s.blocks_destaged;
+    agg_.busy += s.busy;
+    agg_.read_requests += s.read_requests;
+    agg_.write_requests += s.write_requests;
+    agg_.merges += s.merges;
+    agg_.seq_read_blocks += s.seq_read_blocks;
+    agg_.max_request_blocks =
+        std::max(agg_.max_request_blocks, s.max_request_blocks);
+  }
+  return agg_;
+}
+
+}  // namespace bsim::blk

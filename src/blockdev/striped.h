@@ -1,0 +1,161 @@
+// Multi-device striped volumes: a RAID0-style (or linear-concat) aggregate
+// of N BlockDevices behind the ordinary BlockDevice interface.
+//
+// The volume owns one RequestQueue *per member device* (each child's own
+// queue). An incoming Bio batch is split at stripe boundaries into
+// per-child fragment bios, each child's fragments are handed to that
+// child's queue as ONE batch (so every member elevator-sorts and merges
+// its share independently), and the child submissions go out through
+// `submit_async` — the caller's single submit()/submit_async() therefore
+// holds QD>1 *across devices*: all members transfer concurrently in
+// virtual time, while each member's media effects still land at
+// submission, in deterministic program order (child 0 first, then child 1,
+// …; within a child, the child queue's documented write-sorted order).
+//
+// Geometry (Raid0): logical blocks are grouped into chunks of
+// `chunk_blocks`; chunk c lives on child c % N at child-chunk c / N.
+// A logical run that crosses a chunk boundary is split there; within a
+// chunk the child blocks stay consecutive, so a long sequential logical
+// run becomes N long sequential child runs that merge per child.
+// Linear mode concatenates the children instead (child = block / size).
+//
+// Crash model:
+//   - kill_after(n) counts *logical* write bios, in the same
+//     write-sorted order the single-device queue counts them. The first n
+//     logical bios apply on their members in full; everything after dies
+//     on every member. Counting logical bios (not per-child fragments)
+//     keeps a striped crash sweep comparable bio-for-bio with the same op
+//     trace on one device — the recovered logical image is bit-identical.
+//   - kill_after_child(i, n) arms the per-member kill instead: member i
+//     stops persisting after n more *fragment* write commands while the
+//     other members keep going — power loss of one shard mid-batch, the
+//     failure mode only multi-device volumes have.
+//   - crash(p, rng) / enable_crash_tracking() fan out to every member in
+//     index order (deterministic rng consumption).
+//
+// DeviceStats aggregate across members on read (stats()); per-member
+// counters stay available through fan_child(i).stats().
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "blockdev/device.h"
+
+namespace bsim::blk {
+
+enum class StripeMode : std::uint8_t { Raid0, Linear };
+
+struct StripeParams {
+  std::size_t ndevices = 2;
+  std::uint64_t chunk_blocks = 16;  // 64 KiB chunks
+  StripeMode mode = StripeMode::Raid0;
+};
+
+/// Apply any "stripe=N", "chunk=M", "linear" tokens in `opts` onto
+/// `base`: a token that is present overrides that field, absent tokens
+/// leave the caller's configuration untouched ("stripe=1" disables
+/// striping). Unrelated tokens are ignored, so the same string can be
+/// passed on to the file system unchanged.
+StripeParams merge_stripe_opts(std::string_view opts, StripeParams base);
+
+/// Parse a stripe selection out of a free-form mount-option string.
+/// Returns nullopt when the string does not itself select striping
+/// (no "stripe=" token, or "stripe=1").
+std::optional<StripeParams> stripe_params_from_opts(std::string_view opts);
+
+/// Volume-level submission accounting (the member queues keep their own
+/// RequestQueueStats underneath).
+struct StripeVolumeStats {
+  std::uint64_t batches = 0;        // submit() + submit_async() calls
+  std::uint64_t bios = 0;           // logical bios submitted
+  std::uint64_t fragments = 0;      // child bios produced by splitting
+  std::uint64_t boundary_splits = 0;  // bios that crossed a stripe boundary
+  std::uint64_t async_batches = 0;
+  std::uint64_t max_inflight = 0;   // peak unredeemed volume tickets
+};
+
+class StripedDevice final : public BlockDevice {
+ public:
+  /// Uniform members: `child_params.nblocks` is the PER-CHILD size
+  /// (rounded down to a whole number of chunks in Raid0 mode).
+  StripedDevice(StripeParams sp, DeviceParams child_params);
+  /// Heterogeneous members (e.g. one slow shard in fault tests). All
+  /// children must have the same usable size; Raid0 requires it.
+  StripedDevice(StripeParams sp, std::vector<DeviceParams> child_params);
+  ~StripedDevice() override;
+
+  [[nodiscard]] const StripeParams& stripe() const { return stripe_; }
+  [[nodiscard]] const StripeVolumeStats& volume_stats() const {
+    return vstats_;
+  }
+  [[nodiscard]] std::uint64_t inflight() const { return outstanding_.size(); }
+
+  // ---- fan-out introspection ----
+  [[nodiscard]] std::size_t fan_out() const override {
+    return children_.size();
+  }
+  [[nodiscard]] BlockDevice& fan_child(std::size_t i) override {
+    return *children_[i];
+  }
+  [[nodiscard]] std::size_t child_of(std::uint64_t blockno) const override;
+  /// The member-local block number logical `blockno` maps to.
+  [[nodiscard]] std::uint64_t child_block_of(std::uint64_t blockno) const;
+
+  // ---- submission ----
+  using BlockDevice::submit;  // keep the one-bio convenience visible
+  sim::Nanos submit(std::span<Bio> bios) override;
+  Ticket submit_async(std::span<Bio> bios) override;
+  sim::Nanos wait(const Ticket& t) override;
+  sim::Nanos flush_nowait() override;
+
+  void read_untimed(std::uint64_t blockno, std::span<std::byte> out) override;
+  void write_untimed(std::uint64_t blockno,
+                     std::span<const std::byte> in) override;
+
+  // ---- crash model ----
+  void enable_crash_tracking() override;
+  void kill_after(std::uint64_t n) override;
+  /// Cut power to ONE member after `n` more of ITS write commands
+  /// (fragment bios, counted in that member queue's dispatch order).
+  void kill_after_child(std::size_t child, std::uint64_t n);
+  void power_off() override;
+  [[nodiscard]] bool dead() const override;
+  void crash(double survive_p, sim::Rng& rng) override;
+
+  [[nodiscard]] std::uint64_t dirty_blocks() const override;
+  [[nodiscard]] const DeviceStats& stats() const override;
+
+ private:
+  using ChildTickets = std::vector<std::pair<std::size_t, Ticket>>;
+
+  /// Split + route one batch; returns the child tickets and the batch's
+  /// last completion time. Applies the logical-bio kill model.
+  ChildTickets route_batch(std::span<Bio> bios, sim::Nanos& last_done);
+  /// Split `parents` into per-child fragment batches and submit each
+  /// child's batch async (child index order). Appends tickets.
+  void submit_fragments(const std::vector<Bio*>& parents,
+                        ChildTickets& tickets, sim::Nanos& last_done);
+  static DeviceParams volume_params(const StripeParams& sp,
+                                    const std::vector<DeviceParams>& children);
+
+  StripeParams stripe_;
+  std::vector<std::unique_ptr<BlockDevice>> children_;
+  std::uint64_t child_usable_ = 0;  // usable blocks per member (uniform)
+
+  // Logical-bio kill model (see header comment).
+  bool kill_armed_ = false;
+  std::uint64_t kill_countdown_ = 0;
+  bool volume_dead_ = false;
+
+  std::uint64_t next_ticket_ = 1;
+  std::unordered_map<std::uint64_t, ChildTickets> outstanding_;
+  StripeVolumeStats vstats_;
+  mutable DeviceStats agg_;  // stats() aggregation scratch
+};
+
+}  // namespace bsim::blk

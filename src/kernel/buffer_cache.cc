@@ -9,7 +9,7 @@
 namespace bsim::kern {
 
 BufferCache::BufferCache(blk::BlockDevice& dev, std::size_t capacity)
-    : dev_(dev), capacity_(capacity) {}
+    : dev_(dev), capacity_(capacity), shard_dirty_(dev.fan_out(), 0) {}
 
 BufferCache::~BufferCache() = default;
 
@@ -110,7 +110,7 @@ void BufferCache::brelse(BufferHead* bh) {
 void BufferCache::sync_dirty_buffer(BufferHead* bh) {
   assert(bh != nullptr && bh->cache == this);
   blk::Bio bio = blk::Bio::single_write(bh->blockno, bh->bytes());
-  dev_.queue().submit(bio);
+  dev_.submit(bio);
   // A write command that never executed (crash-model kill point) did not
   // write the buffer back: it must stay dirty.
   if (bio.applied) {
@@ -144,16 +144,24 @@ blk::Ticket BufferCache::sync_dirty_buffers_async(
   return t;
 }
 
-std::vector<BufferHead*> BufferCache::collect_dirty() {
+std::vector<BufferHead*> BufferCache::collect_dirty(std::size_t shard,
+                                                    std::size_t nshards) {
+  // The dirty-block index is already in ascending block order; the walk
+  // is O(dirty), not O(cached) — a wake on a huge, mostly-clean cache
+  // never touches the clean population. A shard-filtered walk still
+  // scans the whole (volume-wide) index, so N per-member flushers pay
+  // N x dirty per round; splitting the index per shard would shave that
+  // host-time factor but complicate the ordered full-volume walk that
+  // sync_all needs.
   std::vector<BufferHead*> dirty;
-  dirty.reserve(nr_dirty_);
-  for (auto& [blockno, bh] : map_) {
-    if (bh->dirty) dirty.push_back(bh.get());
+  dirty.reserve(dirty_index_.size());
+  for (const std::uint64_t blockno : dirty_index_) {
+    stats_.dirty_scanned += 1;
+    if (nshards > 1 && dev_.child_of(blockno) % nshards != shard) continue;
+    auto it = map_.find(blockno);
+    assert(it != map_.end() && it->second->dirty);
+    dirty.push_back(it->second.get());
   }
-  std::sort(dirty.begin(), dirty.end(),
-            [](const BufferHead* a, const BufferHead* b) {
-              return a->blockno < b->blockno;
-            });
   return dirty;
 }
 
@@ -165,10 +173,12 @@ void BufferCache::sync_all() {
 }
 
 std::size_t BufferCache::flush_dirty_async(std::size_t max_batch,
-                                           std::size_t queue_depth) {
+                                           std::size_t queue_depth,
+                                           std::size_t shard,
+                                           std::size_t nshards) {
   assert(max_batch > 0 && queue_depth > 0);
   const std::size_t before = nr_dirty_;
-  std::vector<BufferHead*> dirty = collect_dirty();
+  std::vector<BufferHead*> dirty = collect_dirty(shard, nshards);
   std::vector<blk::Ticket> inflight;
   inflight.reserve(queue_depth);
   std::size_t i = 0;
@@ -219,7 +229,7 @@ void BufferCache::evict_if_needed() {
     if (bh->refcount > 0) continue;
     if (bh->dirty) {
       blk::Bio bio = blk::Bio::single_write(blockno, bh->bytes());
-      dev_.queue().submit(bio);
+      dev_.submit(bio);
       set_clean(bh);
       // A write the crash model swallowed is not a writeback — but the
       // victim is still evicted: after power death the volatile copy is

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <set>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -45,6 +46,10 @@ struct BufferCacheStats {
   std::uint64_t misses = 0;
   std::uint64_t writebacks = 0;
   std::uint64_t evictions = 0;
+  /// Objects examined while gathering dirty buffers for writeback. With
+  /// the dirty-block index a drain scans O(dirty) entries, not the whole
+  /// cache — the flusher full-walk regression stat.
+  std::uint64_t dirty_scanned = 0;
 };
 
 class BufferCache {
@@ -84,6 +89,8 @@ class BufferCache {
     if (!bh->dirty) {
       bh->dirty = true;
       nr_dirty_ += 1;
+      dirty_index_.insert(bh->blockno);
+      shard_dirty_[dev_.child_of(bh->blockno)] += 1;
     }
   }
 
@@ -118,9 +125,14 @@ class BufferCache {
   /// through the async path with up to `queue_depth` batches in flight;
   /// waits for all of them before returning. Returns the number of
   /// buffers actually written back (a dead device's swallowed commands
-  /// leave their buffers dirty and are not counted).
+  /// leave their buffers dirty and are not counted). `shard`/`nshards`
+  /// restrict the drain to buffers whose block maps to that member
+  /// device (`device().child_of`) — the per-device flusher's share; the
+  /// defaults drain everything.
   std::size_t flush_dirty_async(std::size_t max_batch,
-                                std::size_t queue_depth);
+                                std::size_t queue_depth,
+                                std::size_t shard = 0,
+                                std::size_t nshards = 1);
 
   /// Issue a device cache FLUSH (timed) — blkdev_issue_flush.
   void issue_flush();
@@ -132,6 +144,11 @@ class BufferCache {
   [[nodiscard]] std::size_t cached_blocks() const { return map_.size(); }
   /// Currently dirty buffers (the flusher's wake threshold input).
   [[nodiscard]] std::size_t nr_dirty() const { return nr_dirty_; }
+  /// Dirty buffers bound to one member device of a striped volume
+  /// (`shard` indexes device().fan_out(); per-device flusher threshold).
+  [[nodiscard]] std::size_t nr_dirty_shard(std::size_t shard) const {
+    return shard < shard_dirty_.size() ? shard_dirty_[shard] : 0;
+  }
   /// Capacity in blocks (0 = unbounded); dirty ratio = nr_dirty/capacity.
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
   [[nodiscard]] blk::BlockDevice& device() { return dev_; }
@@ -145,13 +162,24 @@ class BufferCache {
       bh->dirty = false;
       assert(nr_dirty_ > 0);
       nr_dirty_ -= 1;
+      dirty_index_.erase(bh->blockno);
+      auto& cnt = shard_dirty_[dev_.child_of(bh->blockno)];
+      assert(cnt > 0);
+      cnt -= 1;
     }
   }
-  /// Gather the dirty set in ascending block order.
-  std::vector<BufferHead*> collect_dirty();
+  /// Gather (this shard's slice of) the dirty set in ascending block
+  /// order — an O(dirty) walk of the dirty-block index.
+  std::vector<BufferHead*> collect_dirty(std::size_t shard = 0,
+                                         std::size_t nshards = 1);
 
   blk::BlockDevice& dev_;
   std::size_t capacity_;
+  /// Dirty blocknos, ordered (the tagged-radix analogue): writeback walks
+  /// this, never the whole map.
+  std::set<std::uint64_t> dirty_index_;
+  /// Dirty count per member device of a striped volume (size fan_out()).
+  std::vector<std::size_t> shard_dirty_;
   std::unordered_map<std::uint64_t, std::unique_ptr<BufferHead>> map_;
   std::list<std::uint64_t> lru_;  // front = most recent
   std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> lru_pos_;

@@ -7,30 +7,49 @@
 
 namespace bsim::kern {
 
-Flusher::Flusher(SuperBlock& sb, FlusherParams params)
-    : sb_(&sb), params_(params), thread_(-2) {
+Flusher::Flusher(SuperBlock& sb, FlusherParams params, std::size_t shard,
+                 std::size_t nshards)
+    : sb_(&sb),
+      params_(params),
+      shard_(shard),
+      nshards_(std::max<std::size_t>(nshards, 1)),
+      thread_(-2 - static_cast<int>(shard)) {
   // First periodic wake is one period after attach (mounts happen at
   // arbitrary virtual times), not at absolute time `period`.
   const sim::SimThread* t = sim::current_or_null();
   next_timer_ = (t != nullptr ? t->now() : 0) + params_.period;
 }
 
+bool Flusher::owns(const Inode& inode) const {
+  return nshards_ <= 1 || inode.ino() % nshards_ == shard_;
+}
+
+std::size_t Flusher::shard_buffer_limit() const {
+  const BufferCache& bc = sb_->bufcache();
+  const std::size_t whole =
+      bc.capacity() > 0
+          ? std::max<std::size_t>(
+                1, static_cast<std::size_t>(
+                       static_cast<double>(bc.capacity()) *
+                       params_.dirty_ratio))
+          : params_.dirty_buffers_min;
+  // Per member device, the trigger is its proportional share of the
+  // volume-wide limit, so an N-way volume wakes at the same aggregate
+  // dirty population as one device would.
+  return std::max<std::size_t>(1, whole / nshards_);
+}
+
 bool Flusher::wake_due(const Inode* hint,
                        std::size_t page_threshold) const {
-  if (hint != nullptr && page_threshold != 0 &&
+  if (hint != nullptr && page_threshold != 0 && owns(*hint) &&
       hint->mapping.nr_dirty() >= page_threshold) {
     return true;
   }
   if (params_.drain_buffers) {
     const BufferCache& bc = sb_->bufcache();
-    const std::size_t limit =
-        bc.capacity() > 0
-            ? std::max<std::size_t>(
-                  1, static_cast<std::size_t>(
-                         static_cast<double>(bc.capacity()) *
-                         params_.dirty_ratio))
-            : params_.dirty_buffers_min;
-    if (bc.nr_dirty() >= limit) return true;
+    const std::size_t dirty =
+        nshards_ > 1 ? bc.nr_dirty_shard(shard_) : bc.nr_dirty();
+    if (dirty >= shard_buffer_limit()) return true;
   }
   return false;
 }
@@ -51,6 +70,11 @@ void Flusher::poke(Inode* hint, std::size_t page_threshold) {
   // complete; if that is more than max_backlog past the writer, the
   // dirty limit is hit and the writer waits until the backlog shrinks to
   // the window (throttling it to the drain rate at steady state).
+  // On a striped volume only the flusher that OWNS the writer's inode
+  // may throttle it: courtesy pokes (no hint, or another shard's inode)
+  // wake drains but never charge this writer an unowned member's
+  // backlog — backpressure stays per device.
+  if (nshards_ > 1 && (hint == nullptr || !owns(*hint))) return;
   const sim::Nanos limit = sim::now() + params_.max_backlog;
   if (thread_.now() > limit) {
     const sim::Nanos resume = thread_.now() - params_.max_backlog;
@@ -72,17 +96,14 @@ void Flusher::run_cycle(bool timer_due) {
     sim::ScopedThread in(thread_);
     thread_.wait_until(wake_at);
 
-    // Pages first: collect the dirty inodes, then push each through its
-    // file system's normal writeback path (batched ->writepages where
-    // supported). Collecting first keeps the walk stable if FS code
-    // touches the inode cache mid-drain.
+    // Pages first: collect THIS shard's dirty inodes off the superblock's
+    // dirty-inode list (O(dirty), not a full inode-cache walk), then push
+    // each through its file system's normal writeback path (batched
+    // ->writepages where supported). Collecting first keeps the walk
+    // stable if FS code touches the inode cache mid-drain.
     std::vector<Inode*> dirty;
-    sb_->for_each_inode([&dirty](Inode& inode) {
-      if (inode.type == FileType::Regular && inode.aops != nullptr &&
-          inode.mapping.nr_dirty() > 0) {
-        dirty.push_back(&inode);
-      }
-    });
+    sb_->collect_dirty_inodes(shard_, nshards_, dirty,
+                              stats_.inodes_scanned);
     for (Inode* inode : dirty) {
       const std::size_t before = inode->mapping.nr_dirty();
       if (generic_writeback(*inode) != Err::Ok) {
@@ -94,11 +115,15 @@ void Flusher::run_cycle(bool timer_due) {
       stats_.pages_flushed += before - inode->mapping.nr_dirty();
     }
 
-    // Then buffers: one elevator-sorted pass through the async request
-    // path, several batches in flight across the device channels.
-    if (params_.drain_buffers && sb_->bufcache().nr_dirty() > 0) {
+    // Then buffers — this shard's share only: one elevator-sorted pass
+    // through the async request path, several batches in flight across
+    // the member device's channels.
+    const std::size_t shard_dirty =
+        nshards_ > 1 ? sb_->bufcache().nr_dirty_shard(shard_)
+                     : sb_->bufcache().nr_dirty();
+    if (params_.drain_buffers && shard_dirty > 0) {
       stats_.buffers_flushed += sb_->bufcache().flush_dirty_async(
-          params_.max_batch, params_.queue_depth);
+          params_.max_batch, params_.queue_depth, shard_, nshards_);
     }
   }
   running_ = false;
@@ -110,7 +135,13 @@ void Flusher::wait_idle() { sim::current().wait_until(thread_.now()); }
 void maybe_attach_flusher(SuperBlock& sb, std::string_view opts,
                           FlusherParams params) {
   if (opts.find("noflusher") != std::string_view::npos) return;
-  sb.attach_flusher(std::make_unique<Flusher>(sb, params));
+  // One flusher per member device: a plain device gets one; a striped
+  // volume gets fan_out() of them, each owning one member's writeback
+  // and backpressure.
+  const std::size_t n = sb.bdev().fan_out();
+  for (std::size_t i = 0; i < n; ++i) {
+    sb.attach_flusher(std::make_unique<Flusher>(sb, params, i, n));
+  }
 }
 
 }  // namespace bsim::kern

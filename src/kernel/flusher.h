@@ -85,13 +85,24 @@ struct FlusherStats {
   std::uint64_t throttle_waits = 0;   // pokes that hit the backlog limit
   sim::Nanos throttled = 0;           // total writer time spent throttled
   std::uint64_t errors = 0;  // writeback errors swallowed in background
+  /// Dirty-inode-list entries examined across all wakes. With the list a
+  /// wake is O(dirty inodes); before it, every wake walked the whole
+  /// inode cache (the ROADMAP full-walk item).
+  std::uint64_t inodes_scanned = 0;
 };
 
-/// One background writeback thread for one mounted superblock (and hence
-/// one device). Owned by the SuperBlock; file systems opt in at mount.
+/// One background writeback thread for one *member device* of a mounted
+/// superblock. A plain device gets exactly one (shard 0 of 1); a striped
+/// volume gets one per member: inodes shard across them by inode number
+/// (an inode belongs to one flusher, like one bdi), dirty buffers shard
+/// by which member their block maps to, and the balance_dirty_pages
+/// backpressure is therefore *per device* — a writer bound to a slow
+/// member throttles against that member's flusher only.
+/// Owned by the SuperBlock; file systems opt in at mount.
 class Flusher {
  public:
-  explicit Flusher(SuperBlock& sb, FlusherParams params = {});
+  explicit Flusher(SuperBlock& sb, FlusherParams params = {},
+                   std::size_t shard = 0, std::size_t nshards = 1);
 
   Flusher(const Flusher&) = delete;
   Flusher& operator=(const Flusher&) = delete;
@@ -122,12 +133,20 @@ class Flusher {
   [[nodiscard]] const FlusherStats& stats() const { return stats_; }
   [[nodiscard]] sim::Nanos last_completion() const { return thread_.now(); }
   [[nodiscard]] const FlusherParams& params() const { return params_; }
+  /// Which member device this flusher serves (0 of 1 for plain devices).
+  [[nodiscard]] std::size_t shard() const { return shard_; }
+  [[nodiscard]] std::size_t nshards() const { return nshards_; }
+  /// Does this flusher's shard own `inode`'s writeback?
+  [[nodiscard]] bool owns(const Inode& inode) const;
 
  private:
   void run_cycle(bool timer_due);
+  [[nodiscard]] std::size_t shard_buffer_limit() const;
 
   SuperBlock* sb_;
   FlusherParams params_;
+  std::size_t shard_ = 0;
+  std::size_t nshards_ = 1;
   sim::SimThread thread_;
   sim::Nanos next_timer_;
   bool running_ = false;  // reentrancy guard (poke from flusher context)
@@ -135,8 +154,9 @@ class Flusher {
 };
 
 /// Mount-time helper shared by the deployments that opt in to background
-/// writeback: attach a flusher to `sb` unless the mount options contain
-/// "noflusher" (the writer-context ablation escape hatch).
+/// writeback: attach one flusher per member device of `sb`'s volume
+/// (`bdev().fan_out()`; exactly one for a plain device) unless the mount
+/// options contain "noflusher" (the writer-context ablation escape hatch).
 void maybe_attach_flusher(SuperBlock& sb, std::string_view opts,
                           FlusherParams params = {});
 

@@ -48,9 +48,22 @@ FileSystemType* Kernel::fs_type(std::string_view name) {
 
 blk::BlockDevice& Kernel::add_device(std::string name,
                                      blk::DeviceParams params) {
-  auto dev = std::make_unique<blk::BlockDevice>(params);
+  return add_device(std::move(name), std::make_unique<blk::BlockDevice>(params));
+}
+
+blk::BlockDevice& Kernel::add_device(std::string name,
+                                     std::unique_ptr<blk::BlockDevice> dev) {
   auto* raw = dev.get();
   devices_[std::move(name)] = std::move(dev);
+  return *raw;
+}
+
+blk::StripedDevice& Kernel::add_striped_device(std::string name,
+                                               blk::StripeParams sp,
+                                               blk::DeviceParams child_params) {
+  auto dev = std::make_unique<blk::StripedDevice>(sp, child_params);
+  auto* raw = dev.get();
+  add_device(std::move(name), std::move(dev));
   return *raw;
 }
 
@@ -343,7 +356,7 @@ Result<std::uint64_t> Kernel::bdev_read(OpenFile& f, std::span<std::byte> out,
     bio.add_read((off + done) / dev.block_size(),
                  out.subspan(static_cast<std::size_t>(done), dev.block_size()));
   }
-  if (!bio.empty()) dev.queue().submit(bio);
+  if (!bio.empty()) dev.submit(bio);
   return static_cast<std::uint64_t>(out.size());
 }
 
@@ -360,7 +373,7 @@ Result<std::uint64_t> Kernel::bdev_write(OpenFile& f,
     bio.add_write((off + done) / dev.block_size(),
                   in.subspan(static_cast<std::size_t>(done), dev.block_size()));
   }
-  if (!bio.empty()) dev.queue().submit(bio);
+  if (!bio.empty()) dev.submit(bio);
   return static_cast<std::uint64_t>(in.size());
 }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "blockdev/device.h"
+#include "blockdev/striped.h"
 #include "kernel/vfs.h"
 
 namespace bsim::kern {
@@ -59,6 +60,15 @@ class Kernel {
   void register_fs(std::unique_ptr<FileSystemType> type);
   [[nodiscard]] FileSystemType* fs_type(std::string_view name);
   blk::BlockDevice& add_device(std::string name, blk::DeviceParams params);
+  /// Register a prebuilt (possibly aggregate) device under `name`.
+  blk::BlockDevice& add_device(std::string name,
+                               std::unique_ptr<blk::BlockDevice> dev);
+  /// Build a striped volume of `sp.ndevices` members (each shaped by
+  /// `child_params`; nblocks is PER MEMBER) and expose it as one device —
+  /// any registered file system mounts on it unchanged.
+  blk::StripedDevice& add_striped_device(std::string name,
+                                         blk::StripeParams sp,
+                                         blk::DeviceParams child_params);
   [[nodiscard]] blk::BlockDevice* device(std::string_view name);
   /// Reverse lookup (used by drivers that need the /dev path of a device).
   [[nodiscard]] std::string device_name_of(const blk::BlockDevice* dev) const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "kernel/vfs.h"
 #include "sim/cost_model.h"
 #include "sim/thread.h"
 
@@ -128,6 +129,11 @@ void AddressSpace::mark_dirty(std::uint64_t pgoff) {
     it->second.dirty = true;
     dirty_pages_.insert(pgoff);
     nr_dirty_ += 1;
+    // The inode just became dirty: register it on the superblock's
+    // dirty-inode list (pruned lazily once its pages drain).
+    if (nr_dirty_ == 1 && owner_ != nullptr) {
+      owner_->sb().mark_inode_dirty(*owner_);
+    }
   }
 }
 

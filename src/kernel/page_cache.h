@@ -84,6 +84,12 @@ struct AddressSpaceStats {
 /// The cached pages of one inode.
 class AddressSpace {
  public:
+  /// Back-pointer to the owning inode (set by the Inode constructor).
+  /// Lets mark_dirty register the inode on its superblock's dirty-inode
+  /// list (__mark_inode_dirty), so flusher wakes walk O(dirty) inodes
+  /// instead of the whole inode cache.
+  void set_owner(Inode* inode) { owner_ = inode; }
+
   /// Find a page, or null. Timed (radix lookup under the tree lock).
   Page* find(std::uint64_t pgoff);
 
@@ -141,6 +147,7 @@ class AddressSpace {
   [[nodiscard]] const AddressSpaceStats& stats() const { return stats_; }
 
  private:
+  Inode* owner_ = nullptr;
   std::map<std::uint64_t, Page> pages_;  // ordered for run coalescing
   /// Dirty-tag index (the radix tree's PAGECACHE_TAG_DIRTY): writeback
   /// walks only dirty pages, not the whole mapping — an append-fsync

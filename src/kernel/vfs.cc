@@ -44,7 +44,45 @@ Err FileOps::readdir(Inode&, std::uint64_t&, const DirFiller&) {
 }
 
 void SuperBlock::attach_flusher(std::unique_ptr<Flusher> flusher) {
-  flusher_ = std::move(flusher);
+  flushers_.push_back(std::move(flusher));
+}
+
+Flusher* SuperBlock::flusher_for(const Inode* hint) {
+  if (flushers_.empty()) return nullptr;
+  if (hint == nullptr || flushers_.size() == 1) return flushers_.front().get();
+  return flushers_[hint->ino() % flushers_.size()].get();
+}
+
+void SuperBlock::poke_flushers(Inode* hint, std::size_t page_threshold) {
+  Flusher* owner = flusher_for(hint);
+  for (auto& f : flushers_) {
+    f->poke(f.get() == owner ? hint : nullptr, page_threshold);
+  }
+}
+
+void SuperBlock::mark_inode_dirty(Inode& inode) {
+  if (inode.on_dirty_list_) return;
+  inode.on_dirty_list_ = true;
+  dirty_inodes_.push_back(&inode);
+}
+
+void SuperBlock::collect_dirty_inodes(std::size_t shard, std::size_t nshards,
+                                      std::vector<Inode*>& out,
+                                      std::uint64_t& scanned) {
+  std::size_t keep = 0;
+  for (Inode* inode : dirty_inodes_) {
+    scanned += 1;
+    if (inode->mapping.nr_dirty() == 0) {
+      inode->on_dirty_list_ = false;  // drained: prune lazily
+      continue;
+    }
+    dirty_inodes_[keep++] = inode;
+    if (nshards > 1 && inode->ino() % nshards != shard) continue;
+    if (inode->type == FileType::Regular && inode->aops != nullptr) {
+      out.push_back(inode);
+    }
+  }
+  dirty_inodes_.resize(keep);
 }
 
 // ---- SuperBlock: inode cache ----
@@ -71,6 +109,9 @@ void SuperBlock::iput(Inode* inode) {
   inode->refcount_ -= 1;
   if (inode->refcount_ == 0 && inode->nlink == 0) {
     if (s_op != nullptr) s_op->evict_inode(*inode);
+    if (inode->on_dirty_list_) {
+      std::erase(dirty_inodes_, inode);  // the inode is about to die
+    }
     icache_.erase(inode->ino());
   }
   // Inodes with links stay cached until unmount (icache pruning is not
@@ -109,7 +150,7 @@ void SuperBlock::dcache_drop_dir(Inode& dir) {
 }
 
 Err SuperBlock::sync_all() {
-  if (flusher_) flusher_->wait_idle();
+  for (auto& f : flushers_) f->wait_idle();
   for (auto& [ino, inode] : icache_) {
     if (inode->type == FileType::Regular && inode->aops != nullptr) {
       BSIM_TRY(generic_writeback(*inode));
@@ -199,8 +240,8 @@ Result<std::uint64_t> generic_file_write(Inode& inode, std::uint64_t off,
   // poke); without one, writers are throttled by doing the writeback
   // themselves once the inode accumulates enough dirty pages. The
   // caller's dirty_threshold governs the trigger in both cases.
-  if (Flusher* f = inode.sb().flusher(); f != nullptr) {
-    f->poke(&inode, opts.dirty_threshold);
+  if (inode.sb().flusher() != nullptr) {
+    inode.sb().poke_flushers(&inode, opts.dirty_threshold);
   } else if (opts.dirty_threshold != 0 &&
              inode.mapping.nr_dirty() >= opts.dirty_threshold) {
     BSIM_TRY(generic_writeback(inode));

@@ -87,7 +87,9 @@ class SuperOps {
 /// An in-core inode. Owned by its superblock's inode cache.
 class Inode {
  public:
-  Inode(SuperBlock& sb, Ino ino) : sb_(&sb), ino_(ino) {}
+  Inode(SuperBlock& sb, Ino ino) : sb_(&sb), ino_(ino) {
+    mapping.set_owner(this);
+  }
 
   Inode(const Inode&) = delete;
   Inode& operator=(const Inode&) = delete;
@@ -117,6 +119,7 @@ class Inode {
   SuperBlock* sb_;
   Ino ino_;
   int refcount_ = 0;
+  bool on_dirty_list_ = false;  // membership in sb's dirty-inode list
 };
 
 /// An in-core superblock: one mounted file system instance.
@@ -168,14 +171,49 @@ class SuperBlock {
   // ---- background writeback ----
   /// Attach a per-device flusher thread (file systems opt in at mount;
   /// see kernel/flusher.h). Generic write paths then hand threshold
-  /// writeback to it instead of running writer-context sync.
+  /// writeback to it instead of running writer-context sync. A striped
+  /// volume attaches one flusher per member device (see
+  /// maybe_attach_flusher); each call appends one.
   void attach_flusher(std::unique_ptr<Flusher> flusher);
-  [[nodiscard]] Flusher* flusher() { return flusher_.get(); }
+  /// The lead flusher (shard 0), or null when background writeback is
+  /// off. Single-device mounts have exactly one.
+  [[nodiscard]] Flusher* flusher() {
+    return flushers_.empty() ? nullptr : flushers_.front().get();
+  }
+  [[nodiscard]] std::size_t flusher_count() const { return flushers_.size(); }
+  [[nodiscard]] Flusher* flusher_at(std::size_t i) {
+    return flushers_[i].get();
+  }
+  /// The flusher responsible for `hint`'s writeback (inodes shard across
+  /// the per-device flushers by inode number), or null when none.
+  [[nodiscard]] Flusher* flusher_for(const Inode* hint);
+  /// Writer-side writeback hook: poke the hint-inode's own flusher (which
+  /// may throttle the caller against its member's backlog) and give every
+  /// OTHER member's flusher a courtesy wake check with no hint — their
+  /// shard's buffer threshold and periodic timer still fire, so dirty
+  /// state on members no writer's inode hashes to keeps draining, but an
+  /// unowned member's backlog never throttles this writer.
+  void poke_flushers(Inode* hint, std::size_t page_threshold);
+
+  // ---- dirty-inode list (the per-bdi b_dirty list) ----
+  /// Register an inode whose mapping just became dirty. Called by
+  /// AddressSpace::mark_dirty on the 0 -> 1 transition; idempotent.
+  void mark_inode_dirty(Inode& inode);
+  /// Collect this shard's dirty regular inodes in dirtying order, lazily
+  /// pruning entries whose pages have drained. `scanned` accumulates how
+  /// many list entries were examined (the O(dirty) regression stat).
+  void collect_dirty_inodes(std::size_t shard, std::size_t nshards,
+                            std::vector<Inode*>& out,
+                            std::uint64_t& scanned);
+  [[nodiscard]] std::size_t dirty_inode_count() const {
+    return dirty_inodes_.size();
+  }
 
  private:
   static std::string dkey(Inode& dir, std::string_view name);
 
-  std::unique_ptr<Flusher> flusher_;
+  std::vector<std::unique_ptr<Flusher>> flushers_;
+  std::vector<Inode*> dirty_inodes_;  // insertion (dirtying) order
 
   BufferCache bufcache_;
   std::unordered_map<Ino, std::unique_ptr<Inode>> icache_;

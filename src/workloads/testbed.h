@@ -6,8 +6,11 @@
 //   "ext4j"     — the ext4 comparator, data=journal (paper: Ext4)
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <string>
+
+#include "blockdev/striped.h"
 
 #include "bento/bentofs.h"
 #include "bento/nvmlog.h"
@@ -26,6 +29,14 @@ struct BedOptions {
   std::uint32_t ninodes = 262'144;        // xv6 inode-table size
   blk::DeviceParams device;               // latency model (nblocks overridden)
   std::string mount_opts;                 // e.g. "io_uring" for xv6_fuse
+  /// Striped volume: >1 aggregates this many member devices behind one
+  /// BlockDevice (device_blocks stays the LOGICAL volume size, split
+  /// evenly). The same selection is honoured from mount_opts tokens
+  /// ("stripe=4,chunk=16[,linear]"), so every deployment can mount a
+  /// striped volume by option string alone.
+  int stripe_devices = 1;
+  std::uint64_t stripe_chunk_blocks = 16;  // 64 KiB chunks
+  bool stripe_linear = false;
 };
 
 /// Builds the full stack for one deployment. The mountpoint is /mnt.
@@ -33,7 +44,24 @@ class TestBed {
  public:
   explicit TestBed(BedOptions opts) : opts_(std::move(opts)) {
     opts_.device.nblocks = opts_.device_blocks;
-    auto& dev = kernel_.add_device("ssd0", opts_.device);
+    blk::StripeParams sp;
+    sp.ndevices = static_cast<std::size_t>(
+        std::max(opts_.stripe_devices, 1));
+    sp.chunk_blocks = opts_.stripe_chunk_blocks;
+    sp.mode = opts_.stripe_linear ? blk::StripeMode::Linear
+                                  : blk::StripeMode::Raid0;
+    // Mount-option tokens override field-by-field; absent tokens keep
+    // the programmatic configuration above.
+    sp = blk::merge_stripe_opts(opts_.mount_opts, sp);
+    blk::BlockDevice* devp;
+    if (sp.ndevices > 1) {
+      blk::DeviceParams child = opts_.device;
+      child.nblocks = opts_.device_blocks / sp.ndevices;
+      devp = &kernel_.add_striped_device("ssd0", sp, child);
+    } else {
+      devp = &kernel_.add_device("ssd0", opts_.device);
+    }
+    auto& dev = *devp;
     if (opts_.fs == "ext4j") {
       ext4::mkfs(dev, /*inodes_per_group=*/8192);
     } else {

@@ -43,15 +43,27 @@ struct Case {
   std::uint64_t seed;
   const char* mount_opts = "";
   const char* tag = "";  // distinguishes option variants in test names
+  int stripe = 1;        // >1: mount on an N-way striped volume
 };
+
+/// Register a 32768-block "ssd0": plain, or an N-way RAID0 volume with
+/// the same logical size.
+blk::BlockDevice& add_ssd0(kern::Kernel& kernel, int stripe) {
+  blk::DeviceParams params;
+  params.nblocks = 32768;
+  if (stripe <= 1) return kernel.add_device("ssd0", params);
+  blk::StripeParams sp;
+  sp.ndevices = static_cast<std::size_t>(stripe);
+  sp.chunk_blocks = 16;
+  params.nblocks /= static_cast<std::uint64_t>(stripe);
+  return kernel.add_striped_device("ssd0", sp, params);
+}
 
 class RandomOps : public ::testing::TestWithParam<Case> {
  protected:
   void SetUp() override {
     sim::set_current(&thread_);
-    blk::DeviceParams params;
-    params.nblocks = 32768;
-    auto& dev = kernel_.add_device("ssd0", params);
+    auto& dev = add_ssd0(kernel_, GetParam().stripe);
     if (std::string_view(GetParam().fs) == "ext4j") {
       ext4::mkfs(dev, 4096);
     } else {
@@ -203,6 +215,13 @@ std::vector<Case> cases() {
   for (std::uint64_t seed : {101ULL, 202ULL, 303ULL}) {
     out.push_back({"xv6_fuse", seed, "extfuse", "ext"});
   }
+  // Every deployment mounts a 4-way striped volume unchanged; the oracle
+  // sweep exercises the stripe-splitting path under all mutation shapes.
+  for (const char* fs :
+       {"xv6_bento", "xv6_vfs", "xv6_fuse", "ext4j", "xv6_nvmlog"}) {
+    out.push_back({fs, 101, "", "striped4", 4});
+  }
+  out.push_back({"xv6_bento", 202, "", "striped4", 4});
   return out;
 }
 
@@ -212,6 +231,86 @@ INSTANTIATE_TEST_SUITE_P(AllFses, RandomOps, ::testing::ValuesIn(cases()),
                                   info.param.tag + "_s" +
                                   std::to_string(info.param.seed);
                          });
+
+// ---- Striped differential: the same op trace on one device and on a
+// 4-way striped volume must produce bit-identical LOGICAL images after
+// sync + unmount. "-o noflusher" keeps writeback (and hence block
+// allocation order) a pure function of the op sequence rather than of
+// virtual time, which differs between the two layouts.
+
+void run_mutation_trace(kern::Kernel& kernel, std::uint64_t seed) {
+  auto& p = kernel.proc();
+  sim::Rng rng(seed);
+  std::vector<std::string> files, dirs{"/mnt"};
+  int next_id = 0;
+  for (int step = 0; step < 200; ++step) {
+    const std::uint64_t dice = rng.below(100);
+    if (dice < 35) {
+      const std::string path =
+          dirs[rng.below(dirs.size())] + "/f" + std::to_string(next_id++);
+      auto fd = kernel.open(p, path, kern::kOCreat | kern::kORdWr);
+      ASSERT_TRUE(fd.ok()) << path;
+      std::string data(rng.range(0, 30000),
+                       static_cast<char>('A' + rng.below(26)));
+      ASSERT_TRUE(kernel.write(p, fd.value(), as_bytes(data)).ok());
+      if (rng.chance(0.3)) {
+        ASSERT_EQ(Err::Ok, kernel.fsync(p, fd.value()));
+      }
+      ASSERT_EQ(Err::Ok, kernel.close(p, fd.value()));
+      files.push_back(path);
+    } else if (dice < 50 && !files.empty()) {
+      const std::string& victim = files[rng.below(files.size())];
+      ASSERT_EQ(Err::Ok, kernel.unlink(p, victim)) << victim;
+      files.erase(std::find(files.begin(), files.end(), victim));
+    } else if (dice < 65) {
+      const std::string& parent = dirs[rng.below(dirs.size())];
+      if (std::count(parent.begin(), parent.end(), '/') < 5) {
+        const std::string d = parent + "/d" + std::to_string(next_id++);
+        ASSERT_EQ(Err::Ok, kernel.mkdir(p, d)) << d;
+        dirs.push_back(d);
+      }
+    } else if (dice < 80 && !files.empty()) {
+      const std::size_t i = rng.below(files.size());
+      const std::string to =
+          dirs[rng.below(dirs.size())] + "/r" + std::to_string(next_id++);
+      ASSERT_EQ(Err::Ok, kernel.rename(p, files[i], to));
+      files[i] = to;
+    } else if (!files.empty()) {
+      const std::string& victim = files[rng.below(files.size())];
+      ASSERT_EQ(Err::Ok, kernel.truncate(p, victim, rng.below(20000)));
+    }
+  }
+  ASSERT_EQ(Err::Ok, kernel.sync(p));
+}
+
+TEST(StripedDifferential, FinalImageBitIdenticalToSingleDevice) {
+  for (const std::uint64_t seed : {101ULL, 202ULL}) {
+    sim::SimThread thread(0);
+    sim::ScopedThread in(thread);
+    std::array<std::unique_ptr<kern::Kernel>, 2> kernels;
+    std::array<blk::BlockDevice*, 2> devs{};
+    for (int k = 0; k < 2; ++k) {
+      kernels[k] = std::make_unique<kern::Kernel>();
+      devs[k] = &add_ssd0(*kernels[k], k == 0 ? 1 : 4);
+      xv6::mkfs(*devs[k], 4096);
+      register_all_xv6(*kernels[k]);
+      ASSERT_EQ(Err::Ok, kernels[k]->mount("xv6_bento", "ssd0", "/mnt",
+                                           "noflusher"));
+      run_mutation_trace(*kernels[k], seed);
+      ASSERT_EQ(Err::Ok, kernels[k]->umount("/mnt"));
+    }
+    ASSERT_EQ(devs[0]->nblocks(), devs[1]->nblocks());
+    std::array<std::byte, blk::kBlockSize> a{}, b{};
+    std::uint64_t diffs = 0;
+    for (std::uint64_t blk = 0; blk < devs[0]->nblocks(); ++blk) {
+      devs[0]->read_untimed(blk, a);
+      devs[1]->read_untimed(blk, b);
+      if (a != b) diffs += 1;
+    }
+    EXPECT_EQ(diffs, 0u) << "seed " << seed << ": " << diffs
+                         << " logical blocks diverged";
+  }
+}
 
 }  // namespace
 }  // namespace bsim::test

@@ -179,5 +179,32 @@ TEST_F(BufferCacheTest, BreadBeyondDeviceFails) {
   EXPECT_EQ(r.error(), Err::Io);
 }
 
+TEST_F(BufferCacheTest, WritebackScansOnlyDirtyBuffers) {
+  // The O(dirty) regression for the old full-map walk: syncing a cache
+  // holding many CLEAN buffers must examine only the dirty-block index.
+  BufferCache cache(dev_, 0);
+  std::vector<BufferHead*> held;
+  for (std::uint64_t b = 0; b < 200; ++b) {  // 200 clean cached buffers
+    auto bh = cache.getblk(b);
+    ASSERT_TRUE(bh.ok());
+    held.push_back(bh.value());
+  }
+  for (const std::uint64_t b : {20ULL, 120ULL, 40ULL, 180ULL, 3ULL}) {
+    cache.mark_dirty(held[b]);
+  }
+  ASSERT_EQ(cache.nr_dirty(), 5u);
+
+  cache.sync_all();
+  EXPECT_EQ(cache.nr_dirty(), 0u);
+  EXPECT_EQ(cache.stats().writebacks, 5u);
+  EXPECT_EQ(cache.stats().dirty_scanned, 5u)
+      << "writeback must walk the dirty index, not all "
+      << cache.cached_blocks() << " cached buffers";
+  // Ascending submission: the five scattered blocks arrive as five
+  // separate (non-mergeable) requests in one batch.
+  EXPECT_EQ(dev_.stats().write_requests, 5u);
+  for (auto* bh : held) cache.brelse(bh);
+}
+
 }  // namespace
 }  // namespace bsim::kern

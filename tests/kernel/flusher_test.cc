@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "../testutil.h"
+#include "blockdev/striped.h"
 #include "kernel/flusher.h"
 #include "kernel/vfs.h"
 
@@ -179,6 +180,115 @@ TEST_F(FlusherTest, MultipleInodesAllDrain) {
   EXPECT_EQ(a.mapping.nr_dirty(), 0u);
   EXPECT_EQ(b.mapping.nr_dirty(), 0u);
   EXPECT_EQ(sb.flusher()->stats().pages_flushed, 11u);
+}
+
+TEST_F(FlusherTest, WakeScansOnlyDirtyInodes) {
+  // The O(dirty) regression for the old full-walk: a wake on a cache full
+  // of CLEAN inodes must examine only the dirty-inode list, not the whole
+  // inode cache.
+  SuperBlock sb(dev_, 0);
+  CountingAops aops;
+  for (kern::Ino ino = 100; ino < 300; ++ino) {
+    make_file(sb, ino, aops);  // 200 resident, clean inodes
+  }
+  Inode& d1 = make_file(sb, 1, aops);
+  Inode& d2 = make_file(sb, 2, aops);
+  Inode& d3 = make_file(sb, 3, aops);
+  dirty_pages(d1, 0, 4);
+  dirty_pages(d2, 0, 4);
+  dirty_pages(d3, 0, 4);
+  EXPECT_EQ(sb.dirty_inode_count(), 3u);
+
+  FlusherParams fp;
+  fp.dirty_pages_threshold = 4;
+  sb.attach_flusher(std::make_unique<Flusher>(sb, fp));
+  Flusher* f = sb.flusher();
+  f->poke(&d1);
+  EXPECT_EQ(f->stats().pages_flushed, 12u);  // all three dirty inodes
+  EXPECT_EQ(f->stats().inodes_scanned, 3u)
+      << "a wake must walk the dirty list, not all " << sb.cached_inodes()
+      << " cached inodes";
+  EXPECT_EQ(sb.dirty_inode_count(), 3u);  // pruned lazily at next wake
+  dirty_pages(d1, 0, 4);
+  f->poke(&d1);
+  // Second wake re-scans the 3 list entries, prunes the 2 now-clean ones.
+  EXPECT_EQ(f->stats().inodes_scanned, 6u);
+  EXPECT_EQ(sb.dirty_inode_count(), 1u);
+}
+
+TEST(FlusherSharding, BackpressureThrottlesOnlySlowMemberWriters) {
+  // Two-speed striped volume: member 1's transfers are ~300x slower than
+  // member 0's. Each member has its own flusher; per-device backpressure
+  // must throttle only writers whose inodes shard to the slow member.
+  sim::SimThread boot(0);
+  sim::ScopedThread in(boot);
+  blk::StripeParams sp;
+  sp.ndevices = 2;
+  sp.chunk_blocks = 4;
+  std::vector<blk::DeviceParams> members(2);
+  members[0].nblocks = members[1].nblocks = 4096;
+  members[1].write_xfer = sim::usec(2000);  // the slow shard
+  blk::StripedDevice dev(sp, members);
+  SuperBlock sb(dev, 0);
+
+  FlusherParams fp;
+  fp.drain_buffers = true;
+  fp.dirty_buffers_min = 8;  // volume-wide; per-member trigger = 4
+  fp.dirty_pages_threshold = 1000;
+  fp.max_backlog = sim::msec(1);
+  kern::maybe_attach_flusher(sb, "", fp);
+  ASSERT_EQ(sb.flusher_count(), 2u);  // one flusher per member device
+
+  Inode& fast_file = sb.inew(10);  // ino 10 -> shard 0
+  Inode& slow_file = sb.inew(11);  // ino 11 -> shard 1
+  fast_file.type = slow_file.type = FileType::Regular;
+  ASSERT_EQ(sb.flusher_for(&fast_file), sb.flusher_at(0));
+  ASSERT_EQ(sb.flusher_for(&slow_file), sb.flusher_at(1));
+
+  // 16 dirty buffers per member: even chunks live on member 0, odd on 1.
+  auto& bc = sb.bufcache();
+  std::vector<kern::BufferHead*> held;
+  for (std::uint64_t chunk = 0; chunk < 32; ++chunk) {
+    auto bh = bc.getblk(chunk * 4);
+    ASSERT_TRUE(bh.ok());
+    bc.mark_dirty(bh.value());
+    held.push_back(bh.value());
+  }
+  ASSERT_EQ(bc.nr_dirty_shard(0), 16u);
+  ASSERT_EQ(bc.nr_dirty_shard(1), 16u);
+
+  // A writer bound to the FAST member pokes through the normal writer
+  // hook: its own flusher drains shard 0 and may throttle it; the slow
+  // member's flusher gets a courtesy wake — it drains ITS shard too (no
+  // member starves just because no writer's inode hashes to it), but an
+  // unowned member's backlog can never throttle this writer.
+  sim::SimThread fast_writer(10);
+  {
+    sim::ScopedThread w(fast_writer);
+    sb.poke_flushers(&fast_file, 1000);
+  }
+  EXPECT_EQ(bc.nr_dirty_shard(0), 0u);
+  EXPECT_EQ(bc.nr_dirty_shard(1), 0u);  // courtesy wake drained the rest
+  EXPECT_EQ(sb.flusher_at(0)->stats().buffers_flushed, 16u);
+  EXPECT_EQ(sb.flusher_at(1)->stats().buffers_flushed, 16u);
+  EXPECT_EQ(sb.flusher_at(0)->stats().throttle_waits, 0u);
+  EXPECT_EQ(sb.flusher_at(1)->stats().throttle_waits, 0u);
+  EXPECT_EQ(fast_writer.now(), 0);  // never throttled, never charged
+
+  // A writer bound to the SLOW member: that member's drain is now far
+  // past the backlog window, so THIS writer (and only this one) is
+  // throttled to the slow member's drain rate.
+  sim::SimThread slow_writer(11);
+  {
+    sim::ScopedThread w(slow_writer);
+    sb.poke_flushers(&slow_file, 1000);
+  }
+  EXPECT_GE(sb.flusher_at(1)->stats().throttle_waits, 1u);
+  EXPECT_EQ(sb.flusher_at(0)->stats().throttle_waits, 0u);
+  EXPECT_GT(slow_writer.now(), sim::msec(1));  // held back by backpressure
+  EXPECT_GT(sb.flusher_at(1)->last_completion(), slow_writer.now());
+
+  for (auto* bh : held) bc.brelse(bh);
 }
 
 // ---- integration: real deployments ----
