@@ -42,6 +42,8 @@ struct BenchRun {
   blk::DeviceParams device;  // latency model (nblocks overridden)
   int stripe_devices = 1;    // >1: mount on a striped volume
   std::uint64_t stripe_chunk_blocks = 16;
+  int mirror_devices = 1;    // >1: mirror each member (RAID1 / RAID10)
+  blk::MirrorReadPolicy mirror_policy = blk::MirrorReadPolicy::RoundRobin;
 };
 
 inline sim::RunStats run_bench(const BenchRun& cfg,
@@ -53,6 +55,8 @@ inline sim::RunStats run_bench(const BenchRun& cfg,
   opts.device = cfg.device;
   opts.stripe_devices = cfg.stripe_devices;
   opts.stripe_chunk_blocks = cfg.stripe_chunk_blocks;
+  opts.mirror_devices = cfg.mirror_devices;
+  opts.mirror_policy = cfg.mirror_policy;
   wl::TestBed bed(opts);
   std::vector<std::unique_ptr<sim::Workload>> jobs;
   jobs.reserve(static_cast<std::size_t>(cfg.nthreads));

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Cross-PR perf trend aggregator.
+
+Collects every BENCH_<name>.json emitted by the virtual-time benches (see
+bench/common.h::JsonReport) into one machine-readable BENCH_TREND.json and
+a human-readable TREND.md markdown table, so CI artifacts carry a single
+perf snapshot per run and successive runs can be diffed.
+
+Usage: trend.py [--dir DIR] [--out-json PATH] [--out-md PATH]
+DIR defaults to the current directory (where the benches were run).
+Stdlib only; no third-party dependencies.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load_reports(directory):
+    reports = []
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        if os.path.basename(path) == "BENCH_TREND.json":
+            continue
+        try:
+            with open(path) as f:
+                data = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"trend.py: skipping {path}: {e}", file=sys.stderr)
+            continue
+        if "bench" in data and "rows" in data:
+            reports.append(data)
+    return reports
+
+
+def render_markdown(reports):
+    lines = ["# Perf trend", ""]
+    lines.append(
+        "One table per bench; values are the latest run's "
+        "(series, label) points.")
+    for rep in reports:
+        unit = rep.get("unit") or "value"
+        lines.append("")
+        lines.append(f"## {rep['bench']} [{unit}]")
+        lines.append("")
+        # Pivot: one row per label, one column per series.
+        series, labels = [], []
+        cells = {}
+        for row in rep["rows"]:
+            if row["series"] not in series:
+                series.append(row["series"])
+            if row["label"] not in labels:
+                labels.append(row["label"])
+            cells[(row["series"], row["label"])] = row["value"]
+        lines.append("| label | " + " | ".join(series) + " |")
+        lines.append("|---" * (len(series) + 1) + "|")
+        for label in labels:
+            vals = []
+            for s in series:
+                v = cells.get((s, label))
+                vals.append("" if v is None else f"{v:g}")
+            lines.append(f"| {label} | " + " | ".join(vals) + " |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--dir", default=".")
+    ap.add_argument("--out-json", default=None)
+    ap.add_argument("--out-md", default=None)
+    args = ap.parse_args()
+
+    out_json = args.out_json or os.path.join(args.dir, "BENCH_TREND.json")
+    out_md = args.out_md or os.path.join(args.dir, "TREND.md")
+
+    reports = load_reports(args.dir)
+    if not reports:
+        print(f"trend.py: no BENCH_*.json under {args.dir}", file=sys.stderr)
+        return 1
+
+    trend = {
+        "benches": [r["bench"] for r in reports],
+        "reports": reports,
+    }
+    with open(out_json, "w") as f:
+        json.dump(trend, f, indent=2)
+    with open(out_md, "w") as f:
+        f.write(render_markdown(reports))
+    print(f"trend.py: aggregated {len(reports)} benches -> "
+          f"{out_json}, {out_md}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

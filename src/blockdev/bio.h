@@ -71,6 +71,12 @@ struct Bio {
   /// Dirty-state owners (the buffer cache) must not clear dirty bits for
   /// unapplied writes.
   bool applied = false;
+  /// A read command touched an unreadable block (the member-failure fault
+  /// model's injected medium error; see BlockDevice::inject_read_error).
+  /// The whole command fails — no data was transferred — and `applied`
+  /// stays false. Redundant volumes retry the bio on a mirror; plain
+  /// consumers treat it like any other I/O error.
+  bool io_error = false;
 
   Bio() = default;
   explicit Bio(BioOp o) : op(o) {}

@@ -66,6 +66,17 @@ sim::Nanos BlockDevice::do_request(std::span<Bio* const> bios) {
     stats_.reads += nblocks;
     stats_.read_requests += 1;
     for (Bio* b : bios) {
+      // A bio touching an injected bad block fails whole: the command is
+      // timed (the drive spent the service attempt) but transfers nothing.
+      bool bad = false;
+      if (!bad_reads_.empty()) {
+        for (const BioVec& v : b->vecs) bad |= bad_reads_.contains(v.blockno);
+      }
+      if (bad) {
+        b->io_error = true;
+        stats_.read_errors += 1;
+        continue;
+      }
       b->applied = true;
       for (BioVec& v : b->vecs) {
         std::memcpy(v.data.data(), slot(v.blockno).data(), kBlockSize);
@@ -104,6 +115,7 @@ sim::Nanos BlockDevice::do_request(std::span<Bio* const> bios) {
     if (dead_) continue;  // power died: this bio never reached the device
     b->applied = true;
     for (const BioVec& v : b->vecs) {
+      bad_reads_.erase(v.blockno);  // a successful write repairs the sector
       auto& dst = slot(v.blockno);
       if (!dirty_.contains(v.blockno)) {
         std::unique_ptr<BlockData> pre;

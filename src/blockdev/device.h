@@ -23,6 +23,7 @@
 #include <memory>
 #include <span>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "blockdev/bio.h"
@@ -56,6 +57,7 @@ struct DeviceStats {
   std::uint64_t merges = 0;          // bios folded into a preceding request
   std::uint64_t seq_read_blocks = 0; // blocks priced at read_lat_seq
   std::uint64_t max_request_blocks = 0;  // largest merged request seen
+  std::uint64_t read_errors = 0;     // read bios failed by injected errors
 };
 
 class BlockDevice {
@@ -147,6 +149,19 @@ class BlockDevice {
   /// point so the whole volume dies at one instant.
   virtual void power_off() { dead_ = true; }
   [[nodiscard]] virtual bool dead() const { return dead_; }
+  // ---- Fault injection (member-failure fault model) ----
+  /// Mark `blockno` unreadable: any read bio touching it fails with
+  /// Bio::io_error set (no data transferred, full latency still charged —
+  /// a medium error, not power loss). The mark persists until the block
+  /// is successfully rewritten, like a remapped-on-write bad sector.
+  /// Distinct from kill_after/power_off, which silently swallow WRITES.
+  virtual void inject_read_error(std::uint64_t blockno) {
+    bad_reads_.insert(blockno);
+  }
+  [[nodiscard]] std::size_t injected_read_errors() const {
+    return bad_reads_.size();
+  }
+
   /// Simulate power loss: every write since the last flush() is reverted,
   /// except that each non-durable block independently survives with
   /// probability `survive_p` (0 = lose all volatile state). Deterministic
@@ -175,6 +190,7 @@ class BlockDevice {
   // Non-durable blocks -> pre-image (only populated when crash tracking is
   // on; otherwise the map holds nullptr values and acts as a dirty set).
   std::unordered_map<std::uint64_t, std::unique_ptr<BlockData>> dirty_;
+  std::unordered_set<std::uint64_t> bad_reads_;  // injected medium errors
   bool crash_tracking_ = false;
   bool dead_ = false;
   std::uint64_t kill_countdown_ = 0;

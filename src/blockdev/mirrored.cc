@@ -1,0 +1,551 @@
+#include "blockdev/mirrored.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "blockdev/opts.h"
+
+namespace bsim::blk {
+
+MirrorParams merge_mirror_opts(std::string_view opts, MirrorParams base) {
+  for_each_opt_token(opts, [&](std::string_view tok) {
+    std::uint64_t n = 0;
+    if (opt_num_after(tok, "mirror=", n) && n >= 1) {
+      base.nmirrors = static_cast<std::size_t>(n);
+    } else if (tok == "policy=rr") {
+      base.policy = MirrorReadPolicy::RoundRobin;
+    } else if (tok == "policy=sq") {
+      base.policy = MirrorReadPolicy::ShortestQueue;
+    }
+  });
+  return base;
+}
+
+std::optional<MirrorParams> mirror_params_from_opts(std::string_view opts) {
+  MirrorParams off;
+  off.nmirrors = 1;  // mirroring only on an explicit mirror=N>1 token
+  const MirrorParams merged = merge_mirror_opts(opts, off);
+  if (merged.nmirrors <= 1) return std::nullopt;
+  return merged;
+}
+
+DeviceParams MirroredDevice::volume_params(
+    const std::vector<DeviceParams>& members) {
+  assert(!members.empty());
+  DeviceParams p = members.front();
+  // Every member stores the full image: the volume's logical size is one
+  // member's size; read capacity is the members' channels combined.
+  p.channels = 0;
+  for (const DeviceParams& m : members) p.channels += m.channels;
+  return p;
+}
+
+MirroredDevice::MirroredDevice(MirrorParams mp, DeviceParams member_params)
+    : MirroredDevice(mp, std::vector<DeviceParams>(
+                             std::max<std::size_t>(mp.nmirrors, 1),
+                             member_params)) {}
+
+MirroredDevice::MirroredDevice(MirrorParams mp,
+                               std::vector<DeviceParams> member_params)
+    : BlockDevice(volume_params(member_params), NoBacking{}), mirror_(mp) {
+  mirror_.nmirrors = member_params.size();
+  for (const DeviceParams& p : member_params) {
+    if (p.nblocks != member_params.front().nblocks) {
+      throw std::invalid_argument("mirror members must be the same size");
+    }
+    members_.push_back(std::make_unique<BlockDevice>(p));
+  }
+  healthy_.assign(members_.size(), true);
+  busy_until_.assign(members_.size(), 0);
+  last_read_end_.assign(members_.size(), ~0ULL);
+  rebuild_buf_.resize(std::max<std::size_t>(mirror_.rebuild_batch, 1));
+}
+
+MirroredDevice::~MirroredDevice() = default;
+
+std::size_t MirroredDevice::healthy_members() const {
+  return static_cast<std::size_t>(
+      std::count(healthy_.begin(), healthy_.end(), true));
+}
+
+std::size_t MirroredDevice::first_healthy() const {
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (healthy_[i]) return i;
+  }
+  return members_.size();
+}
+
+std::size_t MirroredDevice::pick_read_member(std::uint64_t first_block) {
+  const std::size_t n = members_.size();
+  // Sequential affinity beats the policy: a read continuing the stream a
+  // member is already serving stays there, so the member prices it at the
+  // sequential rate instead of paying a random seek on every other
+  // replica (md read_balance's closest-head rule).
+  for (std::size_t m = 0; m < n; ++m) {
+    if (healthy_[m] && last_read_end_[m] == first_block) {
+      vstats_.sequential_affinity_reads += 1;
+      return m;
+    }
+  }
+  if (mirror_.policy == MirrorReadPolicy::RoundRobin) {
+    // Cycle through the members; a pick that lands on an unserving member
+    // is redirected to the next healthy one.
+    for (std::size_t step = 0; step < n; ++step) {
+      const std::size_t m = (rr_next_ + step) % n;
+      if (healthy_[m]) {
+        rr_next_ = (m + 1) % n;
+        if (step != 0) vstats_.redirected_reads += 1;
+        return m;
+      }
+    }
+    return n;  // no healthy member
+  }
+  // Shortest queue: least outstanding volume-submitted work, DeviceStats
+  // busy as the tie-break (the long-term balance signal), then index.
+  const sim::Nanos now = sim::now();
+  std::size_t best = n;
+  sim::Nanos best_pending = 0;
+  for (std::size_t m = 0; m < n; ++m) {
+    if (!healthy_[m]) continue;
+    const sim::Nanos pending = busy_until_[m] > now ? busy_until_[m] - now : 0;
+    if (best == n || pending < best_pending ||
+        (pending == best_pending &&
+         members_[m]->stats().busy < members_[best]->stats().busy)) {
+      best = m;
+      best_pending = pending;
+    }
+  }
+  return best;
+}
+
+void MirroredDevice::note_submission(std::size_t member, const Ticket& t) {
+  busy_until_[member] = std::max(busy_until_[member], t.done);
+}
+
+void MirroredDevice::submit_writes(const std::vector<Bio*>& parents,
+                                   MemberTickets& tickets,
+                                   sim::Nanos& last_done) {
+  if (parents.empty()) return;
+  const std::size_t n = members_.size();
+  const bool deg = degraded();
+  std::vector<std::vector<Bio>> copies(n);
+
+  for (Bio* parent : parents) {
+    assert(!parent->vecs.empty() && "submitting an empty bio");
+    parent->done_at = 0;
+    parent->applied = true;  // AND-ed with every replica below
+    bool replicated = false;
+    for (std::size_t m = 0; m < n; ++m) {
+      if (!serves_writes(m)) continue;
+      Bio& copy = copies[m].emplace_back(BioOp::Write);
+      for (const BioVec& v : parent->vecs) copy.add_write(v.blockno, v.wdata);
+      vstats_.replicated_writes += 1;
+      replicated = true;
+    }
+    if (!replicated) parent->applied = false;  // no serving member left
+    if (deg) vstats_.degraded_writes += 1;
+    // Write-interception accounting: a write landing (partly) ahead of the
+    // resync cursor reaches the rebuild target before the copy pass does.
+    if (rebuild_active() && parent->end_block() > rebuild_cursor_) {
+      vstats_.rebuild_write_intercepts += 1;
+    }
+  }
+
+  // Hand each member its replica batch as ONE async submission, in member
+  // order: every member elevator-sorts and merges its copy independently,
+  // all replicas transfer concurrently in virtual time, and the caller
+  // ends up holding every member's ticket at once.
+  for (std::size_t m = 0; m < n; ++m) {
+    if (copies[m].empty()) continue;
+    const Ticket t = members_[m]->submit_async(copies[m]);
+    tickets.emplace_back(m, t);
+    note_submission(m, t);
+    last_done = std::max(last_done, t.done);
+    for (std::size_t i = 0; i < copies[m].size(); ++i) {
+      Bio* parent = parents[i];
+      parent->done_at = std::max(parent->done_at, copies[m][i].done_at);
+      if (!copies[m][i].applied) parent->applied = false;
+    }
+  }
+}
+
+void MirroredDevice::submit_reads(const std::vector<Bio*>& parents,
+                                  MemberTickets& tickets,
+                                  sim::Nanos& last_done) {
+  if (parents.empty()) return;
+  const std::size_t n = members_.size();
+  const bool deg = degraded();
+  std::vector<std::vector<Bio>> frags(n);
+  std::vector<std::vector<Bio*>> owners(n);  // aligned with frags[m]
+
+  for (Bio* parent : parents) {
+    assert(!parent->vecs.empty() && "submitting an empty bio");
+    parent->done_at = 0;
+    parent->applied = false;
+    parent->io_error = false;
+    const std::size_t m = pick_read_member(parent->first_block());
+    if (m == n) {  // no healthy member: the volume cannot serve reads
+      parent->io_error = true;
+      parent->done_at = sim::now();
+      continue;
+    }
+    last_read_end_[m] = parent->end_block();
+    vstats_.balanced_reads += 1;
+    if (deg) vstats_.degraded_reads += 1;
+    Bio& frag = frags[m].emplace_back(BioOp::Read);
+    owners[m].push_back(parent);
+    for (const BioVec& v : parent->vecs) frag.add_read(v.blockno, v.data);
+  }
+
+  for (std::size_t m = 0; m < n; ++m) {
+    if (frags[m].empty()) continue;
+    const Ticket t = members_[m]->submit_async(frags[m]);
+    tickets.emplace_back(m, t);
+    note_submission(m, t);
+    last_done = std::max(last_done, t.done);
+    for (std::size_t i = 0; i < frags[m].size(); ++i) {
+      Bio* parent = owners[m][i];
+      parent->done_at = std::max(parent->done_at, frags[m][i].done_at);
+      parent->applied = frags[m][i].applied;
+      parent->io_error = frags[m][i].io_error;
+    }
+  }
+
+  // Read-error failover: a replica that failed a bio (injected medium
+  // error) does not fail the volume — retry on each other healthy member
+  // until one serves it. Media effects land at submission, so the outcome
+  // is visible immediately and the retry queues behind what was already
+  // submitted (the failed attempt still cost its service time).
+  for (std::size_t m = 0; m < n; ++m) {
+    for (std::size_t i = 0; i < frags[m].size(); ++i) {
+      Bio* parent = owners[m][i];
+      if (!parent->io_error) continue;
+      for (std::size_t step = 1; step < n && parent->io_error; ++step) {
+        const std::size_t alt = (m + step) % n;
+        if (!healthy_[alt]) continue;
+        vstats_.read_error_failovers += 1;
+        vstats_.redirected_reads += 1;
+        Bio retry(BioOp::Read);
+        for (const BioVec& v : parent->vecs) retry.add_read(v.blockno, v.data);
+        const Ticket t =
+            members_[alt]->submit_async(std::span<Bio>(&retry, 1));
+        tickets.emplace_back(alt, t);
+        note_submission(alt, t);
+        last_read_end_[alt] = parent->end_block();
+        last_done = std::max(last_done, t.done);
+        parent->done_at = std::max(parent->done_at, retry.done_at);
+        parent->applied = retry.applied;
+        parent->io_error = retry.io_error;
+      }
+    }
+  }
+}
+
+MirroredDevice::MemberTickets MirroredDevice::route_batch(
+    std::span<Bio> bios, sim::Nanos& last_done) {
+  vstats_.batches += 1;
+  vstats_.bios += bios.size();
+
+  // Mirror the single-device queue's crash-count order: writes are counted
+  // bio-by-bio in stable first-block order (see RequestQueue::dispatch),
+  // so kill_after(n) selects the SAME n logical bios as on one device.
+  std::vector<Bio*> writes, survivors, killed, reads;
+  for (Bio& b : bios) {
+    (b.op == BioOp::Write ? writes : reads).push_back(&b);
+  }
+  std::stable_sort(writes.begin(), writes.end(),
+                   [](const Bio* a, const Bio* b) {
+                     return a->first_block() < b->first_block();
+                   });
+  bool fire = false;
+  for (Bio* w : writes) {
+    if (kill_armed_ && !fire) {
+      if (kill_countdown_ == 0) fire = true;
+      else kill_countdown_ -= 1;
+    }
+    (fire ? killed : survivors).push_back(w);
+  }
+
+  MemberTickets tickets;
+  submit_writes(survivors, tickets, last_done);
+  if (fire) {
+    // Power dies across the whole volume AT THIS INSTANT: every member
+    // swallows all later write commands and flushes, exactly when the
+    // single-device countdown would flip dead_.
+    volume_dead_ = true;
+    kill_armed_ = false;
+    for (auto& m : members_) m->power_off();
+    submit_writes(killed, tickets, last_done);
+  }
+  submit_reads(reads, tickets, last_done);
+  return tickets;
+}
+
+sim::Nanos MirroredDevice::submit(std::span<Bio> bios) {
+  if (bios.empty()) return sim::now();
+  rebuild_poke(sim::now());
+  sim::Nanos last_done = sim::now();
+  MemberTickets tickets = route_batch(bios, last_done);
+  for (auto& [m, t] : tickets) members_[m]->wait(t);
+  sim::current().wait_until(last_done);
+  return last_done;
+}
+
+Ticket MirroredDevice::submit_async(std::span<Bio> bios) {
+  if (bios.empty()) return Ticket{};
+  rebuild_poke(sim::now());
+  sim::Nanos last_done = sim::now();
+  MemberTickets tickets = route_batch(bios, last_done);
+  vstats_.async_batches += 1;
+  const std::uint64_t id = next_ticket_++;
+  outstanding_.emplace(id, std::move(tickets));
+  vstats_.max_inflight =
+      std::max<std::uint64_t>(vstats_.max_inflight, outstanding_.size());
+  return Ticket{last_done, id};
+}
+
+sim::Nanos MirroredDevice::wait(const Ticket& t) {
+  if (!t.valid()) return sim::now();
+  auto it = outstanding_.find(t.id);
+  if (it != outstanding_.end()) {
+    // Redeem every member ticket, INCLUDING those of a member that
+    // fail-stopped after submission: its queue already dispatched the
+    // batch, so fan-in just collects the completion times.
+    for (auto& [m, mt] : it->second) members_[m]->wait(mt);
+    outstanding_.erase(it);
+  }
+  sim::current().wait_until(t.done);  // redundant waits are harmless
+  return t.done;
+}
+
+sim::Nanos MirroredDevice::flush_nowait() {
+  rebuild_poke(sim::now());
+  // FLUSH every serving member in parallel; the volume's flush completes
+  // when the slowest replica destages. A failed member is gone — it
+  // neither receives nor acknowledges the FLUSH.
+  sim::Nanos done = sim::now();
+  for (std::size_t m = 0; m < members_.size(); ++m) {
+    if (serves_writes(m)) done = std::max(done, members_[m]->flush_nowait());
+  }
+  return done;
+}
+
+void MirroredDevice::read_untimed(std::uint64_t blockno,
+                                  std::span<std::byte> out) {
+  std::size_t m = first_healthy();
+  if (m == members_.size()) {
+    // Every member fail-stopped: there is no live logical image to read.
+    // A mid-resync target is the best stale copy; with none, fail loudly
+    // rather than silently serving a frozen pre-failure replica.
+    if (!rebuild_target_.has_value()) {
+      throw std::logic_error("read_untimed on a mirror with no live member");
+    }
+    m = *rebuild_target_;
+  }
+  members_[m]->read_untimed(blockno, out);
+}
+
+void MirroredDevice::write_untimed(std::uint64_t blockno,
+                                   std::span<const std::byte> in) {
+  for (std::size_t m = 0; m < members_.size(); ++m) {
+    if (serves_writes(m)) members_[m]->write_untimed(blockno, in);
+  }
+}
+
+// ---- member failure + online rebuild ----
+
+void MirroredDevice::fail_member(std::size_t i) {
+  assert(i < members_.size());
+  if (rebuild_target_ == i) abort_rebuild();
+  healthy_[i] = false;
+  // Rebuild with no healthy source left cannot make progress.
+  if (rebuild_active() && first_healthy() == members_.size()) abort_rebuild();
+}
+
+void MirroredDevice::start_rebuild(std::size_t i) {
+  assert(i < members_.size());
+  assert(!healthy_[i] && "rebuilding a member that is already serving");
+  assert(!rebuild_active() && "one rebuild at a time");
+  if (first_healthy() == members_.size()) {
+    throw std::logic_error("rebuild needs at least one healthy source");
+  }
+  rebuild_target_ = i;
+  rebuild_cursor_ = 0;
+  vstats_.rebuilds_started += 1;
+  // The resync starts no earlier than now; its clock then advances as the
+  // copy progresses (poked forward by foreground submissions).
+  rebuild_thread_.wait_until(sim::now());
+}
+
+void MirroredDevice::rebuild_poke(sim::Nanos horizon) {
+  if (!rebuild_active()) return;
+  const sim::Nanos limit = horizon + mirror_.rebuild_lead;
+  bool yielded = false;
+  {
+    sim::ScopedThread in(rebuild_thread_);
+    while (rebuild_active() && rebuild_thread_.now() < limit) {
+      rebuild_copy_step();
+    }
+    yielded = rebuild_active();
+  }
+  // Backpressure: the copy ran as far ahead of the poking thread as the
+  // lead window allows and yields the device back to foreground I/O.
+  if (yielded) vstats_.rebuild_throttle_yields += 1;
+}
+
+void MirroredDevice::rebuild_copy_step() {
+  assert(rebuild_active());
+  // Power died (the crash model cut the whole volume): resync writes
+  // would be silently swallowed by the dead target, so a "completed"
+  // rebuild could promote a bit-diverged replica. Abort instead.
+  if (members_[*rebuild_target_]->dead()) {
+    abort_rebuild();
+    return;
+  }
+  const std::uint64_t n = std::min<std::uint64_t>(
+      mirror_.rebuild_batch, nblocks() - rebuild_cursor_);
+  if (n == 0) {
+    complete_rebuild();
+    return;
+  }
+  // Read the run from a healthy peer (timed on the rebuild clock, through
+  // the member's queue — rebuild I/O competes for the member's channels).
+  Bio read(BioOp::Read);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    read.add_read(rebuild_cursor_ + i, rebuild_buf_[i]);
+  }
+  std::size_t src = first_healthy();
+  members_[src]->submit(read);
+  while (read.io_error) {
+    // Source medium error: fall over to the next healthy peer; with no
+    // peer left the resync cannot complete.
+    std::size_t alt = members_.size();
+    for (std::size_t m = src + 1; m < members_.size(); ++m) {
+      if (healthy_[m]) {
+        alt = m;
+        break;
+      }
+    }
+    if (alt == members_.size()) {
+      abort_rebuild();
+      return;
+    }
+    read.io_error = false;
+    read.applied = false;
+    src = alt;
+    members_[src]->submit(read);
+  }
+  Bio write(BioOp::Write);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    write.add_write(rebuild_cursor_ + i, rebuild_buf_[i]);
+  }
+  members_[*rebuild_target_]->submit(write);
+  if (!write.applied) {  // target swallowed the copy (power death)
+    abort_rebuild();
+    return;
+  }
+  rebuild_cursor_ += n;
+  vstats_.rebuild_copied += n;
+  if (rebuild_cursor_ == nblocks()) complete_rebuild();
+}
+
+void MirroredDevice::complete_rebuild() {
+  assert(rebuild_active());
+  // Destage the target's write cache before declaring it in sync, then
+  // promote it back to serving reads.
+  const std::size_t t = *rebuild_target_;
+  sim::current().wait_until(members_[t]->flush_nowait());
+  healthy_[t] = true;
+  rebuild_target_.reset();
+  rebuild_cursor_ = nblocks();
+  vstats_.rebuilds_completed += 1;
+}
+
+void MirroredDevice::abort_rebuild() {
+  if (!rebuild_active()) return;
+  rebuild_target_.reset();
+  vstats_.rebuilds_aborted += 1;
+}
+
+void MirroredDevice::finish_rebuild() {
+  if (!rebuild_active()) return;
+  {
+    sim::ScopedThread in(rebuild_thread_);
+    while (rebuild_active()) rebuild_copy_step();
+  }
+  // Barrier: the caller observes the completed resync.
+  sim::current().wait_until(rebuild_thread_.now());
+}
+
+// ---- crash model ----
+
+void MirroredDevice::enable_crash_tracking() {
+  for (auto& m : members_) m->enable_crash_tracking();
+}
+
+void MirroredDevice::kill_after(std::uint64_t n) {
+  kill_armed_ = true;
+  kill_countdown_ = n;
+}
+
+void MirroredDevice::power_off() {
+  volume_dead_ = true;
+  kill_armed_ = false;
+  for (auto& m : members_) m->power_off();
+}
+
+bool MirroredDevice::dead() const {
+  if (volume_dead_) return true;
+  // Replicas die independently only through the whole-volume kill, so the
+  // volume is dead when every member is (a single dead member would be a
+  // fail_member'd one, which is degradation, not death).
+  for (const auto& m : members_) {
+    if (!m->dead()) return false;
+  }
+  return true;
+}
+
+void MirroredDevice::crash(double survive_p, sim::Rng& rng) {
+  volume_dead_ = false;
+  kill_armed_ = false;
+  for (auto& m : members_) m->crash(survive_p, rng);
+}
+
+void MirroredDevice::inject_read_error(std::uint64_t blockno) {
+  // Volume-level injection marks the block bad on EVERY replica (a truly
+  // unreadable logical block); per-member injection — the interesting
+  // fault for failover tests — goes through member(i).inject_read_error.
+  for (auto& m : members_) m->inject_read_error(blockno);
+}
+
+std::uint64_t MirroredDevice::dirty_blocks() const {
+  // Counts replica copies: N members with the same unflushed block report
+  // N (each member's cache really holds one).
+  std::uint64_t total = 0;
+  for (const auto& m : members_) total += m->dirty_blocks();
+  return total;
+}
+
+const DeviceStats& MirroredDevice::stats() const {
+  // Live view re-aggregated per call, like StripedDevice::stats().
+  agg_ = DeviceStats{};
+  for (const auto& m : members_) {
+    const DeviceStats& s = m->stats();
+    agg_.reads += s.reads;
+    agg_.writes += s.writes;
+    agg_.flushes += s.flushes;
+    agg_.blocks_destaged += s.blocks_destaged;
+    agg_.busy += s.busy;
+    agg_.read_requests += s.read_requests;
+    agg_.write_requests += s.write_requests;
+    agg_.merges += s.merges;
+    agg_.seq_read_blocks += s.seq_read_blocks;
+    agg_.read_errors += s.read_errors;
+    agg_.max_request_blocks =
+        std::max(agg_.max_request_blocks, s.max_request_blocks);
+  }
+  return agg_;
+}
+
+}  // namespace bsim::blk

@@ -1,0 +1,35 @@
+// Shared mount-option tokenizer for the volume layers (striped, mirrored).
+// One place owns the token syntax: ","/" "-separated tokens, numeric
+// values parsed whole ("chunk=16k" is malformed, not 16).
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <string_view>
+
+namespace bsim::blk {
+
+/// Invoke `fn(token)` for every non-empty token of a mount-option string.
+template <class Fn>
+void for_each_opt_token(std::string_view opts, Fn&& fn) {
+  std::size_t i = 0;
+  while (i < opts.size()) {
+    while (i < opts.size() && (opts[i] == ',' || opts[i] == ' ')) ++i;
+    std::size_t j = i;
+    while (j < opts.size() && opts[j] != ',' && opts[j] != ' ') ++j;
+    if (j > i) fn(opts.substr(i, j - i));
+    i = j;
+  }
+}
+
+/// If `tok` is "<prefix><digits>", parse the number into `out`. The whole
+/// value must be digits; any trailing junk rejects the token.
+inline bool opt_num_after(std::string_view tok, std::string_view prefix,
+                          std::uint64_t& out) {
+  if (!tok.starts_with(prefix)) return false;
+  const std::string_view v = tok.substr(prefix.size());
+  const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  return ec == std::errc{} && ptr == v.data() + v.size();
+}
+
+}  // namespace bsim::blk

@@ -2,38 +2,24 @@
 
 #include <algorithm>
 #include <cassert>
-#include <charconv>
 #include <stdexcept>
 
+#include "blockdev/opts.h"
 #include "sim/thread.h"
 
 namespace bsim::blk {
 
 StripeParams merge_stripe_opts(std::string_view opts, StripeParams base) {
-  std::size_t i = 0;
-  while (i < opts.size()) {
-    while (i < opts.size() && (opts[i] == ',' || opts[i] == ' ')) ++i;
-    std::size_t j = i;
-    while (j < opts.size() && opts[j] != ',' && opts[j] != ' ') ++j;
-    const std::string_view tok = opts.substr(i, j - i);
-    const auto num_after = [&](std::string_view prefix,
-                               std::uint64_t& out) {
-      if (!tok.starts_with(prefix)) return false;
-      const std::string_view v = tok.substr(prefix.size());
-      const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
-      // The whole value must be digits: "chunk=16k" is malformed, not 16.
-      return ec == std::errc{} && ptr == v.data() + v.size();
-    };
+  for_each_opt_token(opts, [&](std::string_view tok) {
     std::uint64_t n = 0;
-    if (num_after("stripe=", n) && n >= 1) {
+    if (opt_num_after(tok, "stripe=", n) && n >= 1) {
       base.ndevices = static_cast<std::size_t>(n);
-    } else if (num_after("chunk=", n) && n > 0) {
+    } else if (opt_num_after(tok, "chunk=", n) && n > 0) {
       base.chunk_blocks = n;
     } else if (tok == "linear") {
       base.mode = StripeMode::Linear;
     }
-    i = j;
-  }
+  });
   return base;
 }
 
@@ -59,6 +45,28 @@ DeviceParams StripedDevice::volume_params(
   return p;
 }
 
+namespace {
+
+std::vector<std::unique_ptr<BlockDevice>> make_plain_children(
+    const std::vector<DeviceParams>& child_params) {
+  std::vector<std::unique_ptr<BlockDevice>> out;
+  out.reserve(child_params.size());
+  for (const DeviceParams& p : child_params) {
+    out.push_back(std::make_unique<BlockDevice>(p));
+  }
+  return out;
+}
+
+std::vector<DeviceParams> params_of(
+    const std::vector<std::unique_ptr<BlockDevice>>& children) {
+  std::vector<DeviceParams> out;
+  out.reserve(children.size());
+  for (const auto& c : children) out.push_back(c->params());
+  return out;
+}
+
+}  // namespace
+
 StripedDevice::StripedDevice(StripeParams sp, DeviceParams child_params)
     : StripedDevice(sp, std::vector<DeviceParams>(
                             std::max<std::size_t>(sp.ndevices, 1),
@@ -66,10 +74,15 @@ StripedDevice::StripedDevice(StripeParams sp, DeviceParams child_params)
 
 StripedDevice::StripedDevice(StripeParams sp,
                              std::vector<DeviceParams> child_params)
-    : BlockDevice(volume_params(sp, child_params), NoBacking{}),
+    : StripedDevice(sp, make_plain_children(child_params)) {}
+
+StripedDevice::StripedDevice(StripeParams sp,
+                             std::vector<std::unique_ptr<BlockDevice>> children)
+    : BlockDevice(volume_params(sp, params_of(children)), NoBacking{}),
       stripe_(sp) {
-  stripe_.ndevices = child_params.size();
-  child_usable_ = child_params.front().nblocks;
+  assert(!children.empty());
+  stripe_.ndevices = children.size();
+  child_usable_ = children.front()->nblocks();
   if (stripe_.mode == StripeMode::Raid0) {
     assert(stripe_.chunk_blocks > 0);
     child_usable_ -= child_usable_ % stripe_.chunk_blocks;
@@ -77,17 +90,18 @@ StripedDevice::StripedDevice(StripeParams sp,
   if (child_usable_ == 0) {
     throw std::invalid_argument("striped member smaller than one chunk");
   }
-  children_.reserve(child_params.size());
-  for (const DeviceParams& p : child_params) {
-    // Raid0 requires a uniform usable size; linear concat uses the same
-    // rule so the logical->member mapping stays a pure function.
-    std::uint64_t usable = p.nblocks;
-    if (stripe_.mode == StripeMode::Raid0) usable -= usable % stripe_.chunk_blocks;
+  // Raid0 requires a uniform usable size; linear concat uses the same
+  // rule so the logical->member mapping stays a pure function.
+  for (const auto& c : children) {
+    std::uint64_t usable = c->nblocks();
+    if (stripe_.mode == StripeMode::Raid0) {
+      usable -= usable % stripe_.chunk_blocks;
+    }
     if (usable != child_usable_) {
       throw std::invalid_argument("striped members must be the same size");
     }
-    children_.push_back(std::make_unique<BlockDevice>(p));
   }
+  children_ = std::move(children);
 }
 
 StripedDevice::~StripedDevice() = default;
@@ -118,6 +132,7 @@ void StripedDevice::submit_fragments(const std::vector<Bio*>& parents,
     assert(!parent->vecs.empty() && "submitting an empty bio");
     parent->done_at = 0;
     parent->applied = true;  // AND-ed with every fragment below
+    parent->io_error = false;  // OR-ed: any failed fragment fails the bio
     std::size_t nfrags = 0;
     std::size_t cur_child = n;  // sentinel: no open fragment
     for (const BioVec& v : parent->vecs) {
@@ -152,6 +167,10 @@ void StripedDevice::submit_fragments(const std::vector<Bio*>& parents,
       Bio* parent = owners[c][i];
       parent->done_at = std::max(parent->done_at, frags[c][i].done_at);
       if (!frags[c][i].applied) parent->applied = false;
+      // A member (or, in RAID10, a whole mirror) that could not serve a
+      // read fragment fails the logical bio — consumers (BufferCache)
+      // check io_error, so the error must not vanish at the stripe layer.
+      if (frags[c][i].io_error) parent->io_error = true;
     }
   }
 }

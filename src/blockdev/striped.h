@@ -87,6 +87,11 @@ class StripedDevice final : public BlockDevice {
   /// Heterogeneous members (e.g. one slow shard in fault tests). All
   /// children must have the same usable size; Raid0 requires it.
   StripedDevice(StripeParams sp, std::vector<DeviceParams> child_params);
+  /// Prebuilt members: stacking volumes, e.g. RAID10 = a stripe whose
+  /// members are MirroredDevices. Each child is addressed purely through
+  /// the BlockDevice interface (its own submit_async fans further down).
+  StripedDevice(StripeParams sp,
+                std::vector<std::unique_ptr<BlockDevice>> children);
   ~StripedDevice() override;
 
   [[nodiscard]] const StripeParams& stripe() const { return stripe_; }
@@ -116,6 +121,13 @@ class StripedDevice final : public BlockDevice {
   void read_untimed(std::uint64_t blockno, std::span<std::byte> out) override;
   void write_untimed(std::uint64_t blockno,
                      std::span<const std::byte> in) override;
+
+  /// Route the injected medium error to the member that owns the block
+  /// (the base-class default would mark it in the aggregate's own unused
+  /// backing state and never fire).
+  void inject_read_error(std::uint64_t blockno) override {
+    children_[child_of(blockno)]->inject_read_error(child_block_of(blockno));
+  }
 
   // ---- crash model ----
   void enable_crash_tracking() override;

@@ -454,6 +454,7 @@ Err Ext4Mount::bfree(std::uint32_t blockno) {
 
 Result<std::uint32_t> Ext4Mount::bmap(kern::Inode& inode, std::uint64_t bn,
                                       bool alloc) {
+  mstats_.bmap_calls += 1;
   EInode* e = ei(inode);
   auto& bc = sb_->bufcache();
   if (bn >= kMaxFileBlocks) return Err::FBig;
@@ -1105,25 +1106,107 @@ Err Ext4Mount::readpage(kern::Inode& inode, std::uint64_t pgoff,
   return Err::Ok;
 }
 
-Err Ext4Mount::readpages(kern::Inode& inode, std::uint64_t first_pgoff,
-                         std::span<const std::span<std::byte>> pages) {
-  // Resolve the run's mapped blocks, fetch them in one batched submission
-  // (extent-adjacent blocks merge into multi-block bios), and copy
-  // straight out of the pinned batch handles.
-  static_assert(kern::kPageSize == kBlockSize,
-                "readpages maps one block per page");
+Err Ext4Mount::map_run(kern::Inode& inode, std::uint64_t bn,
+                       std::size_t count, std::vector<std::uint32_t>& out) {
   EInode* e = ei(inode);
   auto& bc = sb_->bufcache();
+  mstats_.map_runs += 1;
+  mstats_.map_run_blocks += count;
+  out.reserve(out.size() + count);
+  std::uint64_t cur = bn;
+  const std::uint64_t end = bn + count;
+  if (end > kMaxFileBlocks) return Err::FBig;
+
+  // Direct slots: straight off the in-core inode, no device access.
+  while (cur < end && cur < kNDirect) {
+    out.push_back(e->d.addrs[cur]);
+    cur += 1;
+  }
+
+  // Single-indirect overlap: ONE bread covers every entry in the run.
+  if (cur < end && cur - kNDirect < kNIndirect) {
+    const std::uint64_t first = cur - kNDirect;
+    const std::uint64_t stop = std::min<std::uint64_t>(end - kNDirect,
+                                                       kNIndirect);
+    if (e->d.indirect == 0) {
+      for (std::uint64_t i = first; i < stop; ++i) out.push_back(0);
+    } else {
+      auto bh = bc.bread(e->d.indirect);
+      if (!bh.ok()) return bh.error();
+      mstats_.map_indirect_reads += 1;
+      const auto* ent =
+          reinterpret_cast<const std::uint32_t*>(bh.value()->bytes().data());
+      for (std::uint64_t i = first; i < stop; ++i) out.push_back(ent[i]);
+      bc.brelse(bh.value());
+    }
+    cur = kNDirect + stop;
+  }
+
+  // Double-indirect overlap: one L1 bread per run, one L2 bread per leaf
+  // block the run touches (each leaf maps kNIndirect consecutive blocks).
+  if (cur < end) {
+    if (e->d.dindirect == 0) {
+      for (; cur < end; ++cur) out.push_back(0);
+      return Err::Ok;
+    }
+    auto l1 = bc.bread(e->d.dindirect);
+    if (!l1.ok()) return l1.error();
+    mstats_.map_indirect_reads += 1;
+    // Copy the L1 entries we need, then release before leaf reads.
+    std::vector<std::uint32_t> l1_entries(
+        reinterpret_cast<const std::uint32_t*>(l1.value()->bytes().data()),
+        reinterpret_cast<const std::uint32_t*>(l1.value()->bytes().data()) +
+            kNIndirect);
+    bc.brelse(l1.value());
+    while (cur < end) {
+      const std::uint64_t dbn = cur - kNDirect - kNIndirect;
+      const std::uint64_t outer = dbn / kNIndirect;
+      const std::uint64_t inner = dbn % kNIndirect;
+      const std::uint64_t leaf_stop = std::min<std::uint64_t>(
+          end, cur + (kNIndirect - inner));
+      const std::uint32_t mid = l1_entries[outer];
+      if (mid == 0) {
+        for (; cur < leaf_stop; ++cur) out.push_back(0);
+        continue;
+      }
+      auto l2 = bc.bread(mid);
+      if (!l2.ok()) return l2.error();
+      mstats_.map_indirect_reads += 1;
+      const auto* ent =
+          reinterpret_cast<const std::uint32_t*>(l2.value()->bytes().data());
+      for (std::uint64_t i = inner; cur < leaf_stop; ++cur, ++i) {
+        out.push_back(ent[i]);
+      }
+      bc.brelse(l2.value());
+    }
+  }
+  return Err::Ok;
+}
+
+Err Ext4Mount::readpages(kern::Inode& inode, std::uint64_t first_pgoff,
+                         std::span<const std::span<std::byte>> pages) {
+  // Resolve the whole run's mapping in ONE map_run pass (each indirect
+  // block read once, not once per page), fetch the mapped blocks in one
+  // batched submission (extent-adjacent blocks merge into multi-block
+  // bios), and copy straight out of the pinned batch handles.
+  static_assert(kern::kPageSize == kBlockSize,
+                "readpages maps one block per page");
+  mstats_.readpages_calls += 1;
+  EInode* e = ei(inode);
+  auto& bc = sb_->bufcache();
+  std::size_t within_size = 0;  // pages of the run below EOF
+  while (within_size < pages.size() &&
+         (first_pgoff + within_size) * kern::kPageSize < e->d.size) {
+    within_size += 1;
+  }
+  std::vector<std::uint32_t> mapped;  // one entry per page, 0 = hole
+  BSIM_TRY(map_run(inode, first_pgoff, within_size, mapped));
   std::vector<std::uint64_t> addrs;            // mapped blocks, run order
   std::vector<std::size_t> page_slot(pages.size(), SIZE_MAX);  // -> addrs idx
-  for (std::size_t i = 0; i < pages.size(); ++i) {
-    const std::uint64_t off = (first_pgoff + i) * kern::kPageSize;
-    if (off >= e->d.size) break;
-    auto addr = bmap(inode, off / kBlockSize, /*alloc=*/false);
-    if (!addr.ok()) return addr.error();
-    if (addr.value() != 0) {
+  for (std::size_t i = 0; i < within_size; ++i) {
+    if (mapped[i] != 0) {
       page_slot[i] = addrs.size();
-      addrs.push_back(addr.value());
+      addrs.push_back(mapped[i]);
     }
   }
   std::vector<kern::BufferHead*> batch;

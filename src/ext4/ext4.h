@@ -19,6 +19,18 @@ struct JournalStats {
   std::uint64_t recoveries = 0;
 };
 
+/// Block-mapping accounting: the regression stat for the readahead path.
+/// ->readpages resolves a whole contiguous run through map_run (each
+/// indirect block read ONCE per run) instead of one bmap per page, so on
+/// a sequential scan map_indirect_reads stays O(runs), not O(pages).
+struct MapStats {
+  std::uint64_t bmap_calls = 0;          // single-block lookups (write path)
+  std::uint64_t map_runs = 0;            // map_run invocations
+  std::uint64_t map_run_blocks = 0;      // blocks resolved by those runs
+  std::uint64_t map_indirect_reads = 0;  // indirect-block breads inside runs
+  std::uint64_t readpages_calls = 0;     // ->readpages batches served
+};
+
 class Ext4Mount final : public kern::InodeOps,
                         public kern::FileOps,
                         public kern::SuperOps,
@@ -30,6 +42,7 @@ class Ext4Mount final : public kern::InodeOps,
   void dispose_inode(kern::Inode& inode);
 
   [[nodiscard]] const JournalStats& journal_stats() const { return jstats_; }
+  [[nodiscard]] const MapStats& map_stats() const { return mstats_; }
   [[nodiscard]] std::uint64_t free_blocks_total() const;
   [[nodiscard]] std::uint64_t free_inodes_total() const;
 
@@ -112,6 +125,13 @@ class Ext4Mount final : public kern::InodeOps,
   kern::Err bfree(std::uint32_t blockno);
   kern::Result<std::uint32_t> bmap(kern::Inode& inode, std::uint64_t bn,
                                    bool alloc);
+  /// Resolve `count` consecutive logical blocks starting at `bn` in one
+  /// pass (no allocation): direct slots come straight from the inode and
+  /// each indirect block is read once for its whole overlap with the run,
+  /// instead of once per block as repeated bmap calls would. Appends one
+  /// address per block to `out` (0 = hole).
+  kern::Err map_run(kern::Inode& inode, std::uint64_t bn, std::size_t count,
+                    std::vector<std::uint32_t>& out);
   kern::Err itrunc(kern::Inode& inode, std::uint64_t new_size);
   kern::Err zero_block_tail(kern::Inode& inode, std::uint64_t from);
   [[nodiscard]] std::uint32_t group_of_block(std::uint32_t blockno) const;
@@ -148,6 +168,7 @@ class Ext4Mount final : public kern::InodeOps,
   sim::Nanos flush_start_ = -1;
   sim::Nanos flush_end_ = -1;
   JournalStats jstats_;
+  MapStats mstats_;
   std::unordered_map<std::uint32_t, DirIndex> dir_indexes_;
   std::uint32_t alloc_cursor_ = 0;  // round-robin group goal
 };

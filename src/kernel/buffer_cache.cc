@@ -18,7 +18,12 @@ Result<BufferHead*> BufferCache::bread(std::uint64_t blockno) {
   if (!r.ok()) return r;
   BufferHead* bh = r.value();
   if (!bh->uptodate) {
-    dev_.read(blockno, bh->bytes());
+    blk::Bio bio = blk::Bio::single_read(blockno, bh->bytes());
+    dev_.submit(bio);
+    if (bio.io_error) {  // injected medium error (no mirror could serve it)
+      brelse(bh);
+      return Err::Io;
+    }
     bh->uptodate = true;
   }
   return bh;
@@ -29,6 +34,7 @@ Result<std::vector<BufferHead*>> BufferCache::bread_batch(
   std::vector<BufferHead*> out;
   out.reserve(blocknos.size());
   std::vector<blk::Bio> bios;
+  std::vector<BufferHead*> missing;  // aligned with bios
   for (const std::uint64_t blockno : blocknos) {
     auto r = lookup_or_create(blockno);
     if (!r.ok()) {
@@ -40,11 +46,22 @@ Result<std::vector<BufferHead*>> BufferCache::bread_batch(
     if (!bh->uptodate) {
       // One bio per missing buffer; the queue merges adjacent blocks.
       bios.push_back(blk::Bio::single_read(blockno, bh->bytes()));
+      missing.push_back(bh);
     }
   }
   if (!bios.empty()) {
     dev_.submit(bios);
-    for (BufferHead* bh : out) bh->uptodate = true;
+    bool failed = false;
+    for (std::size_t i = 0; i < bios.size(); ++i) {
+      // A bio that hit an injected medium error transferred nothing; its
+      // buffer stays !uptodate so a later retry re-reads it.
+      if (bios[i].io_error) failed = true;
+      else missing[i]->uptodate = true;
+    }
+    if (failed) {
+      for (BufferHead* bh : out) brelse(bh);
+      return Err::Io;
+    }
   }
   return out;
 }

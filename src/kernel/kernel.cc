@@ -67,6 +67,37 @@ blk::StripedDevice& Kernel::add_striped_device(std::string name,
   return *raw;
 }
 
+blk::MirroredDevice& Kernel::add_mirrored_device(
+    std::string name, blk::MirrorParams mp, blk::DeviceParams member_params) {
+  auto dev = std::make_unique<blk::MirroredDevice>(mp, member_params);
+  auto* raw = dev.get();
+  add_device(std::move(name), std::move(dev));
+  return *raw;
+}
+
+blk::BlockDevice& Kernel::add_volume(std::string name,
+                                     std::optional<blk::StripeParams> sp,
+                                     std::optional<blk::MirrorParams> mp,
+                                     blk::DeviceParams params) {
+  const bool striped = sp.has_value() && sp->ndevices > 1;
+  const bool mirrored = mp.has_value() && mp->nmirrors > 1;
+  if (striped) {
+    blk::DeviceParams child = params;
+    child.nblocks = params.nblocks / sp->ndevices;
+    if (!mirrored) return add_striped_device(std::move(name), *sp, child);
+    // RAID10: a stripe whose members are mirrors.
+    std::vector<std::unique_ptr<blk::BlockDevice>> children;
+    children.reserve(sp->ndevices);
+    for (std::size_t i = 0; i < sp->ndevices; ++i) {
+      children.push_back(std::make_unique<blk::MirroredDevice>(*mp, child));
+    }
+    return add_device(std::move(name), std::make_unique<blk::StripedDevice>(
+                                           *sp, std::move(children)));
+  }
+  if (mirrored) return add_mirrored_device(std::move(name), *mp, params);
+  return add_device(std::move(name), params);
+}
+
 blk::BlockDevice* Kernel::device(std::string_view name) {
   auto it = devices_.find(std::string{name});
   return it == devices_.end() ? nullptr : it->second.get();

@@ -9,12 +9,14 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "blockdev/device.h"
+#include "blockdev/mirrored.h"
 #include "blockdev/striped.h"
 #include "kernel/vfs.h"
 
@@ -69,6 +71,18 @@ class Kernel {
   blk::StripedDevice& add_striped_device(std::string name,
                                          blk::StripeParams sp,
                                          blk::DeviceParams child_params);
+  /// Build an N-way RAID1 mirror (`member_params.nblocks` is both the
+  /// member and the volume size) and expose it as one device.
+  blk::MirroredDevice& add_mirrored_device(std::string name,
+                                           blk::MirrorParams mp,
+                                           blk::DeviceParams member_params);
+  /// Build the volume a (stripe, mirror) selection describes: plain
+  /// device, RAID0 stripe, RAID1 mirror, or RAID10 (a stripe of mirrors;
+  /// `params.nblocks` is the LOGICAL volume size, split across stripes).
+  blk::BlockDevice& add_volume(std::string name,
+                               std::optional<blk::StripeParams> sp,
+                               std::optional<blk::MirrorParams> mp,
+                               blk::DeviceParams params);
   [[nodiscard]] blk::BlockDevice* device(std::string_view name);
   /// Reverse lookup (used by drivers that need the /dev path of a device).
   [[nodiscard]] std::string device_name_of(const blk::BlockDevice* dev) const;

@@ -122,6 +122,23 @@ Err AddressSpace::read_pages(Inode& inode, AddressSpaceOps& aops,
   return Err::Ok;
 }
 
+std::size_t AddressSpace::update_readahead(std::uint64_t first_pg,
+                                           std::uint64_t last_pg) {
+  if (first_pg == ra_.next_pgoff) {
+    // Sequential stream: grow the window, doubling up to the cap.
+    ra_.window = std::min<std::size_t>(
+        std::max<std::size_t>(ra_.window * 2, kReadaheadInitPages),
+        kReadaheadMaxPages);
+    stats_.ra_sequential_hits += 1;
+  } else {
+    ra_.window = 0;  // new stream position: no speculation yet
+  }
+  stats_.ra_window_max =
+      std::max<std::uint64_t>(stats_.ra_window_max, ra_.window);
+  ra_.next_pgoff = last_pg + 1;
+  return ra_.window;
+}
+
 void AddressSpace::mark_dirty(std::uint64_t pgoff) {
   auto it = pages_.find(pgoff);
   if (it == pages_.end()) return;

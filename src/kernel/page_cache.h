@@ -79,6 +79,22 @@ struct AddressSpaceStats {
   std::uint64_t writeback_calls = 0;
   std::uint64_t readahead_batches = 0;  // batched ->readpages calls
   std::uint64_t readahead_pages = 0;    // pages filled by those batches
+  std::uint64_t ra_sequential_hits = 0;  // reads detected as stream-sequential
+  std::uint64_t ra_window_max = 0;       // largest readahead window reached
+};
+
+/// Sequential-stream readahead (Linux `ra_pages`-style): the generic read
+/// path detects a read that starts where the previous one ended and grows
+/// a speculative window — doubling per sequential read, capped — that is
+/// read beyond the request through the batched ->readpages path. Any
+/// non-sequential read collapses the window to zero (readahead then only
+/// covers the request itself, as before).
+inline constexpr std::size_t kReadaheadInitPages = 4;   // first window: 16 KiB
+inline constexpr std::size_t kReadaheadMaxPages = 32;   // cap: 128 KiB
+
+struct ReadaheadState {
+  std::uint64_t next_pgoff = ~0ULL;  // expected start of a sequential read
+  std::size_t window = 0;            // current speculative window (pages)
 };
 
 /// The cached pages of one inode.
@@ -146,6 +162,13 @@ class AddressSpace {
   }
   [[nodiscard]] const AddressSpaceStats& stats() const { return stats_; }
 
+  /// Per-file readahead state (one sequential stream per open pattern,
+  /// like struct file_ra_state hanging off the mapping). Maintained by
+  /// generic_file_read; update_readahead applies the stream detection and
+  /// returns the speculative window to read beyond the request.
+  std::size_t update_readahead(std::uint64_t first_pg, std::uint64_t last_pg);
+  [[nodiscard]] const ReadaheadState& readahead_state() const { return ra_; }
+
  private:
   Inode* owner_ = nullptr;
   std::map<std::uint64_t, Page> pages_;  // ordered for run coalescing
@@ -154,6 +177,7 @@ class AddressSpace {
   /// workload on a large file is O(dirty) per fsync, not O(file).
   std::set<std::uint64_t> dirty_pages_;
   std::size_t nr_dirty_ = 0;
+  ReadaheadState ra_;
   sim::Nanos writeback_done_at_ = 0;
   sim::SimMutex tree_lock_{sim::SimMutex::Kind::Spin};
   AddressSpaceStats stats_;

@@ -170,6 +170,18 @@ Result<std::uint64_t> generic_file_read(Inode& inode, std::uint64_t off,
       std::min<std::uint64_t>(out.size(), inode.size - off);
 
   const std::uint64_t last_pg = (off + want - 1) / kPageSize;
+  const std::uint64_t eof_pg = (inode.size - 1) / kPageSize;
+
+  // Sequential-stream detection (once per call, before the page walk): a
+  // read starting where the previous one ended grows the speculative
+  // window (doubling, capped at kReadaheadMaxPages); anything else
+  // collapses it. The window extends the miss-triggered readahead below
+  // BEYOND the request, so a 4 KiB-at-a-time sequential scan still issues
+  // large batched ->readpages calls instead of one per page.
+  const std::size_t ra_window =
+      inode.mapping.update_readahead(off / kPageSize, last_pg);
+  const std::uint64_t ra_last_pg =
+      std::min<std::uint64_t>(eof_pg, last_pg + ra_window);
 
   std::uint64_t done = 0;
   while (done < want) {
@@ -181,14 +193,15 @@ Result<std::uint64_t> generic_file_read(Inode& inode, std::uint64_t off,
                                                          want - done));
     // Hold the per-file lock across lookup + copy (see io_mutex()).
     sim::ScopedLock io(inode.mapping.io_mutex());
-    // Readahead: a miss with more of the read window ahead populates the
-    // remaining pages through the batched ->readpages path (multi-block
-    // bios, one device submission) instead of faulting page-at-a-time.
-    // Cache hits skip this entirely — the probe rides the lookup below.
-    if (last_pg > pgoff && !inode.mapping.resident(pgoff)) {
+    // Readahead: a miss with more of the read window (or a speculative
+    // stream window) ahead populates the remaining pages through the
+    // batched ->readpages path (multi-block bios, one device submission)
+    // instead of faulting page-at-a-time. Cache hits skip this entirely —
+    // the probe rides the lookup below.
+    if (ra_last_pg > pgoff && !inode.mapping.resident(pgoff)) {
       BSIM_TRY(inode.mapping.read_pages(
           inode, *inode.aops, pgoff,
-          static_cast<std::size_t>(last_pg - pgoff + 1)));
+          static_cast<std::size_t>(ra_last_pg - pgoff + 1)));
     }
     auto page = inode.mapping.read_page(inode, *inode.aops, pgoff);
     if (!page.ok()) return page.error();

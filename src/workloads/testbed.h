@@ -10,6 +10,7 @@
 #include <memory>
 #include <string>
 
+#include "blockdev/mirrored.h"
 #include "blockdev/striped.h"
 
 #include "bento/bentofs.h"
@@ -37,6 +38,11 @@ struct BedOptions {
   int stripe_devices = 1;
   std::uint64_t stripe_chunk_blocks = 16;  // 64 KiB chunks
   bool stripe_linear = false;
+  /// Mirrored volume: >1 replicates each (stripe member) device this many
+  /// ways (RAID1; combined with stripe_devices>1 it builds RAID10). Also
+  /// honoured from mount_opts tokens ("mirror=2[,policy=rr|sq]").
+  int mirror_devices = 1;
+  blk::MirrorReadPolicy mirror_policy = blk::MirrorReadPolicy::RoundRobin;
 };
 
 /// Builds the full stack for one deployment. The mountpoint is /mnt.
@@ -50,18 +56,15 @@ class TestBed {
     sp.chunk_blocks = opts_.stripe_chunk_blocks;
     sp.mode = opts_.stripe_linear ? blk::StripeMode::Linear
                                   : blk::StripeMode::Raid0;
+    blk::MirrorParams mp;
+    mp.nmirrors = static_cast<std::size_t>(
+        std::max(opts_.mirror_devices, 1));
+    mp.policy = opts_.mirror_policy;
     // Mount-option tokens override field-by-field; absent tokens keep
     // the programmatic configuration above.
     sp = blk::merge_stripe_opts(opts_.mount_opts, sp);
-    blk::BlockDevice* devp;
-    if (sp.ndevices > 1) {
-      blk::DeviceParams child = opts_.device;
-      child.nblocks = opts_.device_blocks / sp.ndevices;
-      devp = &kernel_.add_striped_device("ssd0", sp, child);
-    } else {
-      devp = &kernel_.add_device("ssd0", opts_.device);
-    }
-    auto& dev = *devp;
+    mp = blk::merge_mirror_opts(opts_.mount_opts, mp);
+    auto& dev = kernel_.add_volume("ssd0", sp, mp, opts_.device);
     if (opts_.fs == "ext4j") {
       ext4::mkfs(dev, /*inodes_per_group=*/8192);
     } else {

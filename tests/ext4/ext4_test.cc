@@ -190,5 +190,55 @@ TEST_F(Ext4Test, GroupCommitSharesFlushes) {
   EXPECT_GT(mount_->journal_stats().shared_commits, 0u);
 }
 
+TEST_F(Ext4Test, ReadpagesMapsExtentsOncePerRun) {
+  // Write a file deep into the indirect region, drop the page cache via
+  // remount, then scan it sequentially. The readahead batches must
+  // resolve their mapping through map_run — a handful of indirect-block
+  // reads per batch — with ZERO per-page bmap calls on the read path.
+  const std::size_t kFileBytes = 48 * 4096;  // 48 blocks: direct + indirect
+  auto fd = kernel_.open(proc(), "/mnt/big", kern::kOCreat | kern::kORdWr);
+  ASSERT_TRUE(fd.ok());
+  std::vector<std::byte> data(kFileBytes);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::byte>(i / 4096);
+  }
+  ASSERT_TRUE(kernel_.write(proc(), fd.value(), data).ok());
+  ASSERT_EQ(Err::Ok, kernel_.fsync(proc(), fd.value()));
+  ASSERT_EQ(Err::Ok, kernel_.close(proc(), fd.value()));
+  ASSERT_EQ(Err::Ok, kernel_.sync(proc()));
+  ASSERT_EQ(Err::Ok, kernel_.umount("/mnt"));
+  ASSERT_EQ(Err::Ok, kernel_.mount("ext4j", "ssd0", "/mnt"));
+  mount_ = static_cast<ext4::Ext4Mount*>(kernel_.sb_at("/mnt")->fs_info);
+
+  const auto before = mount_->map_stats();
+  fd = kernel_.open(proc(), "/mnt/big", kern::kORdOnly);
+  ASSERT_TRUE(fd.ok());
+  std::vector<std::byte> buf(4096);
+  for (std::size_t off = 0; off < kFileBytes; off += buf.size()) {
+    auto r = kernel_.pread(proc(), fd.value(), buf, off);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r.value(), buf.size());
+    EXPECT_EQ(buf[0], static_cast<std::byte>(off / 4096));
+  }
+  ASSERT_EQ(Err::Ok, kernel_.close(proc(), fd.value()));
+
+  const auto& after = mount_->map_stats();
+  const std::uint64_t batches = after.readpages_calls - before.readpages_calls;
+  const std::uint64_t runs = after.map_runs - before.map_runs;
+  const std::uint64_t indirect = after.map_indirect_reads -
+                                 before.map_indirect_reads;
+  ASSERT_GT(batches, 0u);
+  EXPECT_EQ(runs, batches);  // one mapping pass per readahead batch
+  // The whole 48-block scan touches one indirect block; per-block bmap
+  // would have read it ~36 times. Allow one read per batch (the regression
+  // bound: bmap calls / indirect reads per readahead batch <= 1).
+  EXPECT_LE(indirect, batches);
+  // The only single-block lookups left are outside readpages: the open's
+  // directory lookup and the very first page's ->readpage (the stream
+  // window has not opened yet). Per-page bmap would be ~48 here.
+  EXPECT_LE(after.bmap_calls - before.bmap_calls, 4u)
+      << "readpages must not fall back to per-page bmap";
+}
+
 }  // namespace
 }  // namespace bsim::test

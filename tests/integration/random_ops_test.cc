@@ -44,26 +44,33 @@ struct Case {
   const char* mount_opts = "";
   const char* tag = "";  // distinguishes option variants in test names
   int stripe = 1;        // >1: mount on an N-way striped volume
+  int mirror = 1;        // >1: mirror each (stripe member) device N ways
 };
 
-/// Register a 32768-block "ssd0": plain, or an N-way RAID0 volume with
-/// the same logical size.
-blk::BlockDevice& add_ssd0(kern::Kernel& kernel, int stripe) {
+/// Register a 32768-block "ssd0": plain, an N-way RAID0 volume, an N-way
+/// RAID1 mirror, or RAID10 — always the same logical size.
+blk::BlockDevice& add_ssd0(kern::Kernel& kernel, int stripe, int mirror = 1) {
   blk::DeviceParams params;
   params.nblocks = 32768;
-  if (stripe <= 1) return kernel.add_device("ssd0", params);
-  blk::StripeParams sp;
-  sp.ndevices = static_cast<std::size_t>(stripe);
-  sp.chunk_blocks = 16;
-  params.nblocks /= static_cast<std::uint64_t>(stripe);
-  return kernel.add_striped_device("ssd0", sp, params);
+  std::optional<blk::StripeParams> sp;
+  if (stripe > 1) {
+    sp.emplace();
+    sp->ndevices = static_cast<std::size_t>(stripe);
+    sp->chunk_blocks = 16;
+  }
+  std::optional<blk::MirrorParams> mp;
+  if (mirror > 1) {
+    mp.emplace();
+    mp->nmirrors = static_cast<std::size_t>(mirror);
+  }
+  return kernel.add_volume("ssd0", sp, mp, params);
 }
 
 class RandomOps : public ::testing::TestWithParam<Case> {
  protected:
   void SetUp() override {
     sim::set_current(&thread_);
-    auto& dev = add_ssd0(kernel_, GetParam().stripe);
+    auto& dev = add_ssd0(kernel_, GetParam().stripe, GetParam().mirror);
     if (std::string_view(GetParam().fs) == "ext4j") {
       ext4::mkfs(dev, 4096);
     } else {
@@ -222,6 +229,13 @@ std::vector<Case> cases() {
     out.push_back({fs, 101, "", "striped4", 4});
   }
   out.push_back({"xv6_bento", 202, "", "striped4", 4});
+  // ... and a 2-way RAID1 mirror (write replication + balanced reads
+  // under every mutation shape), plus one RAID10 stack.
+  for (const char* fs :
+       {"xv6_bento", "xv6_vfs", "xv6_fuse", "ext4j", "xv6_nvmlog"}) {
+    out.push_back({fs, 101, "", "mirror2", 1, 2});
+  }
+  out.push_back({"xv6_bento", 202, "", "raid10", 2, 2});
   return out;
 }
 
@@ -309,6 +323,42 @@ TEST(StripedDifferential, FinalImageBitIdenticalToSingleDevice) {
     }
     EXPECT_EQ(diffs, 0u) << "seed " << seed << ": " << diffs
                          << " logical blocks diverged";
+  }
+}
+
+TEST(MirroredDifferential, FinalImageAndReplicasBitIdentical) {
+  // The same op trace on one device and on a 2-way mirror: the mirror's
+  // logical image must match the single device bit-for-bit, and after
+  // sync + unmount its two replicas must match each other.
+  for (const std::uint64_t seed : {101ULL, 202ULL}) {
+    sim::SimThread thread(0);
+    sim::ScopedThread in(thread);
+    std::array<std::unique_ptr<kern::Kernel>, 2> kernels;
+    std::array<blk::BlockDevice*, 2> devs{};
+    for (int k = 0; k < 2; ++k) {
+      kernels[k] = std::make_unique<kern::Kernel>();
+      devs[k] = &add_ssd0(*kernels[k], 1, k == 0 ? 1 : 2);
+      xv6::mkfs(*devs[k], 4096);
+      register_all_xv6(*kernels[k]);
+      ASSERT_EQ(Err::Ok, kernels[k]->mount("xv6_bento", "ssd0", "/mnt",
+                                           "noflusher"));
+      run_mutation_trace(*kernels[k], seed);
+      ASSERT_EQ(Err::Ok, kernels[k]->umount("/mnt"));
+    }
+    auto& mirror = *static_cast<blk::MirroredDevice*>(devs[1]);
+    ASSERT_EQ(devs[0]->nblocks(), mirror.nblocks());
+    std::array<std::byte, blk::kBlockSize> a{}, b{}, c{};
+    std::uint64_t logical_diffs = 0, replica_diffs = 0;
+    for (std::uint64_t blk = 0; blk < devs[0]->nblocks(); ++blk) {
+      devs[0]->read_untimed(blk, a);
+      mirror.read_untimed(blk, b);
+      if (a != b) logical_diffs += 1;
+      mirror.member(0).read_untimed(blk, b);
+      mirror.member(1).read_untimed(blk, c);
+      if (b != c) replica_diffs += 1;
+    }
+    EXPECT_EQ(logical_diffs, 0u) << "seed " << seed;
+    EXPECT_EQ(replica_diffs, 0u) << "seed " << seed;
   }
 }
 

@@ -2,7 +2,9 @@
 // eviction, and the sync paths the journal depends on.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstring>
+#include <vector>
 
 #include "kernel/buffer_cache.h"
 #include "sim/thread.h"
@@ -204,6 +206,28 @@ TEST_F(BufferCacheTest, WritebackScansOnlyDirtyBuffers) {
   // separate (non-mergeable) requests in one batch.
   EXPECT_EQ(dev_.stats().write_requests, 5u);
   for (auto* bh : held) cache.brelse(bh);
+}
+
+TEST_F(BufferCacheTest, InjectedReadErrorSurfacesAsIoError) {
+  // A medium error on an unmirrored device must surface to the caller,
+  // not silently hand back a zero-filled "cached" buffer.
+  BufferCache cache(dev_, 16);
+  dev_.inject_read_error(7);
+  auto bad = cache.bread(7);
+  EXPECT_FALSE(bad.ok());
+  auto batch = cache.bread_batch(std::vector<std::uint64_t>{6, 7, 8});
+  EXPECT_FALSE(batch.ok());
+
+  // A rewrite repairs the sector; the read then succeeds and the buffer
+  // population is consistent (no stale !uptodate entries pinned).
+  std::array<std::byte, blk::kBlockSize> data{};
+  data.fill(std::byte{0x5C});
+  dev_.write(7, data);
+  auto good = cache.bread(7);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value()->bytes()[0], std::byte{0x5C});
+  cache.brelse(good.value());
+  EXPECT_EQ(cache.outstanding_refs(), 0u);
 }
 
 }  // namespace

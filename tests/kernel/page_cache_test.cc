@@ -257,5 +257,105 @@ TEST_F(PageCacheTest, HitMissStats) {
   EXPECT_EQ(inode.mapping.stats().hits, 1u);
 }
 
+// ---- sequential-stream readahead (generic_file_read heuristics) ----
+
+/// Batched aops that records the shape of every ->readpages call.
+class BatchRecordingAops final : public AddressSpaceOps {
+ public:
+  Err readpage(Inode&, std::uint64_t pgoff,
+               std::span<std::byte> out) override {
+    single_reads += 1;
+    std::memset(out.data(), static_cast<int>(pgoff & 0xFF), out.size());
+    return Err::Ok;
+  }
+  Err readpages(Inode&, std::uint64_t first_pgoff,
+                std::span<const std::span<std::byte>> pages) override {
+    batch_shapes.emplace_back(first_pgoff, pages.size());
+    for (std::size_t i = 0; i < pages.size(); ++i) {
+      std::memset(pages[i].data(), static_cast<int>((first_pgoff + i) & 0xFF),
+                  pages[i].size());
+    }
+    return Err::Ok;
+  }
+  [[nodiscard]] bool has_readpages() const override { return true; }
+  Err writepage(Inode&, std::uint64_t, std::span<const std::byte>) override {
+    return Err::Ok;
+  }
+
+  std::uint64_t single_reads = 0;
+  std::vector<std::pair<std::uint64_t, std::size_t>> batch_shapes;
+};
+
+TEST_F(PageCacheTest, SequentialScanGrowsReadaheadWindow) {
+  constexpr std::uint64_t kPages = 64;
+  Inode inode(sb_, 10);
+  BatchRecordingAops aops;
+  inode.aops = &aops;
+  inode.size = kPages * kPageSize;
+
+  // A page-at-a-time sequential scan. Without the stream window this
+  // faulted every page individually (64 ->readpage calls, zero batches);
+  // with detection + doubling the whole file arrives in a handful of
+  // growing ->readpages batches.
+  std::vector<std::byte> buf(kPageSize);
+  for (std::uint64_t pg = 0; pg < kPages; ++pg) {
+    auto r = generic_file_read(inode, pg * kPageSize, buf);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value(), kPageSize);
+    EXPECT_EQ(buf[0], static_cast<std::byte>(pg & 0xFF)) << pg;
+  }
+
+  const auto& stats = inode.mapping.stats();
+  EXPECT_LE(aops.batch_shapes.size() + aops.single_reads, 6u)
+      << "sequential scan should issue few, growing batches";
+  EXPECT_EQ(stats.readahead_pages + aops.single_reads, kPages);
+  EXPECT_EQ(stats.ra_window_max, kReadaheadMaxPages);  // doubled to the cap
+  EXPECT_GE(stats.ra_sequential_hits, kPages - 1);
+  // Windows double: every batch after the first is larger, until the cap
+  // or EOF clips it.
+  for (std::size_t i = 1; i + 1 < aops.batch_shapes.size(); ++i) {
+    EXPECT_GE(aops.batch_shapes[i].second, aops.batch_shapes[i - 1].second);
+  }
+}
+
+TEST_F(PageCacheTest, RandomReadsCollapseTheWindow) {
+  constexpr std::uint64_t kPages = 64;
+  Inode inode(sb_, 11);
+  BatchRecordingAops aops;
+  inode.aops = &aops;
+  inode.size = kPages * kPageSize;
+
+  // Stride-7 single-page reads: never sequential, so no speculation — no
+  // batched readahead, one ->readpage per distinct page, and the window
+  // never opens.
+  std::vector<std::byte> buf(kPageSize);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    const std::uint64_t pg = (i * 7 + 3) % kPages;
+    ASSERT_TRUE(generic_file_read(inode, pg * kPageSize, buf).ok());
+  }
+  EXPECT_EQ(aops.batch_shapes.size(), 0u);
+  EXPECT_EQ(inode.mapping.stats().ra_window_max, 0u);
+  EXPECT_EQ(inode.mapping.stats().ra_sequential_hits, 0u);
+}
+
+TEST_F(PageCacheTest, ReadaheadClampsAtEof) {
+  // 6-page file: the stream window must never fault pages past EOF.
+  Inode inode(sb_, 12);
+  BatchRecordingAops aops;
+  inode.aops = &aops;
+  inode.size = 6 * kPageSize + 123;  // partial 7th page
+
+  std::vector<std::byte> buf(kPageSize);
+  for (std::uint64_t pg = 0; pg < 7; ++pg) {
+    ASSERT_TRUE(generic_file_read(inode, pg * kPageSize, buf).ok());
+  }
+  std::uint64_t max_pg = 0;
+  for (const auto& [first, count] : aops.batch_shapes) {
+    max_pg = std::max(max_pg, first + count - 1);
+  }
+  EXPECT_LE(max_pg, 6u);
+  EXPECT_LE(inode.mapping.nr_pages(), 7u);
+}
+
 }  // namespace
 }  // namespace bsim::kern

@@ -2,6 +2,8 @@
 // geometry, op accounting, and smoke runs of every personality.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <memory>
 #include <set>
 #include <string>
@@ -191,6 +193,47 @@ TEST(BugStudy, RenderedTablesContainEveryRow) {
   const std::string t2 = bugs::render_table2();
   EXPECT_NE(t2.find("Bento"), std::string::npos);
   EXPECT_NE(t2.find("eBPF"), std::string::npos);
+}
+
+TEST(TestBedVolumes, MountOptsSelectMirrorStripeAndRaid10) {
+  // Every deployment mounts a mirrored volume purely by option string;
+  // the same string combines with striping into RAID10.
+  for (const char* fs :
+       {"xv6_bento", "xv6_vfs", "xv6_fuse", "ext4j", "xv6_nvmlog"}) {
+    BedOptions opts;
+    opts.fs = fs;
+    opts.device_blocks = 32768;
+    opts.mount_opts = "mirror=2,policy=sq";
+    TestBed bed(opts);
+    auto* mirror = dynamic_cast<blk::MirroredDevice*>(&bed.device());
+    ASSERT_NE(mirror, nullptr) << fs;
+    EXPECT_EQ(mirror->members(), 2u) << fs;
+    EXPECT_EQ(mirror->mirror().policy, blk::MirrorReadPolicy::ShortestQueue);
+    EXPECT_EQ(mirror->nblocks(), 32768u) << fs;  // replicas are free
+    // mkfs reached both replicas (untimed writes replicate too).
+    std::array<std::byte, blk::kBlockSize> a{}, b{};
+    mirror->member(0).read_untimed(1, a);
+    mirror->member(1).read_untimed(1, b);
+    EXPECT_EQ(a, b) << fs;
+    EXPECT_NE(std::count(a.begin(), a.end(), std::byte{0}),
+              static_cast<std::ptrdiff_t>(a.size()))
+        << fs << ": superblock block is all zero";
+  }
+
+  BedOptions raid10;
+  raid10.fs = "xv6_bento";
+  raid10.device_blocks = 32768;
+  raid10.mount_opts = "stripe=2,chunk=16,mirror=2";
+  TestBed bed(raid10);
+  auto* striped = dynamic_cast<blk::StripedDevice*>(&bed.device());
+  ASSERT_NE(striped, nullptr);
+  EXPECT_EQ(striped->fan_out(), 2u);
+  EXPECT_EQ(striped->nblocks(), 32768u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    auto* member = dynamic_cast<blk::MirroredDevice*>(&striped->fan_child(i));
+    ASSERT_NE(member, nullptr) << i;
+    EXPECT_EQ(member->members(), 2u);
+  }
 }
 
 }  // namespace

@@ -35,21 +35,42 @@ std::unique_ptr<blk::BlockDevice> copy_device(blk::BlockDevice& src) {
   return dst;
 }
 
-/// Register an 8192-block device under "ssd0": one plain device, or a
-/// 4-way RAID0 volume with the same LOGICAL size (so images compare
-/// bit-for-bit against the single-device run).
-blk::BlockDevice& add_test_device(kern::Kernel& kernel, bool striped) {
-  if (!striped) {
-    blk::DeviceParams params;
-    params.nblocks = kBlocks;
-    return kernel.add_device("ssd0", params);
+/// The volume layouts the sweeps run against. Every layout has the same
+/// LOGICAL size, so images compare bit-for-bit across layouts.
+enum class DevKind { Plain, Striped4, Mirror2 };
+
+/// Register an 8192-block device under "ssd0": one plain device, a 4-way
+/// RAID0 volume, or a 2-way RAID1 mirror.
+blk::BlockDevice& add_test_device(kern::Kernel& kernel, DevKind kind) {
+  blk::DeviceParams params;
+  params.nblocks = kBlocks;
+  switch (kind) {
+    case DevKind::Plain:
+      return kernel.add_device("ssd0", params);
+    case DevKind::Striped4: {
+      blk::StripeParams sp;
+      sp.ndevices = 4;
+      sp.chunk_blocks = 16;
+      params.nblocks = kBlocks / 4;
+      return kernel.add_striped_device("ssd0", sp, params);
+    }
+    case DevKind::Mirror2: {
+      blk::MirrorParams mp;
+      mp.nmirrors = 2;
+      return kernel.add_mirrored_device("ssd0", mp, params);
+    }
   }
-  blk::StripeParams sp;
-  sp.ndevices = 4;
-  sp.chunk_blocks = 16;
-  blk::DeviceParams child;
-  child.nblocks = kBlocks / 4;
-  return kernel.add_striped_device("ssd0", sp, child);
+  __builtin_unreachable();
+}
+
+bool mirror_members_identical(blk::MirroredDevice& md) {
+  std::array<std::byte, blk::kBlockSize> a{}, b{};
+  for (std::uint64_t blk = 0; blk < md.nblocks(); ++blk) {
+    md.member(0).read_untimed(blk, a);
+    md.member(1).read_untimed(blk, b);
+    if (a != b) return false;
+  }
+  return true;
 }
 
 bool images_equal(blk::BlockDevice& a, blk::BlockDevice& b) {
@@ -82,10 +103,10 @@ void register_strict(kern::Kernel& kernel) {
 /// with per-block survival probability `survive_p`, and return the
 /// surviving logical image.
 std::unique_ptr<blk::BlockDevice> run_survival_trace(
-    bool striped, double survive_p, std::uint64_t seed, std::string_view opts,
+    DevKind kind, double survive_p, std::uint64_t seed, std::string_view opts,
     std::map<std::string, std::string>& synced) {
   kern::Kernel kernel;
-  auto& dev = add_test_device(kernel, striped);
+  auto& dev = add_test_device(kernel, kind);
   xv6::mkfs(dev, /*ninodes=*/512);
   register_strict(kernel);
   EXPECT_EQ(Err::Ok, kernel.mount("xv6_strict", "ssd0", "/mnt", opts));
@@ -129,12 +150,12 @@ std::unique_ptr<blk::BlockDevice> run_survival_trace(
 /// Torn-commit phase 1: run the fsync-heavy workload with the device set
 /// to die after `kill_point` write commands, lose the volatile cache
 /// entirely, and return the surviving logical image.
-std::unique_ptr<blk::BlockDevice> run_torn_trace(bool striped,
+std::unique_ptr<blk::BlockDevice> run_torn_trace(DevKind kind,
                                                  std::uint64_t kill_point,
                                                  std::uint64_t seed,
                                                  std::string_view opts) {
   kern::Kernel kernel;
-  auto& dev = add_test_device(kernel, striped);
+  auto& dev = add_test_device(kernel, kind);
   xv6::mkfs(dev, /*ninodes=*/512);
   register_strict(kernel);
   EXPECT_EQ(Err::Ok, kernel.mount("xv6_strict", "ssd0", "/mnt", opts));
@@ -211,7 +232,7 @@ TEST_P(CrashConsistency, RecoversToConsistentImage) {
   sim::SimThread thread(0);
   sim::ScopedThread in(thread);
   std::map<std::string, std::string> synced;  // path -> expected contents
-  auto survivor = run_survival_trace(/*striped=*/false, survive_p, seed, "",
+  auto survivor = run_survival_trace(DevKind::Plain, survive_p, seed, "",
                                      synced);
   (void)recover_image(*survivor, synced);  // asserts recovery + fsck
 }
@@ -321,7 +342,7 @@ TEST_P(TornCommit, EveryCrashPointRecoversConsistently) {
   const auto [kill_point, seed] = GetParam();
   sim::SimThread thread(0);
   sim::ScopedThread in(thread);
-  auto survivor = run_torn_trace(/*striped=*/false, kill_point, seed, "");
+  auto survivor = run_torn_trace(DevKind::Plain, kill_point, seed, "");
   (void)recover_image(*survivor);  // asserts recovery + fsck
 }
 
@@ -360,7 +381,7 @@ TEST_P(StripedTornCommit, EveryCrashPointRecoversConsistently) {
   const auto [kill_point, seed] = GetParam();
   sim::SimThread thread(0);
   sim::ScopedThread in(thread);
-  auto survivor = run_torn_trace(/*striped=*/true, kill_point, seed, "");
+  auto survivor = run_torn_trace(DevKind::Striped4, kill_point, seed, "");
   (void)recover_image(*survivor);  // asserts mount + fsck internally
 }
 
@@ -378,9 +399,9 @@ TEST_P(TornDifferential, StripedRecoveryBitIdenticalToSingleDevice) {
   sim::SimThread thread(0);
   sim::ScopedThread in(thread);
 
-  auto single = run_torn_trace(/*striped=*/false, kill_point, seed,
+  auto single = run_torn_trace(DevKind::Plain, kill_point, seed,
                                "noflusher");
-  auto striped = run_torn_trace(/*striped=*/true, kill_point, seed,
+  auto striped = run_torn_trace(DevKind::Striped4, kill_point, seed,
                                 "noflusher");
   // The frozen images agree before recovery (same logical bios applied)…
   EXPECT_TRUE(images_equal(*single, *striped))
@@ -414,7 +435,7 @@ TEST_P(StripedCrashConsistency, RecoversToConsistentImage) {
   sim::SimThread thread(0);
   sim::ScopedThread in(thread);
   std::map<std::string, std::string> synced;
-  auto survivor = run_survival_trace(/*striped=*/true, survive_p, seed, "",
+  auto survivor = run_survival_trace(DevKind::Striped4, survive_p, seed, "",
                                      synced);
   (void)recover_image(*survivor, synced);  // asserts recovery + fsck
 }
@@ -439,9 +460,9 @@ TEST_P(SurvivalDifferential, StripedRecoveryBitIdenticalToSingleDevice) {
   sim::ScopedThread in(thread);
 
   std::map<std::string, std::string> synced_a, synced_b;
-  auto single = run_survival_trace(/*striped=*/false, survive_p, seed,
+  auto single = run_survival_trace(DevKind::Plain, survive_p, seed,
                                    "noflusher", synced_a);
-  auto striped = run_survival_trace(/*striped=*/true, survive_p, seed,
+  auto striped = run_survival_trace(DevKind::Striped4, survive_p, seed,
                                     "noflusher", synced_b);
   EXPECT_EQ(synced_a, synced_b);
   EXPECT_TRUE(images_equal(*single, *striped)) << "p=" << survive_p;
@@ -468,6 +489,194 @@ INSTANTIATE_TEST_SUITE_P(SurvivalSweep, SurvivalDifferential,
                                       info.param.survive_p * 100)) +
                                   "_seed" + std::to_string(info.param.seed);
                          });
+
+// ---- Mirrored volumes: the same sweeps on a 2-way RAID1 mirror ----
+//
+// The mirror's kill_after counts LOGICAL write bios exactly like the
+// single-device queue and the striped volume (blockdev/mirrored.h), so
+// the torn-commit sweep and its differential carry over unchanged.
+
+class MirroredTornCommit : public ::testing::TestWithParam<TornCase> {};
+
+TEST_P(MirroredTornCommit, EveryCrashPointRecoversConsistently) {
+  // Default mount (flusher attached): every kill point must recover.
+  const auto [kill_point, seed] = GetParam();
+  sim::SimThread thread(0);
+  sim::ScopedThread in(thread);
+  auto survivor = run_torn_trace(DevKind::Mirror2, kill_point, seed, "");
+  (void)recover_image(*survivor);  // asserts mount + fsck internally
+}
+
+INSTANTIATE_TEST_SUITE_P(CrashPointSweep, MirroredTornCommit,
+                         ::testing::ValuesIn(torn_cases()),
+                         [](const auto& info) {
+                           return "k" + std::to_string(info.param.kill_after) +
+                                  "_s" + std::to_string(info.param.seed);
+                         });
+
+class MirroredTornDifferential : public ::testing::TestWithParam<TornCase> {};
+
+TEST_P(MirroredTornDifferential, RecoveryBitIdenticalToSingleDevice) {
+  const auto [kill_point, seed] = GetParam();
+  sim::SimThread thread(0);
+  sim::ScopedThread in(thread);
+
+  auto single = run_torn_trace(DevKind::Plain, kill_point, seed, "noflusher");
+  auto mirrored =
+      run_torn_trace(DevKind::Mirror2, kill_point, seed, "noflusher");
+  EXPECT_TRUE(images_equal(*single, *mirrored))
+      << "surviving images diverged at kill_after=" << kill_point;
+  auto rec_single = recover_image(*single);
+  auto rec_mirrored = recover_image(*mirrored);
+  EXPECT_TRUE(images_equal(*rec_single, *rec_mirrored))
+      << "recovered images diverged at kill_after=" << kill_point;
+}
+
+INSTANTIATE_TEST_SUITE_P(CrashPointSweep, MirroredTornDifferential,
+                         ::testing::ValuesIn(differential_cases()),
+                         [](const auto& info) {
+                           return "k" + std::to_string(info.param.kill_after) +
+                                  "_s" + std::to_string(info.param.seed);
+                         });
+
+// ---- Member loss mid-sweep: the failure mode only redundant volumes
+// survive. A 2-way mirror fail-stops member 1 after `fail_at` files of
+// the torn-trace workload and keeps serving; the surviving logical image
+// must be bit-identical to a single-device run of the same op trace, and
+// an online rebuild afterwards must leave the members bit-identical. ----
+
+struct LossCase {
+  int fail_at;         // file index at which member 1 fail-stops
+  bool rebuild;        // resync the member after the trace
+  std::uint64_t seed;
+};
+
+/// Run the torn-trace op sequence (no crash) with an optional mid-sweep
+/// member failure + post-trace rebuild; return the final logical image.
+std::unique_ptr<blk::BlockDevice> run_loss_trace(DevKind kind, int fail_at,
+                                                 bool rebuild,
+                                                 std::uint64_t seed,
+                                                 std::string_view opts) {
+  kern::Kernel kernel;
+  auto& dev = add_test_device(kernel, kind);
+  auto* mirror = kind == DevKind::Mirror2
+                     ? static_cast<blk::MirroredDevice*>(&dev)
+                     : nullptr;
+  xv6::mkfs(dev, /*ninodes=*/512);
+  register_strict(kernel);
+  EXPECT_EQ(Err::Ok, kernel.mount("xv6_strict", "ssd0", "/mnt", opts));
+
+  auto& p = kernel.proc();
+  sim::Rng rng(seed);
+  (void)kernel.mkdir(p, "/mnt/dir");
+  for (int i = 0; i < 12; ++i) {
+    if (mirror != nullptr && i == fail_at) mirror->fail_member(1);
+    const std::string path = "/mnt/dir/f" + std::to_string(i);
+    auto fd = kernel.open(p, path, kern::kOCreat | kern::kORdWr);
+    if (!fd.ok()) break;
+    std::string data(rng.range(100, 30000), 'z');
+    (void)kernel.write(p, fd.value(), as_bytes(data));
+    (void)kernel.fsync(p, fd.value());
+    (void)kernel.close(p, fd.value());
+    if (i >= 2 && rng.chance(0.5)) {
+      (void)kernel.unlink(p, "/mnt/dir/f" + std::to_string(i - 2));
+    }
+  }
+  EXPECT_EQ(Err::Ok, kernel.sync(p));
+  if (mirror != nullptr && fail_at >= 0) {
+    EXPECT_TRUE(mirror->degraded());
+    EXPECT_GT(mirror->volume_stats().degraded_reads +
+                  mirror->volume_stats().degraded_writes,
+              0u);
+    if (rebuild) {
+      mirror->start_rebuild(1);
+      mirror->finish_rebuild();
+      EXPECT_FALSE(mirror->degraded());
+      EXPECT_TRUE(mirror_members_identical(*mirror))
+          << "rebuild left replicas diverged (seed " << seed << ")";
+    }
+  }
+  return copy_device(dev);
+}
+
+class MirrorMemberLoss : public ::testing::TestWithParam<LossCase> {};
+
+TEST_P(MirrorMemberLoss, DegradedServiceBitIdenticalToSingleDevice) {
+  const auto [fail_at, rebuild, seed] = GetParam();
+  sim::SimThread thread(0);
+  sim::ScopedThread in(thread);
+
+  // "-o noflusher" keeps writeback order a pure function of the op trace
+  // (the member loss changes virtual-time behaviour, not the ops).
+  auto single =
+      run_loss_trace(DevKind::Plain, /*fail_at=*/-1, false, seed, "noflusher");
+  auto degraded =
+      run_loss_trace(DevKind::Mirror2, fail_at, rebuild, seed, "noflusher");
+  EXPECT_TRUE(images_equal(*single, *degraded))
+      << "degraded image diverged (fail_at=" << fail_at << ")";
+  // Both recover to the same consistent image (fsck asserted inside).
+  auto rec_single = recover_image(*single);
+  auto rec_degraded = recover_image(*degraded);
+  EXPECT_TRUE(images_equal(*rec_single, *rec_degraded));
+}
+
+std::vector<LossCase> loss_cases() {
+  std::vector<LossCase> cases;
+  for (const int fail_at : {0, 3, 7, 11}) {
+    for (std::uint64_t seed : {11ULL, 12ULL}) {
+      cases.push_back({fail_at, /*rebuild=*/false, seed});
+      cases.push_back({fail_at, /*rebuild=*/true, seed});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(MemberLossSweep, MirrorMemberLoss,
+                         ::testing::ValuesIn(loss_cases()),
+                         [](const auto& info) {
+                           return "f" + std::to_string(info.param.fail_at) +
+                                  (info.param.rebuild ? "_rebuild" : "") +
+                                  "_s" + std::to_string(info.param.seed);
+                         });
+
+// Degraded-mode + crash composition: the mirror loses a member mid-sweep
+// AND the power dies later (default mount, flushers on) — recovery must
+// still produce a consistent image from the surviving replica.
+
+TEST(MirrorMemberLossThenCrash, RecoversFromTheSurvivor) {
+  for (const std::uint64_t seed : {11ULL, 12ULL}) {
+    for (const std::uint64_t kill_point : {40ULL, 200ULL, 800ULL}) {
+      sim::SimThread thread(0);
+      sim::ScopedThread in(thread);
+      kern::Kernel kernel;
+      auto& dev = add_test_device(kernel, DevKind::Mirror2);
+      auto& mirror = static_cast<blk::MirroredDevice&>(dev);
+      xv6::mkfs(dev, /*ninodes=*/512);
+      register_strict(kernel);
+      ASSERT_EQ(Err::Ok, kernel.mount("xv6_strict", "ssd0", "/mnt", ""));
+      dev.enable_crash_tracking();
+      dev.kill_after(kill_point);
+
+      auto& p = kernel.proc();
+      sim::Rng rng(seed);
+      (void)kernel.mkdir(p, "/mnt/dir");
+      for (int i = 0; i < 12; ++i) {
+        if (i == 5) mirror.fail_member(1);
+        const std::string path = "/mnt/dir/f" + std::to_string(i);
+        auto fd = kernel.open(p, path, kern::kOCreat | kern::kORdWr);
+        if (!fd.ok()) break;
+        std::string data(rng.range(100, 30000), 'z');
+        (void)kernel.write(p, fd.value(), as_bytes(data));
+        (void)kernel.fsync(p, fd.value());
+        (void)kernel.close(p, fd.value());
+      }
+      sim::Rng crash_rng(seed + 99);
+      dev.crash(/*survive_p=*/0.0, crash_rng);
+      auto survivor = copy_device(dev);
+      (void)recover_image(*survivor);  // asserts mount + fsck
+    }
+  }
+}
 
 }  // namespace
 }  // namespace bsim::test
