@@ -1,12 +1,21 @@
 #!/usr/bin/env python3
-"""Cross-PR perf trend aggregator.
+"""Cross-PR perf trend aggregator + regression gate.
 
 Collects every BENCH_<name>.json emitted by the virtual-time benches (see
 bench/common.h::JsonReport) into one machine-readable BENCH_TREND.json and
 a human-readable TREND.md markdown table, so CI artifacts carry a single
 perf snapshot per run and successive runs can be diffed.
 
+With --baseline pointing at a previous run's BENCH_TREND.json (CI downloads
+the last artifact), every tracked bandwidth row is compared against the
+baseline and the script FAILS (exit 2) when any series regresses by more
+than --fail-threshold (default 10%) — the ROADMAP "gate on regressions"
+item. Tracked rows are those in reports whose unit is MBps, excluding
+ratio/count series (scaling factors and commit counts are not bandwidths;
+for counts, lower is better).
+
 Usage: trend.py [--dir DIR] [--out-json PATH] [--out-md PATH]
+               [--baseline PATH] [--fail-threshold FRAC]
 DIR defaults to the current directory (where the benches were run).
 Stdlib only; no third-party dependencies.
 """
@@ -16,6 +25,29 @@ import glob
 import json
 import os
 import sys
+
+# One-line context per bench series family, rendered into TREND.md so the
+# table is readable without the source.
+NOTES = {
+    "writepath": (
+        "Write-path ablation (ISSUE 5): buffered sequential writes through "
+        "xv6-on-Bento on 1/2/4/8-member RAID0 volumes. `Bento-seqwrite` is "
+        "the full configuration (pipelined journal commits + cross-op group "
+        "commit + request-queue plugging); the `-nopipeline`/`-nogroup`/"
+        "`-noplug` series each disable one mechanism. `*-scaling` is the "
+        "8-member/1-member ratio (gate: >=2.5x full). The C-kernel rows "
+        "track the per-page ->writepage path's journal commit count with "
+        "group commit on vs off (gate: >=5x fewer)."
+    ),
+    "striping": (
+        "RAID0 scaling sweep: raw volume bandwidth and the full "
+        "Bento-seqwrite stack vs member count."
+    ),
+    "redundancy": (
+        "RAID1 sweep: read scaling across replicas; writes must stay at "
+        "single-device cost."
+    ),
+}
 
 
 def load_reports(directory):
@@ -44,6 +76,10 @@ def render_markdown(reports):
         lines.append("")
         lines.append(f"## {rep['bench']} [{unit}]")
         lines.append("")
+        note = NOTES.get(rep["bench"])
+        if note:
+            lines.append(note)
+            lines.append("")
         # Pivot: one row per label, one column per series.
         series, labels = [], []
         cells = {}
@@ -65,11 +101,52 @@ def render_markdown(reports):
     return "\n".join(lines)
 
 
+def tracked_rows(reports):
+    """(bench, series, label) -> value for the bandwidth rows the
+    regression gate watches."""
+    out = {}
+    for rep in reports:
+        if rep.get("unit") != "MBps":
+            continue
+        for row in rep["rows"]:
+            series = row["series"]
+            # Ratios and counts ride along in MBps reports but are not
+            # bandwidths (and for commit counts, lower is better).
+            if "scaling" in series or "commit" in series or "count" in series:
+                continue
+            out[(rep["bench"], series, row["label"])] = row["value"]
+    return out
+
+
+def check_regressions(reports, baseline_path, threshold):
+    try:
+        with open(baseline_path) as f:
+            base = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"trend.py: no usable baseline ({e}); gate skipped",
+              file=sys.stderr)
+        return []
+    base_rows = tracked_rows(base.get("reports", []))
+    new_rows = tracked_rows(reports)
+    regressions = []
+    for key, old in base_rows.items():
+        new = new_rows.get(key)
+        if new is None or old <= 0:
+            continue  # series removed/renamed: not a perf regression
+        if new < old * (1.0 - threshold):
+            regressions.append((key, old, new))
+    return regressions
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("--dir", default=".")
     ap.add_argument("--out-json", default=None)
     ap.add_argument("--out-md", default=None)
+    ap.add_argument("--baseline", default=None,
+                    help="previous run's BENCH_TREND.json to gate against")
+    ap.add_argument("--fail-threshold", type=float, default=0.10,
+                    help="relative MBps drop that fails the gate")
     args = ap.parse_args()
 
     out_json = args.out_json or os.path.join(args.dir, "BENCH_TREND.json")
@@ -90,6 +167,18 @@ def main():
         f.write(render_markdown(reports))
     print(f"trend.py: aggregated {len(reports)} benches -> "
           f"{out_json}, {out_md}")
+
+    if args.baseline:
+        regressions = check_regressions(reports, args.baseline,
+                                        args.fail_threshold)
+        if regressions:
+            for (bench, series, label), old, new in regressions:
+                print(f"trend.py: REGRESSION {bench}/{series}/{label}: "
+                      f"{old:g} -> {new:g} MBps "
+                      f"({(new / old - 1) * 100:+.1f}%)", file=sys.stderr)
+            return 2
+        print("trend.py: regression gate passed "
+              f"(threshold {args.fail_threshold:.0%})")
     return 0
 
 

@@ -109,6 +109,11 @@ class FileSystem {
   [[nodiscard]] virtual std::string_view version() const { return "v1"; }
 
   // ---- lifecycle ----
+  /// Mount-option delivery, called by the mounting driver BEFORE init()
+  /// with the free-form "-o" string. File systems parse what they
+  /// recognize and ignore the rest; wrapper file systems forward to the
+  /// file system they stack over. Default: ignore everything.
+  virtual void apply_mount_opts(std::string_view opts) { (void)opts; }
   /// Mount-time initialization: read the superblock, recover the journal.
   virtual Err init(const Request& req, SbRef sb) = 0;
   /// Unmount: flush everything.

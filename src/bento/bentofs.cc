@@ -397,12 +397,14 @@ Result<kern::SuperBlock*> BentoFsType::mount(blk::BlockDevice& dev,
   auto module = std::make_unique<BentoModule>(*sb, factory_());
   sb->fs_info = module.get();
   sb->s_op = module.get();
+  module->fs().apply_mount_opts(opts);
   Err e = module->mount_init();
   if (e != Err::Ok) return e;
   // Background writeback for the kernel-Bento deployment: threshold
-  // writeback moves off the writer's clock. Buffer draining is safe here
-  // because the xv6 log syncs every buffer it dirties before returning,
-  // so nothing WAL-ordered is ever left dirty between operations.
+  // writeback moves off the writer's clock. Buffer draining is safe even
+  // with group commit leaving journaled blocks dirty across operations:
+  // the journal pins them (BufferHead::jdirty) and the drain skips
+  // pinned buffers, so WAL ordering holds.
   // "-o noflusher" keeps the old writer-context behaviour (ablations).
   kern::FlusherParams fp;
   fp.drain_buffers = true;

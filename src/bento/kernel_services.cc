@@ -34,7 +34,9 @@ WriteTicket BlockBackend::bh_sync_batch_async(std::span<void* const> impls) {
   return WriteTicket{};
 }
 
-void BlockBackend::bh_sync_wait(const WriteTicket&) {}
+void BlockBackend::bh_sync_wait(const WriteTicket& t) {
+  if (t.barrier > 0) sim::current().wait_until(t.barrier);
+}
 
 void SuperBlockCap::sync_batch(std::span<BufferHeadHandle* const> handles) {
   // The barrier form is exactly submit-then-redeem (the default backend
@@ -86,6 +88,16 @@ void BufferHeadHandle::reset() {
 void KernelBlockBackend::flush_all() {
   cache_->sync_all();
   cache_->issue_flush();
+}
+
+WriteTicket KernelBlockBackend::flush_all_async() {
+  // Same program point as flush_all — media/durability effects land now
+  // (writeback of unpinned dirty buffers, then the device FLUSH barrier)
+  // — but the caller is not advanced; the completion rides the ticket.
+  cache_->sync_all_nowait();
+  WriteTicket t;
+  t.barrier = cache_->device().flush_nowait();
+  return t;
 }
 
 kern::Result<BufferHeadHandle> KernelBlockBackend::bread(
@@ -147,6 +159,17 @@ WriteTicket KernelBlockBackend::bh_sync_batch_async(
 
 void KernelBlockBackend::bh_sync_wait(const WriteTicket& t) {
   cache_->wait(t.ticket);
+  if (t.barrier > 0) sim::current().wait_until(t.barrier);
+}
+
+void KernelBlockBackend::bh_pin_journal(std::uint64_t blockno, bool pin) {
+  cache_->pin_journal(blockno, pin);
+}
+
+void KernelBlockBackend::io_plug() { cache_->plug(); }
+
+WriteTicket KernelBlockBackend::io_unplug() {
+  return WriteTicket{cache_->unplug()};
 }
 
 void KernelBlockBackend::bh_release(void* impl) {

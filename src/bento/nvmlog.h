@@ -64,6 +64,12 @@ class NvmLogFs final : public FileSystem {
     return "nvmlog-v1";
   }
 
+  /// Mount options concern the stacked-over file system (journal tuning
+  /// etc.); forward them.
+  void apply_mount_opts(std::string_view opts) override {
+    lower_->apply_mount_opts(opts);
+  }
+
   kern::Err init(const Request& req, SbRef sb) override;
   void destroy(const Request& req, SbRef sb) override;
 

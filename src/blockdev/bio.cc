@@ -33,14 +33,14 @@ void RequestQueue::dispatch(std::vector<Bio*>& list, sim::Nanos& last_done) {
   }
 }
 
-sim::Nanos RequestQueue::start_batch(std::span<Bio> bios) {
+sim::Nanos RequestQueue::start_batch(std::span<Bio* const> bios) {
   stats_.batches += 1;
   stats_.bios += bios.size();
 
   std::vector<Bio*> reads, writes;
-  for (Bio& b : bios) {
-    assert(!b.vecs.empty() && "submitting an empty bio");
-    (b.op == BioOp::Read ? reads : writes).push_back(&b);
+  for (Bio* b : bios) {
+    assert(!b->vecs.empty() && "submitting an empty bio");
+    (b->op == BioOp::Read ? reads : writes).push_back(b);
   }
 
   // Writes dispatch before reads so that media effects (and crash-model
@@ -54,6 +54,11 @@ sim::Nanos RequestQueue::start_batch(std::span<Bio> bios) {
 }
 
 sim::Nanos RequestQueue::submit(std::span<Bio> bios) {
+  const std::vector<Bio*> ptrs = bio_ptrs(bios);
+  return submit(std::span<Bio* const>(ptrs));
+}
+
+sim::Nanos RequestQueue::submit(std::span<Bio* const> bios) {
   if (bios.empty()) return sim::now();
   const sim::Nanos last_done = start_batch(bios);
   sim::current().wait_until(last_done);
@@ -61,6 +66,11 @@ sim::Nanos RequestQueue::submit(std::span<Bio> bios) {
 }
 
 Ticket RequestQueue::submit_async(std::span<Bio> bios) {
+  const std::vector<Bio*> ptrs = bio_ptrs(bios);
+  return submit_async(std::span<Bio* const>(ptrs));
+}
+
+Ticket RequestQueue::submit_async(std::span<Bio* const> bios) {
   if (bios.empty()) return Ticket{};
   const sim::Nanos last_done = start_batch(bios);
   stats_.async_batches += 1;

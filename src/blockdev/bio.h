@@ -132,6 +132,16 @@ struct RequestQueueStats {
   std::uint64_t max_inflight = 0;   // peak unredeemed async tickets
 };
 
+/// Value-batch to pointer-batch conversion (the device layer's plug and
+/// the queue's span<Bio> convenience overloads both funnel through the
+/// pointer shape).
+inline std::vector<Bio*> bio_ptrs(std::span<Bio> bios) {
+  std::vector<Bio*> ptrs;
+  ptrs.reserve(bios.size());
+  for (Bio& b : bios) ptrs.push_back(&b);
+  return ptrs;
+}
+
 /// Handle for an in-flight async batch. Redeem with RequestQueue::wait;
 /// default-constructed tickets are empty and wait() on them is a no-op.
 /// Tickets may be redeemed in any order — each one independently records
@@ -159,6 +169,9 @@ class RequestQueue {
   /// Reads and writes in one batch must not overlap block ranges (no
   /// consumer mixes them; a batch is one direction of one subsystem).
   sim::Nanos submit(std::span<Bio> bios);
+  /// Pointer-batch form (the device layer's plug/unplug path hands the
+  /// accumulated bios over as pointers; same semantics).
+  sim::Nanos submit(std::span<Bio* const> bios);
 
   /// One-bio convenience (the scalar read/write path).
   sim::Nanos submit(Bio& bio) { return submit(std::span<Bio>(&bio, 1)); }
@@ -172,6 +185,7 @@ class RequestQueue {
   /// Media effects and the crash model's write-command count still happen
   /// at submission, in submission order.
   Ticket submit_async(std::span<Bio> bios);
+  Ticket submit_async(std::span<Bio* const> bios);
 
   /// Redeem a ticket: advance the calling thread to the batch's completion
   /// (no-op for empty tickets or if the caller's clock is already past it).
@@ -189,7 +203,7 @@ class RequestQueue {
 
  private:
   /// Sort + merge + dispatch; fills done_at, returns last completion.
-  sim::Nanos start_batch(std::span<Bio> bios);
+  sim::Nanos start_batch(std::span<Bio* const> bios);
   void dispatch(std::vector<Bio*>& list, sim::Nanos& last_done);
 
   BlockDevice* dev_;

@@ -58,6 +58,7 @@ MirroredDevice::MirroredDevice(MirrorParams mp,
   }
   healthy_.assign(members_.size(), true);
   busy_until_.assign(members_.size(), 0);
+  lat_ewma_.assign(members_.size(), 0);
   last_read_end_.assign(members_.size(), ~0ULL);
   rebuild_buf_.resize(std::max<std::size_t>(mirror_.rebuild_batch, 1));
 }
@@ -101,19 +102,23 @@ std::size_t MirroredDevice::pick_read_member(std::uint64_t first_block) {
     }
     return n;  // no healthy member
   }
-  // Shortest queue: least outstanding volume-submitted work, DeviceStats
-  // busy as the tie-break (the long-term balance signal), then index.
+  // Shortest queue: lowest EXPECTED completion — outstanding
+  // volume-submitted work plus the member's observed-latency EWMA (a
+  // member that finishes bios slowly scores worse than an equally-deep
+  // fast one) — with DeviceStats busy as the tie-break (the long-term
+  // balance signal), then index.
   const sim::Nanos now = sim::now();
   std::size_t best = n;
-  sim::Nanos best_pending = 0;
+  sim::Nanos best_score = 0;
   for (std::size_t m = 0; m < n; ++m) {
     if (!healthy_[m]) continue;
     const sim::Nanos pending = busy_until_[m] > now ? busy_until_[m] - now : 0;
-    if (best == n || pending < best_pending ||
-        (pending == best_pending &&
+    const sim::Nanos score = pending + lat_ewma_[m];
+    if (best == n || score < best_score ||
+        (score == best_score &&
          members_[m]->stats().busy < members_[best]->stats().busy)) {
       best = m;
-      best_pending = pending;
+      best_score = score;
     }
   }
   return best;
@@ -121,6 +126,18 @@ std::size_t MirroredDevice::pick_read_member(std::uint64_t first_block) {
 
 void MirroredDevice::note_submission(std::size_t member, const Ticket& t) {
   busy_until_[member] = std::max(busy_until_[member], t.done);
+}
+
+void MirroredDevice::note_latency(std::size_t member, sim::Nanos sample) {
+  if (sample < 0) sample = 0;
+  // Read completions only (writes replicate to every member, so their
+  // latency carries no routing signal and would just flatten the scale).
+  // alpha = 1/8; seeded by the first observation so one slow replica is
+  // visible immediately instead of being averaged up from zero.
+  lat_ewma_[member] = lat_ewma_[member] == 0
+                          ? sample
+                          : lat_ewma_[member] - lat_ewma_[member] / 8 +
+                                sample / 8;
 }
 
 void MirroredDevice::submit_writes(const std::vector<Bio*>& parents,
@@ -198,6 +215,7 @@ void MirroredDevice::submit_reads(const std::vector<Bio*>& parents,
     for (const BioVec& v : parent->vecs) frag.add_read(v.blockno, v.data);
   }
 
+  const sim::Nanos submitted_at = sim::now();
   for (std::size_t m = 0; m < n; ++m) {
     if (frags[m].empty()) continue;
     const Ticket t = members_[m]->submit_async(frags[m]);
@@ -209,6 +227,7 @@ void MirroredDevice::submit_reads(const std::vector<Bio*>& parents,
       parent->done_at = std::max(parent->done_at, frags[m][i].done_at);
       parent->applied = frags[m][i].applied;
       parent->io_error = frags[m][i].io_error;
+      note_latency(m, frags[m][i].done_at - submitted_at);
     }
   }
 
@@ -243,7 +262,7 @@ void MirroredDevice::submit_reads(const std::vector<Bio*>& parents,
 }
 
 MirroredDevice::MemberTickets MirroredDevice::route_batch(
-    std::span<Bio> bios, sim::Nanos& last_done) {
+    std::span<Bio* const> bios, sim::Nanos& last_done) {
   vstats_.batches += 1;
   vstats_.bios += bios.size();
 
@@ -251,8 +270,8 @@ MirroredDevice::MemberTickets MirroredDevice::route_batch(
   // bio-by-bio in stable first-block order (see RequestQueue::dispatch),
   // so kill_after(n) selects the SAME n logical bios as on one device.
   std::vector<Bio*> writes, survivors, killed, reads;
-  for (Bio& b : bios) {
-    (b.op == BioOp::Write ? writes : reads).push_back(&b);
+  for (Bio* b : bios) {
+    (b->op == BioOp::Write ? writes : reads).push_back(b);
   }
   std::stable_sort(writes.begin(), writes.end(),
                    [](const Bio* a, const Bio* b) {
@@ -282,7 +301,7 @@ MirroredDevice::MemberTickets MirroredDevice::route_batch(
   return tickets;
 }
 
-sim::Nanos MirroredDevice::submit(std::span<Bio> bios) {
+sim::Nanos MirroredDevice::submit_impl(std::span<Bio* const> bios) {
   if (bios.empty()) return sim::now();
   rebuild_poke(sim::now());
   sim::Nanos last_done = sim::now();
@@ -292,7 +311,7 @@ sim::Nanos MirroredDevice::submit(std::span<Bio> bios) {
   return last_done;
 }
 
-Ticket MirroredDevice::submit_async(std::span<Bio> bios) {
+Ticket MirroredDevice::submit_async_impl(std::span<Bio* const> bios) {
   if (bios.empty()) return Ticket{};
   rebuild_poke(sim::now());
   sim::Nanos last_done = sim::now();
@@ -305,7 +324,7 @@ Ticket MirroredDevice::submit_async(std::span<Bio> bios) {
   return Ticket{last_done, id};
 }
 
-sim::Nanos MirroredDevice::wait(const Ticket& t) {
+sim::Nanos MirroredDevice::wait_impl(const Ticket& t) {
   if (!t.valid()) return sim::now();
   auto it = outstanding_.find(t.id);
   if (it != outstanding_.end()) {
@@ -319,7 +338,7 @@ sim::Nanos MirroredDevice::wait(const Ticket& t) {
   return t.done;
 }
 
-sim::Nanos MirroredDevice::flush_nowait() {
+sim::Nanos MirroredDevice::flush_nowait_impl() {
   rebuild_poke(sim::now());
   // FLUSH every serving member in parallel; the volume's flush completes
   // when the slowest replica destages. A failed member is gone — it

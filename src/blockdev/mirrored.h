@@ -9,10 +9,13 @@
 // single-device write costs, not N of them). Reads are balanced across the
 // healthy members by a per-bio policy:
 //   - round-robin (`policy=rr`, default): cycle through healthy members;
-//   - shortest-queue (`policy=sq`): pick the member with the least
-//     outstanding work, estimated from the completion times of what the
-//     volume has submitted to it, with the member's cumulative
-//     DeviceStats::busy as the tie-break.
+//   - shortest-queue (`policy=sq`): pick the member with the lowest
+//     expected completion time — outstanding volume-submitted work PLUS
+//     an EWMA of the member's observed per-bio completion latency
+//     (Bio::done_at), with cumulative DeviceStats::busy as the
+//     tie-break. The latency term makes an intrinsically slow replica
+//     (degraded flash, a rebuilding member) repel reads even when queue
+//     depths are momentarily equal.
 // With all members healthy an N-way mirror therefore serves ~N× the
 // random-read bandwidth of one device.
 //
@@ -132,12 +135,11 @@ class MirroredDevice final : public BlockDevice {
     return healthy_members() < members_.size();
   }
 
-  // ---- submission ----
-  using BlockDevice::submit;  // keep the one-bio convenience visible
-  sim::Nanos submit(std::span<Bio> bios) override;
-  Ticket submit_async(std::span<Bio> bios) override;
-  sim::Nanos wait(const Ticket& t) override;
-  sim::Nanos flush_nowait() override;
+  /// Observed completion-latency EWMA for member `i` (shortest-queue
+  /// policy input; 0 until the member has served anything).
+  [[nodiscard]] sim::Nanos member_latency_ewma(std::size_t i) const {
+    return lat_ewma_[i];
+  }
 
   void read_untimed(std::uint64_t blockno, std::span<std::byte> out) override;
   void write_untimed(std::uint64_t blockno,
@@ -170,6 +172,14 @@ class MirroredDevice final : public BlockDevice {
   [[nodiscard]] std::uint64_t dirty_blocks() const override;
   [[nodiscard]] const DeviceStats& stats() const override;
 
+ protected:
+  // ---- submission (BlockDevice impl hooks; the public entry points add
+  // the plug layer) ----
+  sim::Nanos submit_impl(std::span<Bio* const> bios) override;
+  Ticket submit_async_impl(std::span<Bio* const> bios) override;
+  sim::Nanos wait_impl(const Ticket& t) override;
+  sim::Nanos flush_nowait_impl() override;
+
  private:
   using MemberTickets = std::vector<std::pair<std::size_t, Ticket>>;
 
@@ -187,12 +197,16 @@ class MirroredDevice final : public BlockDevice {
   /// Replicate/balance one batch; returns member tickets and the batch's
   /// last completion time. Applies the logical-bio kill model and the
   /// read-error failover.
-  MemberTickets route_batch(std::span<Bio> bios, sim::Nanos& last_done);
+  MemberTickets route_batch(std::span<Bio* const> bios,
+                            sim::Nanos& last_done);
   void submit_writes(const std::vector<Bio*>& parents, MemberTickets& tickets,
                      sim::Nanos& last_done);
   void submit_reads(const std::vector<Bio*>& parents, MemberTickets& tickets,
                     sim::Nanos& last_done);
   void note_submission(std::size_t member, const Ticket& t);
+  /// Fold one observed bio completion (done_at - submission time) into the
+  /// member's latency EWMA (alpha = 1/8, like md's io-latency averaging).
+  void note_latency(std::size_t member, sim::Nanos sample);
 
   /// Advance the resync while its clock stays within rebuild_lead of
   /// `horizon`; completes the rebuild when the cursor reaches the end.
@@ -210,6 +224,11 @@ class MirroredDevice final : public BlockDevice {
   /// Estimated absolute time each member's queue drains what WE submitted
   /// (shortest-queue policy input; per-member DeviceStats break ties).
   std::vector<sim::Nanos> busy_until_;
+  /// EWMA of observed per-member completion latency (Bio::done_at minus
+  /// submission time). The sq policy adds this to the outstanding-work
+  /// estimate, so a member that is intrinsically slow (not merely busy)
+  /// repels reads even at equal queue depth (ROADMAP follow-up).
+  std::vector<sim::Nanos> lat_ewma_;
   /// One past the last block of the latest read routed to each member
   /// (the sequential-affinity "head position").
   std::vector<std::uint64_t> last_read_end_;

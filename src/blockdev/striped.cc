@@ -175,8 +175,8 @@ void StripedDevice::submit_fragments(const std::vector<Bio*>& parents,
   }
 }
 
-StripedDevice::ChildTickets StripedDevice::route_batch(std::span<Bio> bios,
-                                                       sim::Nanos& last_done) {
+StripedDevice::ChildTickets StripedDevice::route_batch(
+    std::span<Bio* const> bios, sim::Nanos& last_done) {
   vstats_.batches += 1;
   vstats_.bios += bios.size();
 
@@ -185,8 +185,8 @@ StripedDevice::ChildTickets StripedDevice::route_batch(std::span<Bio> bios,
   // so kill_after(n) on a striped volume selects the SAME n logical bios
   // as on one device for an identical submission sequence.
   std::vector<Bio*> writes, survivors, killed;
-  for (Bio& b : bios) {
-    if (b.op == BioOp::Write) writes.push_back(&b);
+  for (Bio* b : bios) {
+    if (b->op == BioOp::Write) writes.push_back(b);
   }
   std::stable_sort(writes.begin(), writes.end(),
                    [](const Bio* a, const Bio* b) {
@@ -200,8 +200,8 @@ StripedDevice::ChildTickets StripedDevice::route_batch(std::span<Bio> bios,
     }
     (fire ? killed : survivors).push_back(w);
   }
-  for (Bio& b : bios) {
-    if (b.op == BioOp::Read) survivors.push_back(&b);
+  for (Bio* b : bios) {
+    if (b->op == BioOp::Read) survivors.push_back(b);
   }
 
   ChildTickets tickets;
@@ -219,7 +219,7 @@ StripedDevice::ChildTickets StripedDevice::route_batch(std::span<Bio> bios,
   return tickets;
 }
 
-sim::Nanos StripedDevice::submit(std::span<Bio> bios) {
+sim::Nanos StripedDevice::submit_impl(std::span<Bio* const> bios) {
   if (bios.empty()) return sim::now();
   sim::Nanos last_done = sim::now();
   ChildTickets tickets = route_batch(bios, last_done);
@@ -228,7 +228,7 @@ sim::Nanos StripedDevice::submit(std::span<Bio> bios) {
   return last_done;
 }
 
-Ticket StripedDevice::submit_async(std::span<Bio> bios) {
+Ticket StripedDevice::submit_async_impl(std::span<Bio* const> bios) {
   if (bios.empty()) return Ticket{};
   sim::Nanos last_done = sim::now();
   ChildTickets tickets = route_batch(bios, last_done);
@@ -240,7 +240,7 @@ Ticket StripedDevice::submit_async(std::span<Bio> bios) {
   return Ticket{last_done, id};
 }
 
-sim::Nanos StripedDevice::wait(const Ticket& t) {
+sim::Nanos StripedDevice::wait_impl(const Ticket& t) {
   if (!t.valid()) return sim::now();
   auto it = outstanding_.find(t.id);
   if (it != outstanding_.end()) {
@@ -251,7 +251,7 @@ sim::Nanos StripedDevice::wait(const Ticket& t) {
   return t.done;
 }
 
-sim::Nanos StripedDevice::flush_nowait() {
+sim::Nanos StripedDevice::flush_nowait_impl() {
   // FLUSH every member in parallel: each barriers its own channels; the
   // volume's flush completes when the slowest member destages.
   sim::Nanos done = sim::now();

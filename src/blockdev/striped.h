@@ -110,13 +110,13 @@ class StripedDevice final : public BlockDevice {
   [[nodiscard]] std::size_t child_of(std::uint64_t blockno) const override;
   /// The member-local block number logical `blockno` maps to.
   [[nodiscard]] std::uint64_t child_block_of(std::uint64_t blockno) const;
-
-  // ---- submission ----
-  using BlockDevice::submit;  // keep the one-bio convenience visible
-  sim::Nanos submit(std::span<Bio> bios) override;
-  Ticket submit_async(std::span<Bio> bios) override;
-  sim::Nanos wait(const Ticket& t) override;
-  sim::Nanos flush_nowait() override;
+  /// One full stripe row in logical blocks (the writeback-clustering
+  /// geometry hint). Linear concat has no row geometry.
+  [[nodiscard]] std::uint64_t stripe_width_blocks() const override {
+    return stripe_.mode == StripeMode::Raid0
+               ? stripe_.chunk_blocks * children_.size()
+               : 0;
+  }
 
   void read_untimed(std::uint64_t blockno, std::span<std::byte> out) override;
   void write_untimed(std::uint64_t blockno,
@@ -142,12 +142,20 @@ class StripedDevice final : public BlockDevice {
   [[nodiscard]] std::uint64_t dirty_blocks() const override;
   [[nodiscard]] const DeviceStats& stats() const override;
 
+ protected:
+  // ---- submission (BlockDevice impl hooks; the public entry points add
+  // the plug layer, whose deferred batches route here at unplug) ----
+  sim::Nanos submit_impl(std::span<Bio* const> bios) override;
+  Ticket submit_async_impl(std::span<Bio* const> bios) override;
+  sim::Nanos wait_impl(const Ticket& t) override;
+  sim::Nanos flush_nowait_impl() override;
+
  private:
   using ChildTickets = std::vector<std::pair<std::size_t, Ticket>>;
 
   /// Split + route one batch; returns the child tickets and the batch's
   /// last completion time. Applies the logical-bio kill model.
-  ChildTickets route_batch(std::span<Bio> bios, sim::Nanos& last_done);
+  ChildTickets route_batch(std::span<Bio* const> bios, sim::Nanos& last_done);
   /// Split `parents` into per-child fragment batches and submit each
   /// child's batch async (child index order). Appends tickets.
   void submit_fragments(const std::vector<Bio*>& parents,

@@ -23,23 +23,51 @@ constexpr std::size_t kTxnCommitThreshold = 2048;  // blocks
 
 void Ext4Mount::j_write(std::uint32_t blockno) {
   sim::ScopedLock guard(journal_lock_);
+  // The journal owns this dirty buffer until its checkpoint lands it:
+  // background writeback and eviction must not write it ahead of the
+  // commit record.
+  sb_->bufcache().pin_journal(blockno, true);
   if (std::find(running_txn_.begin(), running_txn_.end(), blockno) ==
       running_txn_.end()) {
     running_txn_.push_back(blockno);
   }
 }
 
+void Ext4Mount::j_wait_oldest() {
+  if (jpipeline_.empty()) return;
+  auto& bc = sb_->bufcache();
+  for (const blk::Ticket& t : jpipeline_.front()) bc.wait(t);
+  jpipeline_.pop_front();
+}
+
+void Ext4Mount::j_drain() {
+  while (!jpipeline_.empty()) j_wait_oldest();
+}
+
 Err Ext4Mount::j_commit(bool flush_device) {
   auto& bc = sb_->bufcache();
   std::size_t written = 0;
-  // Checkpoints are submitted async: record N's home-location writes stay
-  // in flight while record N+1's journal run is written, so commits
-  // overlap checkpointing across the device channels. All tickets are
-  // redeemed before the commit returns (and before any FLUSH) — error
-  // paths included, via fail().
-  std::vector<blk::Ticket> checkpoints;
+
+  // No-op commit skip: a flush-commit with nothing tagged, nothing in
+  // flight, and nothing written since the last FLUSH would pay a full
+  // device FLUSH for no durability gain.
+  if (running_txn_.empty() && jpipeline_.empty() && !jdirty_since_flush_) {
+    jstats_.empty_commits_skipped += 1;
+    committed_seq_ = op_seq_;
+    return Err::Ok;
+  }
+
+  // Pipelined commit: every write of this commit (journal run, commit
+  // record, checkpoint) rides async tickets. Media effects land at
+  // submission in program order, so journal-area reuse and crash
+  // semantics are unchanged; only the completions stay outstanding,
+  // bounded by kJPipelineDepth commits (oldest redeemed first).
+  constexpr std::size_t kJPipelineDepth = 2;
+  while (jpipeline_.size() >= kJPipelineDepth) j_wait_oldest();
+  std::vector<blk::Ticket> tickets;
   auto fail = [&](Err e) {
-    for (const blk::Ticket& t : checkpoints) bc.wait(t);
+    for (const blk::Ticket& t : tickets) bc.wait(t);
+    j_drain();
     return e;
   };
   while (written < running_txn_.size()) {
@@ -86,11 +114,12 @@ Err Ext4Mount::j_commit(bool flush_device) {
         jrun.push_back(dst.value());
         bc.brelse(src.value());
       }
-      bc.sync_dirty_buffers(jrun);
+      tickets.push_back(bc.sync_dirty_buffers_async(jrun));
       for (auto* bh : jrun) bc.brelse(bh);
     }
-    // Commit record: strictly ordered after the journal data (the batch
-    // above completed before this write is issued).
+    // Commit record: strictly ordered after the journal data on media
+    // (media effects land at submission, in submission order); only the
+    // transfer completions ride the tickets.
     JCommit commit;
     commit.magic = kJCommitMagic;
     commit.seq = jseq_;
@@ -98,7 +127,11 @@ Err Ext4Mount::j_commit(bool flush_device) {
     if (!cb.ok()) return fail(cb.error());
     std::memcpy(cb.value()->bytes().data(), &commit, sizeof(commit));
     bc.mark_dirty(cb.value());
-    bc.sync_dirty_buffer(cb.value());
+    {
+      kern::BufferHead* cbh = cb.value();
+      tickets.push_back(bc.sync_dirty_buffers_async(
+          std::span<kern::BufferHead* const>(&cbh, 1)));
+    }
     bc.brelse(cb.value());
 
     // Checkpoint: write home locations (device write cache; durability
@@ -116,7 +149,7 @@ Err Ext4Mount::j_commit(bool flush_device) {
         bc.mark_dirty(bh.value());
         homes.push_back(bh.value());
       }
-      checkpoints.push_back(bc.sync_dirty_buffers_async(homes));
+      tickets.push_back(bc.sync_dirty_buffers_async(homes));
       for (auto* h : homes) bc.brelse(h);
     }
     jseq_ += 1;
@@ -124,15 +157,36 @@ Err Ext4Mount::j_commit(bool flush_device) {
     jstats_.blocks_journaled += n;
     written += n;
   }
+  if (!running_txn_.empty()) jdirty_since_flush_ = true;
   running_txn_.clear();
-  for (const blk::Ticket& t : checkpoints) bc.wait(t);
+  committed_seq_ = op_seq_;
+
   if (flush_device) {
+    // Durability barrier: every in-flight commit's transfers complete,
+    // then the device FLUSH covers them.
+    for (const blk::Ticket& t : tickets) bc.wait(t);
+    j_drain();
     flush_start_ = sim::now();
     sb_->bdev().flush();
     flush_end_ = sim::now();
+    jdirty_since_flush_ = false;
+    last_commit_end_ = sim::now();
+    return Err::Ok;
   }
-  committed_seq_ = op_seq_;
-  last_commit_end_ = sim::now();
+
+  sim::Nanos commit_end = sim::now();
+  for (const blk::Ticket& t : tickets) {
+    commit_end = std::max(commit_end, t.done);
+  }
+  last_commit_end_ = commit_end;
+  if (!jpipeline_enabled_) {
+    for (const blk::Ticket& t : tickets) bc.wait(t);
+    return Err::Ok;
+  }
+  if (!tickets.empty()) {
+    jstats_.pipelined_commits += 1;
+    jpipeline_.push_back(std::move(tickets));
+  }
   return Err::Ok;
 }
 
@@ -158,6 +212,7 @@ Err Ext4Mount::j_force(std::uint64_t op_seq) {
   if (shares_flush) {
     const sim::Nanos ride_until = flush_end_;
     BSIM_TRY(j_commit(/*flush_device=*/false));
+    j_drain();  // fsync durability claim: transfers complete before return
     sim::current().wait_until(ride_until);
     jstats_.shared_commits += 1;
     return Err::Ok;
@@ -683,7 +738,10 @@ Err Ext4Mount::write_through_journal(kern::Inode& inode, std::uint64_t off,
         std::min<std::uint64_t>(kBlockSize - within, in.size() - done));
     auto addr = bmap(inode, bn, true);
     if (!addr.ok()) return addr.error();
-    auto bh = bc.bread(addr.value());
+    // Full-block overwrite skips the read-modify-write (the
+    // block_write_begin full-page shortcut).
+    auto bh = chunk == kBlockSize ? bc.getblk(addr.value())
+                                  : bc.bread(addr.value());
     if (!bh.ok()) return bh.error();
     std::memcpy(bh.value()->bytes().data() + within, in.data() + done, chunk);
     bc.mark_dirty(bh.value());
@@ -694,7 +752,14 @@ Err Ext4Mount::write_through_journal(kern::Inode& inode, std::uint64_t off,
   if (off + done > e->d.size) e->d.size = off + done;
   BSIM_TRY(iupdate(inode));
   op_seq_ += 1;
-  if (running_txn_.size() >= kTxnCommitThreshold) {
+  // Stripe-aware clustering: align the threshold commit to whole stripe
+  // rows so the checkpoint hands each member a full merged share.
+  std::size_t threshold = kTxnCommitThreshold;
+  const std::uint64_t width = sb_->bdev().stripe_width_blocks();
+  if (width > 0 && width < threshold) {
+    threshold -= threshold % static_cast<std::size_t>(width);
+  }
+  if (running_txn_.size() >= threshold) {
     sim::ScopedLock guard(journal_lock_);
     BSIM_TRY(j_commit(/*flush_device=*/false));
   }
@@ -1272,12 +1337,15 @@ class Ext4FsType final : public kern::FileSystemType {
   [[nodiscard]] std::string_view name() const override { return name_; }
 
   kern::Result<kern::SuperBlock*> mount(blk::BlockDevice& dev,
-                                        std::string_view) override {
+                                        std::string_view opts) override {
     auto sb = std::make_unique<kern::SuperBlock>(dev, 16384);
     sb->fs_name = name_;
     auto mnt = std::make_unique<Ext4Mount>(*sb);
     sb->fs_info = mnt.get();
     sb->s_op = mnt.get();
+    if (opts.find("nopipeline") != std::string_view::npos) {
+      mnt->set_pipeline(false);
+    }
     Err e = mnt->mount_init();
     if (e != Err::Ok) return e;
     mnt.release();

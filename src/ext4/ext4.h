@@ -2,6 +2,7 @@
 // See layout.h for what is and is not reproduced relative to real ext4.
 #pragma once
 
+#include <deque>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -17,6 +18,8 @@ struct JournalStats {
   std::uint64_t blocks_journaled = 0;
   std::uint64_t shared_commits = 0;  // fsyncs satisfied by group commit
   std::uint64_t recoveries = 0;
+  std::uint64_t pipelined_commits = 0;  // returned with transfers in flight
+  std::uint64_t empty_commits_skipped = 0;  // flush-commit with nothing to do
 };
 
 /// Block-mapping accounting: the regression stat for the readahead path.
@@ -42,6 +45,9 @@ class Ext4Mount final : public kern::InodeOps,
   void dispose_inode(kern::Inode& inode);
 
   [[nodiscard]] const JournalStats& journal_stats() const { return jstats_; }
+  /// "-o nopipeline": redeem every commit's tickets before returning
+  /// (the unpipelined oracle for the ablation/crash differentials).
+  void set_pipeline(bool on) { jpipeline_enabled_ = on; }
   [[nodiscard]] const MapStats& map_stats() const { return mstats_; }
   [[nodiscard]] std::uint64_t free_blocks_total() const;
   [[nodiscard]] std::uint64_t free_inodes_total() const;
@@ -98,11 +104,21 @@ class Ext4Mount final : public kern::InodeOps,
   };
 
   // ---- JBD2-style journal ----
-  /// Tag a modified (cached, dirty) block into the running transaction.
+  /// Tag a modified (cached, dirty) block into the running transaction
+  /// (pins the buffer for the journal until its checkpoint writes it).
   void j_write(std::uint32_t blockno);
   /// Commit the running transaction (journal writes + commit record +
-  /// checkpoint home blocks). Returns the commit-completion time.
+  /// checkpoint home blocks). Without `flush_device` the commit is
+  /// PIPELINED: every write rides an async ticket held in jpipeline_
+  /// (bounded depth; oldest redeemed first), so transaction N+1 opens
+  /// and absorbs writes while N's commit record and checkpoint are still
+  /// in flight — not just the checkpoint, as before. Journal-area reuse
+  /// is safe because all of N's writes are submitted (media order =
+  /// submission order) before N+1 copies over the area.
   kern::Err j_commit(bool flush_device);
+  /// Redeem the oldest in-flight commit / every in-flight commit.
+  void j_wait_oldest();
+  void j_drain();
   /// fsync path: make everything up to now durable; joins an in-flight
   /// group commit when possible.
   kern::Err j_force(std::uint64_t op_seq);
@@ -167,6 +183,12 @@ class Ext4Mount final : public kern::InodeOps,
   // (JBD2's transaction batching) instead of issuing their own.
   sim::Nanos flush_start_ = -1;
   sim::Nanos flush_end_ = -1;
+  /// Commits whose transfers are still in flight, oldest first.
+  std::deque<std::vector<blk::Ticket>> jpipeline_;
+  bool jpipeline_enabled_ = true;  // "-o nopipeline" disables
+  /// A commit wrote since the last device flush (the empty-commit /
+  /// no-op-flush skip bookkeeping).
+  bool jdirty_since_flush_ = false;
   JournalStats jstats_;
   MapStats mstats_;
   std::unordered_map<std::uint32_t, DirIndex> dir_indexes_;

@@ -244,6 +244,7 @@ kern::Result<kern::SuperBlock*> FuseFsType::mount(blk::BlockDevice& dev,
   }
   sb->fs_info = static_cast<bento::BentoModule*>(module.get());
   sb->s_op = module.get();
+  module->fs().apply_mount_opts(opts);
   Err e = module->mount_init();
   if (e != Err::Ok) return e;
   module.release();  // owned via sb->fs_info, reclaimed in kill_sb

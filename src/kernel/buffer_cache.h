@@ -9,6 +9,7 @@
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <list>
 #include <memory>
 #include <set>
@@ -31,6 +32,16 @@ struct BufferHead {
   std::uint64_t blockno = 0;
   bool uptodate = false;
   bool dirty = false;
+  /// Journal-pinned (jbd2's "managed by the journal"): the block belongs
+  /// to a running/uncommitted transaction. Background writeback
+  /// (collect_dirty, sync_all, eviction) must NOT write it to media — the
+  /// journal commit is the only path allowed to, or WAL ordering breaks.
+  /// Cleared when the commit path writes the buffer (set_clean).
+  bool jdirty = false;
+  /// Held by an open request plug (a deferred async write references this
+  /// buffer's bytes); eviction must keep it resident until the plug
+  /// closes.
+  bool plug_held = false;
   int refcount = 0;
   BufferCache* cache = nullptr;
   std::array<std::byte, blk::kBlockSize> data{};
@@ -50,6 +61,12 @@ struct BufferCacheStats {
   /// the dirty-block index a drain scans O(dirty) entries, not the whole
   /// cache — the flusher full-walk regression stat.
   std::uint64_t dirty_scanned = 0;
+  /// Dirty buffers skipped by background writeback because a journal
+  /// transaction owns them (BufferHead::jdirty).
+  std::uint64_t jdirty_skipped = 0;
+  /// flush_dirty_async batches whose boundary was trimmed to a stripe-row
+  /// edge (the stripe-aware clustering regression stat).
+  std::uint64_t stripe_aligned_batches = 0;
 };
 
 class BufferCache {
@@ -111,14 +128,39 @@ class BufferCache {
   /// media effects land), but the caller redeems the returned ticket
   /// later, so several batches can be in flight (QD>1). An empty span
   /// returns an empty ticket.
+  /// Under an open plug (see plug()) the submission is DEFERRED: the
+  /// cache keeps the bios alive, dispatch happens at unplug in one
+  /// merged elevator pass, and dirty state is retired then, applied-aware
+  /// as always.
   blk::Ticket sync_dirty_buffers_async(std::span<BufferHead* const> bhs);
 
   /// Redeem a ticket from sync_dirty_buffers_async (timed).
   void wait(const blk::Ticket& t) { dev_.wait(t); }
 
+  // ---- request plugging (blk_plug over the buffer cache) ----
+  /// Open a plug on the backing device: subsequent async writebacks
+  /// accumulate and dispatch as ONE cross-batch-merged submission at
+  /// unplug. The cache owns the deferred bios and retires dirty state
+  /// when the plug closes (or when a sync operation flushes it early).
+  void plug() { dev_.plug(); }
+  /// Close the plug, dispatch, retire deferred dirty state; returns the
+  /// combined batch's ticket (empty when nothing accumulated).
+  blk::Ticket unplug();
+
+  /// Journal pinning: while `pin` is set the buffer is owned by a running
+  /// transaction — background drains and eviction skip it (see
+  /// BufferHead::jdirty). No-op when the block is not cached.
+  void pin_journal(std::uint64_t blockno, bool pin);
+
   /// Write back every dirty buffer (timed) as one batched submission in
   /// ascending block order.
   void sync_all();
+
+  /// sync_all without the batch barrier: submit the dirty set (media
+  /// effects land now, dirty state retires applied-aware as always) and
+  /// return the ticket unredeemed — the non-blocking flush barrier's
+  /// writeback half.
+  blk::Ticket sync_all_nowait();
 
   /// Background-writeback drain: every dirty buffer, ascending block
   /// order, split into batches of at most `max_batch` buffers submitted
@@ -129,10 +171,15 @@ class BufferCache {
   /// restrict the drain to buffers whose block maps to that member
   /// device (`device().child_of`) — the per-device flusher's share; the
   /// defaults drain everything.
+  /// `use_plug` accumulates the batches under one request plug (one
+  /// elevator pass with cross-batch merging) instead of redeeming QD>1
+  /// tickets; batch boundaries are trimmed to stripe-row edges either way
+  /// when the volume has striping geometry (stripe-aware clustering).
   std::size_t flush_dirty_async(std::size_t max_batch,
                                 std::size_t queue_depth,
                                 std::size_t shard = 0,
-                                std::size_t nshards = 1);
+                                std::size_t nshards = 1,
+                                bool use_plug = true);
 
   /// Issue a device cache FLUSH (timed) — blkdev_issue_flush.
   void issue_flush();
@@ -160,6 +207,7 @@ class BufferCache {
   void set_clean(BufferHead* bh) {
     if (bh->dirty) {
       bh->dirty = false;
+      bh->jdirty = false;  // the journal's write reached the device
       assert(nr_dirty_ > 0);
       nr_dirty_ -= 1;
       dirty_index_.erase(bh->blockno);
@@ -168,6 +216,15 @@ class BufferCache {
       cnt -= 1;
     }
   }
+  /// Clear dirty state for the applied bios of one (possibly deferred)
+  /// writeback batch and count the writebacks.
+  void retire_batch(std::span<BufferHead* const> bhs,
+                    std::span<const blk::Bio> bios);
+  /// Pick the end of the next flush batch: at most `max_batch` buffers,
+  /// trimmed back to a stripe-row boundary when the device has striping
+  /// geometry (so no sub-batch splits a row across two submissions).
+  std::size_t batch_end(const std::vector<BufferHead*>& dirty, std::size_t i,
+                        std::size_t max_batch);
   /// Gather (this shard's slice of) the dirty set in ascending block
   /// order — an O(dirty) walk of the dirty-block index.
   std::vector<BufferHead*> collect_dirty(std::size_t shard = 0,
@@ -175,6 +232,14 @@ class BufferCache {
 
   blk::BlockDevice& dev_;
   std::size_t capacity_;
+  /// Batches deferred by an open plug: the cache must keep the bios (the
+  /// device holds pointers into them) and the buffer list (to retire
+  /// dirty state at unplug) alive until the plug closes.
+  struct PluggedBatch {
+    std::vector<blk::Bio> bios;
+    std::vector<BufferHead*> bhs;
+  };
+  std::deque<PluggedBatch> plug_held_;
   /// Dirty blocknos, ordered (the tagged-radix analogue): writeback walks
   /// this, never the whole map.
   std::set<std::uint64_t> dirty_index_;

@@ -71,8 +71,13 @@ struct FlusherParams {
   std::size_t queue_depth = 4;
   /// Whether to drain the buffer cache at all. Journaling file systems
   /// that must order metadata behind their journal manage buffer
-  /// writeback themselves and leave this off.
+  /// writeback themselves and leave this off. (Journal-pinned buffers
+  /// are skipped by the drain either way; see BufferHead::jdirty.)
   bool drain_buffers = false;
+  /// Drain the buffer batches under one request plug (one cross-batch
+  /// merged elevator pass per wake) instead of QD>1 ticket juggling.
+  /// "-o noplug" turns this off (the ablation escape hatch).
+  bool use_plug = true;
 };
 
 struct FlusherStats {

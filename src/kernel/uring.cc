@@ -99,21 +99,23 @@ unsigned IoUring::drain_bdev_run(const Sqe& first, OpenFile& of,
     bios.push_back(std::move(bio));
     cqes[i].res = len;
   }
+  stats_.bdev_batches += bios.size() > 1 ? 1 : 0;
   if (!bios.empty()) {
     // Async submission: this run's requests stay in flight while the SQ
     // drain continues, so consecutive runs (different ops or fds) overlap
     // across the device channels — QD>1 from one submitting thread. The
     // barrier is wait_inflight(), before any ordering-sensitive SQE and
-    // before io_uring_enter returns.
+    // before io_uring_enter returns. The bios move into the inflight
+    // record: a plugged device may defer dispatch and keep pointers into
+    // them until its plug closes.
     const blk::Ticket t = dev.submit_async(bios);
-    inflight.push_back(InflightRun{&dev, t});
+    inflight.push_back(InflightRun{&dev, t, std::move(bios)});
     stats_.async_runs += 1;
     stats_.max_inflight_runs =
         std::max<std::uint64_t>(stats_.max_inflight_runs, inflight.size());
   }
   for (const Cqe& cqe : cqes) cq_.push_back(cqe);
   stats_.sqes += run.size() - 1;  // caller counts the first
-  stats_.bdev_batches += bios.size() > 1 ? 1 : 0;
   return static_cast<unsigned>(run.size() - 1);
 }
 

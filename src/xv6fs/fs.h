@@ -33,6 +33,10 @@ class Xv6FileSystem : public bento::FileSystem {
  public:
   struct Options {
     Durability durability = Durability::Relaxed;
+    /// Write-path tuning: group commit, pipelining, plugging. Overridden
+    /// token-by-token from the mount-option string ("max_log_batch=N",
+    /// "nopipeline", "noplug", "nogroup"; see merge_log_opts).
+    LogParams log;
     /// Version tag surfaced through FileSystem::version() (upgrade demos).
     std::string version = "xv6fs-v1";
   };
@@ -42,6 +46,10 @@ class Xv6FileSystem : public bento::FileSystem {
 
   [[nodiscard]] std::string_view version() const override {
     return opts_.version;
+  }
+
+  void apply_mount_opts(std::string_view opts) override {
+    opts_.log = merge_log_opts(opts, opts_.log);
   }
 
   // ---- bento::FileSystem ----

@@ -1,18 +1,42 @@
 // The xv6 write-ahead log, ported to the Bento kernel-services API.
 //
 // Transactions follow xv6's protocol: modified blocks are recorded via
-// log_write while a transaction is open; end_op commits — copy the new
-// contents into the log area, write the header (the commit point), install
-// the blocks to their home locations, then clear the header. Every block
-// write in the commit path is a *synchronous* buffer write (the kernel's
-// sync_dirty_buffer; from userspace, pwrite + whole-file fsync — which is
-// precisely the §6.4 asymmetry between the kernel and FUSE deployments).
+// log_write while a transaction is open; a commit copies the new contents
+// into the log area, writes the header (the commit point), installs the
+// blocks to their home locations, then clears the header.
+//
+// Two throughput mechanisms sit on top of the base protocol (both jbd2
+// techniques; see ISSUE 5 / ARCHITECTURE.md write path):
+//
+//   Group commit — end_op no longer commits the moment the op count
+//   drains. Ops accumulate into one running transaction until
+//   `max_log_batch` ops have closed or the pending dirty-block count
+//   reaches a stripe-width-aligned threshold; fsync (force_commit) still
+//   forces immediately. While blocks are pending they are PINNED in the
+//   buffer cache (BufferHead::jdirty), so background writeback cannot
+//   put unjournaled state on media ahead of the commit record.
+//
+//   Pipelined commit — the commit's writes (log run, header, install,
+//   clear) are submitted on async tickets; media effects land at
+//   submission in program order, so crash semantics are unchanged, but
+//   the committing thread does not wait for the transfers. Transaction
+//   N+1 opens and absorbs writes while N's commit record and checkpoint
+//   are still in flight; at most `pipeline_depth` commits stay
+//   outstanding (the oldest is redeemed first), and force_commit drains
+//   everything before fsync's durability barrier. Log-area reuse is safe
+//   because all of commit N's writes are submitted before N+1 copies
+//   over the area — only completions are outstanding.
 //
 // Durability has two modes:
 //   Relaxed — synchronous writes only, no device FLUSH barriers. This is
-//             how the paper's implementation behaves on the PM981.
+//             how the paper's implementation behaves on the PM981. The
+//             install batch and header clear additionally share one
+//             request plug (one merged elevator pass) — there is no
+//             ordering claim between them without barriers.
 //   Strict  — FLUSH before the commit record and after install, making the
-//             commit point durable against power loss. The crash-
+//             commit point durable against power loss. The barriers are
+//             issued through the non-blocking flush (flush_all_async), so
+//             pipelining overlaps their completion too. The crash-
 //             consistency property tests run in this mode.
 //
 // Note on the contribution: this file is "file system code" in the paper's
@@ -21,6 +45,8 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
+#include <string_view>
 #include <vector>
 
 #include "bento/kernel_services.h"
@@ -31,11 +57,39 @@ namespace bsim::xv6 {
 
 enum class Durability { Relaxed, Strict };
 
+/// Write-path tuning (mount options; see merge_log_opts).
+struct LogParams {
+  /// Group commit: ops absorbed into one transaction before end_op
+  /// forces a commit. 1 = commit per op (the pre-pipelining behaviour).
+  std::size_t max_log_batch = 8;
+  /// Commit when this many blocks are pending. 0 = auto: the largest
+  /// whole-stripe-row count that still leaves kMaxOpBlocks of headroom.
+  std::size_t group_dirty_blocks = 0;
+  /// Pipelined commits ("nopipeline" disables): submit commit writes on
+  /// async tickets and only redeem them when the pipeline depth is
+  /// exceeded (or at fsync).
+  bool pipeline = true;
+  /// Commits whose transfers may be outstanding at once.
+  std::size_t pipeline_depth = 2;
+  /// Relaxed-mode install+clear request plugging ("noplug" disables).
+  bool plug = true;
+};
+
+/// Apply "max_log_batch=N", "log_blocks=N", "nopipeline", "noplug",
+/// "nogroup" (= max_log_batch=1) tokens from a mount-option string onto
+/// `base`; unrelated tokens are ignored.
+LogParams merge_log_opts(std::string_view opts, LogParams base);
+
 struct LogStats {
   std::uint64_t commits = 0;
   std::uint64_t blocks_logged = 0;
   std::uint64_t absorbed = 0;   // log_write hits on already-logged blocks
   std::uint64_t recoveries = 0; // non-empty header found at init
+  std::uint64_t ops_committed = 0;   // ops closed across all commits
+  std::uint64_t group_commits = 0;   // commits that closed >1 op
+  std::uint64_t pipelined_commits = 0;  // returned with transfers in flight
+  std::uint64_t empty_commits_skipped = 0;  // force_commit with nothing to do
+  std::uint64_t flushes_skipped = 0;  // fsync barriers skipped (already clean)
 };
 
 class Log {
@@ -46,54 +100,88 @@ class Log {
 
   /// Mount-time initialization + crash recovery.
   kern::Err init(bento::SuperBlockCap& sb, const DiskSuperblock& dsb,
-                 Durability durability);
+                 Durability durability, LogParams params = {});
 
   /// Open a transaction expected to touch at most `reserved` blocks
   /// (must be <= kMaxOpBlocks).
   void begin_op(bento::SuperBlockCap& sb, std::uint32_t reserved);
 
   /// Record a modified block in the running transaction (with absorption).
-  void log_write(std::uint32_t blockno);
+  /// Pins the block's buffer for the journal (background writeback skips
+  /// it until the commit writes it).
+  void log_write(bento::SuperBlockCap& sb, std::uint32_t blockno);
 
-  /// Close the transaction; commits when no other operation is open.
+  /// Close the transaction; commits when no other operation is open AND
+  /// the group-commit batch is full (max_log_batch ops or the pending
+  /// dirty-block threshold).
   kern::Err end_op(bento::SuperBlockCap& sb);
 
-  /// Force a commit of any pending writes (fsync path).
+  /// Force a commit of any pending writes and drain the commit pipeline
+  /// (fsync path): when this returns, every commit's transfers have
+  /// completed — the caller only adds the durability barrier.
   kern::Err force_commit(bento::SuperBlockCap& sb);
+
+  /// Does the caller's durability barrier have anything to cover? False
+  /// (and counted in flushes_skipped) when no commit happened since the
+  /// last note_flushed() — a no-op fsync skips the device FLUSH entirely.
+  [[nodiscard]] bool flush_needed();
+  void note_flushed() { commits_since_flush_ = 0; }
 
   [[nodiscard]] const LogStats& stats() const { return stats_; }
   [[nodiscard]] Durability durability() const { return durability_; }
   void set_durability(Durability d) { durability_ = d; }
+  [[nodiscard]] const LogParams& params() const { return params_; }
+  /// Commits whose transfers are still outstanding (tests/diagnostics).
+  [[nodiscard]] std::size_t inflight_commits() const {
+    return inflight_.size();
+  }
 
-  /// Export/import for online upgrade: the log must be empty (committed)
-  /// at transfer time; this carries geometry + stats across versions.
+  /// Export/import for online upgrade: the log must be empty (committed
+  /// and drained) at transfer time; this carries geometry + stats across
+  /// versions.
   struct Snapshot {
     DiskSuperblock dsb;
     Durability durability = Durability::Relaxed;
+    LogParams params;
     LogStats stats;
   };
-  [[nodiscard]] Snapshot snapshot() const { return {dsb_, durability_, stats_}; }
+  [[nodiscard]] Snapshot snapshot() const {
+    return {dsb_, durability_, params_, stats_};
+  }
   void adopt(const Snapshot& snap);
 
  private:
   kern::Err commit(bento::SuperBlockCap& sb);
-  /// Install logged blocks to their home locations. The checkpoint batch
-  /// is submitted through the async path: when `out_ticket` is non-null
-  /// the (possibly still in-flight) ticket is handed to the caller so the
-  /// next commit step can overlap the checkpoint; otherwise install waits
-  /// itself. In Strict mode the FLUSH barrier inside install covers the
-  /// async writes either way.
+  /// Redeem the oldest in-flight commit's tickets.
+  void wait_oldest(bento::SuperBlockCap& sb);
+  /// Redeem every in-flight commit (fsync / unmount barrier).
+  void drain(bento::SuperBlockCap& sb);
+  /// Pending-block count that triggers a group commit (stripe-aligned).
+  [[nodiscard]] std::size_t group_threshold(bento::SuperBlockCap& sb) const;
+  /// Install logged blocks to their home locations. With `out_tickets`
+  /// the checkpoint batch rides async tickets appended there (the
+  /// pipelined path); otherwise install waits itself (recovery).
   kern::Err install(bento::SuperBlockCap& sb, const LogHeader& header,
                     bool recovering,
-                    bento::WriteTicket* out_ticket = nullptr);
+                    std::vector<bento::WriteTicket>* out_tickets = nullptr);
   kern::Err write_header(bento::SuperBlockCap& sb, const LogHeader& header);
+  kern::Err write_header_async(bento::SuperBlockCap& sb,
+                               const LogHeader& header,
+                               std::vector<bento::WriteTicket>& tickets);
   kern::Err read_header(bento::SuperBlockCap& sb, LogHeader& out);
 
   DiskSuperblock dsb_;
   Durability durability_ = Durability::Relaxed;
+  LogParams params_;
   bento::Semaphore lock_;
   int outstanding_ = 0;
   std::vector<std::uint32_t> pending_;
+  /// Ops closed into the currently-pending (uncommitted) transaction.
+  std::size_t ops_in_batch_ = 0;
+  /// Tickets of commits whose transfers are still in flight, oldest first.
+  std::deque<std::vector<bento::WriteTicket>> inflight_;
+  /// Commits since the last durability barrier (flush-skip bookkeeping).
+  std::uint64_t commits_since_flush_ = 0;
   LogStats stats_;
 };
 

@@ -39,13 +39,32 @@ constexpr std::uint16_t kFile = static_cast<std::uint16_t>(InodeKind::File);
 // ---- log ----
 
 void Xv6cMount::log_begin() {
+  // xv6's log-space reservation (group-commit-safe): admission needs
+  // headroom for every open op's worst case. With none outstanding the
+  // pooled batch can be committed to make space; otherwise wait for the
+  // open ops to close (xv6 sleeps on the log).
   log_lock_.lock();
+  while (log_pending_.size() +
+             (static_cast<std::size_t>(log_outstanding_) + 1) * kMaxOpBlocks >
+         kLogSize) {
+    if (log_outstanding_ == 0) {
+      (void)log_commit();
+    } else {
+      log_lock_.unlock();
+      sim::current().wait_until(sim::now() + sim::usec(10));
+      log_lock_.lock();
+    }
+  }
   log_outstanding_ += 1;
   log_lock_.unlock();
 }
 
 void Xv6cMount::log_write(std::uint64_t blockno) {
   const auto b = static_cast<std::uint32_t>(blockno);
+  // The journal owns the dirty buffer until its commit installs it:
+  // background writeback must not land it ahead of the commit record
+  // (essential once group commit leaves blocks pending across ops).
+  sb_->bufcache().pin_journal(blockno, true);
   if (std::find(log_pending_.begin(), log_pending_.end(), b) !=
       log_pending_.end()) {
     return;  // absorbed
@@ -58,7 +77,35 @@ Err Xv6cMount::log_end() {
   log_lock_.lock();
   log_outstanding_ -= 1;
   Err e = Err::Ok;
-  if (log_outstanding_ == 0 && !log_pending_.empty()) e = log_commit();
+  if (log_outstanding_ == 0 && !log_pending_.empty()) {
+    log_ops_in_batch_ += 1;
+    // Group commit (the one write-path technique the C baseline shares
+    // with the Bento port): absorb ops until the batch or block
+    // threshold; fsync/sync force via log_force().
+    std::size_t block_limit = log_params_.group_dirty_blocks;
+    if (block_limit == 0) block_limit = kLogSize - kMaxOpBlocks;
+    if (log_ops_in_batch_ >=
+            std::max<std::size_t>(log_params_.max_log_batch, 1) ||
+        log_pending_.size() >= block_limit) {
+      e = log_commit();
+    }
+  }
+  log_lock_.unlock();
+  return e;
+}
+
+Err Xv6cMount::log_force() {
+  log_lock_.lock();
+  // Pooled blocks are journal-pinned (sync_all skips them), so this
+  // commit is the only path that persists them: wait for open ops to
+  // close instead of returning with the fsync'd data still in memory.
+  while (log_outstanding_ > 0) {
+    log_lock_.unlock();
+    sim::current().wait_until(sim::now() + sim::usec(10));
+    log_lock_.lock();
+  }
+  Err e = Err::Ok;
+  if (!log_pending_.empty()) e = log_commit();
   log_lock_.unlock();
   return e;
 }
@@ -111,6 +158,9 @@ Err Xv6cMount::log_commit() {
   BSIM_TRY(log_header_write(LogHeader{}));
   log_stats_.commits += 1;
   log_stats_.blocks_logged += log_pending_.size();
+  log_stats_.ops_committed += log_ops_in_batch_;
+  if (log_ops_in_batch_ > 1) log_stats_.group_commits += 1;
+  log_ops_in_batch_ = 0;
   log_pending_.clear();
   return Err::Ok;
 }
@@ -543,7 +593,11 @@ Err Xv6cMount::write_through_log(kern::Inode& inode, std::uint64_t off,
         std::min<std::uint64_t>(kBlockSize - within, in.size() - done));
     auto addr = bmap(inode, bn, true);
     if (!addr.ok()) return addr.error();
-    auto bh = bc.bread(addr.value());
+    // Full-block overwrite skips the read-modify-write (same shortcut as
+    // the Bento port's writei; the C baseline keeps its per-page
+    // transactions — this is a block-layer saving, not batching).
+    auto bh = chunk == kBlockSize ? bc.getblk(addr.value())
+                                  : bc.bread(addr.value());
     if (!bh.ok()) return bh.error();
     std::memcpy(bh.value()->bytes().data() + within, in.data() + done, chunk);
     bc.mark_dirty(bh.value());
@@ -920,6 +974,7 @@ Result<std::uint64_t> Xv6cMount::write(kern::Inode& inode, kern::FileHandle&,
 
 Err Xv6cMount::fsync(kern::Inode& inode, kern::FileHandle&, bool) {
   BSIM_TRY(kern::generic_writeback(inode));
+  BSIM_TRY(log_force());  // group commit may have left ops pending
   sb_->bufcache().sync_all();
   sb_->bufcache().issue_flush();
   return Err::Ok;
@@ -965,6 +1020,7 @@ Err Xv6cMount::readdir(kern::Inode& inode, std::uint64_t& pos,
 // ---- SuperOps ----
 
 Err Xv6cMount::sync_fs(kern::SuperBlock&, bool) {
+  BSIM_TRY(log_force());
   sb_->bufcache().sync_all();
   sb_->bufcache().issue_flush();
   return Err::Ok;
@@ -981,6 +1037,7 @@ Err Xv6cMount::statfs(kern::SuperBlock&, kern::StatFs& out) {
 }
 
 void Xv6cMount::put_super(kern::SuperBlock&) {
+  (void)log_force();  // commit the group-commit tail before unmount
   sb_->bufcache().sync_all();
   sb_->bufcache().issue_flush();
 }
@@ -1073,12 +1130,14 @@ class Xv6cFsType final : public kern::FileSystemType {
     auto mnt = std::make_unique<Xv6cMount>(*sb);
     sb->fs_info = mnt.get();
     sb->s_op = mnt.get();
+    mnt->set_log_params(xv6::merge_log_opts(opts, xv6::LogParams{}));
     Err e = mnt->mount_init();
     if (e != Err::Ok) return e;
     // Background writeback for the kernel (C-VFS) deployment, same
-    // rationale as the Bento mount: the synchronous per-buffer log leaves
-    // no WAL-ordered buffer dirty between operations, so buffer draining
-    // is safe. "-o noflusher" restores writer-context sync.
+    // rationale as the Bento mount: WAL-ordered buffers left dirty by a
+    // deferred group commit are journal-pinned (BufferHead::jdirty), so
+    // the drain cannot land them ahead of their commit record.
+    // "-o noflusher" restores writer-context sync.
     kern::FlusherParams fp;
     fp.drain_buffers = true;
     kern::maybe_attach_flusher(*sb, opts, fp);

@@ -20,12 +20,15 @@
 
 #include "kernel/kernel.h"
 #include "xv6fs/layout.h"
+#include "xv6fs/log.h"  // LogParams/merge_log_opts (group-commit tuning)
 
 namespace bsim::xv6c {
 
 struct CLogStats {
   std::uint64_t commits = 0;
   std::uint64_t blocks_logged = 0;
+  std::uint64_t ops_committed = 0;  // ops closed across all commits
+  std::uint64_t group_commits = 0;  // commits that closed >1 op
 };
 
 /// Mount-level state (lives in kern::SuperBlock::fs_info).
@@ -41,6 +44,10 @@ class Xv6cMount final : public kern::InodeOps,
   void dispose_inode(kern::Inode& inode);
 
   [[nodiscard]] const CLogStats& log_stats() const { return log_stats_; }
+  /// Group-commit tuning (parsed from mount opts by the fs type; the C
+  /// baseline keeps its synchronous per-buffer commit path — only the
+  /// cross-operation batching applies, pipelining is a Bento-side thing).
+  void set_log_params(const xv6::LogParams& p) { log_params_ = p; }
 
   // InodeOps
   kern::Result<kern::Inode*> lookup(kern::Inode& dir,
@@ -92,6 +99,9 @@ class Xv6cMount final : public kern::InodeOps,
   void log_begin();
   void log_write(std::uint64_t blockno);
   kern::Err log_end();
+  /// Commit anything pending regardless of the group-commit batch (the
+  /// fsync / sync / unmount barrier).
+  kern::Err log_force();
   kern::Err log_commit();
   kern::Err log_recover();
   kern::Err log_header_write(const xv6::LogHeader& h);
@@ -128,6 +138,8 @@ class Xv6cMount final : public kern::InodeOps,
   sim::SimMutex alloc_lock_;    // §6.1 allocation locks
   int log_outstanding_ = 0;
   std::vector<std::uint32_t> log_pending_;
+  xv6::LogParams log_params_;   // max_log_batch / group_dirty_blocks
+  std::size_t log_ops_in_batch_ = 0;
   CLogStats log_stats_;
   std::uint64_t free_blocks_ = 0;
   std::uint64_t free_inodes_ = 0;

@@ -208,6 +208,45 @@ TEST_F(MirroredDeviceTest, ShortestQueueAvoidsTheBusyMember) {
   EXPECT_GT(md.member(0).stats().reads, md.member(1).stats().reads * 3);
 }
 
+TEST_F(MirroredDeviceTest, ShortestQueueLatencyEwmaRepelsTheSlowMember) {
+  // ISSUE 5 satellite (ROADMAP follow-up): the sq policy factors an EWMA
+  // of OBSERVED per-member completion latency (Bio::done_at), not queue
+  // depth alone. One bio at a time means both members always have an
+  // EMPTY queue at pick time — depth alone would ping-pong 50/50 between
+  // a fast and an artificially slow member; the latency EWMA learns the
+  // slow one and keeps reads off it.
+  MirrorParams mp;
+  mp.nmirrors = 2;
+  mp.policy = MirrorReadPolicy::ShortestQueue;
+  std::vector<DeviceParams> members(2);
+  members[0].nblocks = members[1].nblocks = 64;
+  members[0].channels = members[1].channels = 1;
+  members[1].read_lat_rand = members[0].read_lat_rand * 10;
+  members[1].read_lat_seq = members[0].read_lat_seq * 10;
+  members[1].write_xfer = members[0].write_xfer * 10;
+  MirroredDevice md(mp, members);
+
+  auto data = pattern(2);
+  for (std::uint64_t b = 0; b < 32; ++b) md.write(b, data);
+
+  std::array<std::byte, kBlockSize> buf{};
+  const auto r0 = md.member(0).stats().reads;
+  const auto r1 = md.member(1).stats().reads;
+  for (std::uint64_t i = 0; i < 32; ++i) {
+    // One scattered bio at a time, fully drained between picks: every
+    // pick sees equal (zero) pending work on both members, and stride 3
+    // never continues a stream (+1), so sequential affinity stays out of
+    // the picture — the latency EWMA is the only discriminating signal.
+    Bio rd = Bio::single_read((i * 3) % 64, buf);
+    md.wait(md.submit_async(std::span<Bio>(&rd, 1)));
+    sim::current().wait_until(sim::now() + sim::kMillisecond);  // queues idle
+  }
+  const auto fast = md.member(0).stats().reads - r0;
+  const auto slow = md.member(1).stats().reads - r1;
+  EXPECT_GT(fast, slow * 5) << "fast=" << fast << " slow=" << slow;
+  EXPECT_GT(md.member_latency_ewma(1), md.member_latency_ewma(0));
+}
+
 TEST_F(MirroredDeviceTest, MirroredRandomReadsScaleWithMembers) {
   // The acceptance gate's microcosm: a random-read burst at QD>1 on a
   // 2-way mirror completes in about half the single-device time.

@@ -62,6 +62,45 @@ TEST_F(Ext4Test, FsyncCommitsTheRunningTransaction) {
   ASSERT_EQ(Err::Ok, kernel_.close(proc(), fd.value()));
 }
 
+TEST_F(Ext4Test, EmptyCommitSkippedWithoutPendingWrites) {
+  // Satellite (ISSUE 5): a flush-commit with nothing tagged, nothing in
+  // flight, and nothing written since the last FLUSH must not pay a
+  // header write + device FLUSH — it is skipped and counted.
+  auto fd = kernel_.open(proc(), "/mnt/skip", kern::kOCreat | kern::kOWrOnly);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(kernel_.write(proc(), fd.value(), as_bytes("payload")).ok());
+  ASSERT_EQ(Err::Ok, kernel_.fsync(proc(), fd.value()));  // real commit
+  ASSERT_EQ(Err::Ok, kernel_.close(proc(), fd.value()));
+
+  const auto commits = mount_->journal_stats().commits;
+  const auto skips = mount_->journal_stats().empty_commits_skipped;
+  const auto flushes = kernel_.device("ssd0")->stats().flushes;
+  // Nothing dirtied since the fsync's flush: sync(2)'s flush-commit has
+  // nothing to make durable. (A repeated fsync takes the shared_commits
+  // fast path already; the sync_fs path is where the no-op commit used
+  // to pay a header write + FLUSH.)
+  ASSERT_EQ(Err::Ok, kernel_.sync(proc()));
+  EXPECT_EQ(mount_->journal_stats().commits, commits);
+  EXPECT_GT(mount_->journal_stats().empty_commits_skipped, skips);
+  EXPECT_EQ(kernel_.device("ssd0")->stats().flushes, flushes);
+}
+
+TEST_F(Ext4Test, ThresholdCommitsArePipelined) {
+  // The write path's threshold commits (no flush) keep their transfers
+  // in flight on tickets — transaction N+1 fills while N's commit record
+  // and checkpoint complete. fsync drains them.
+  auto fd = kernel_.open(proc(), "/mnt/pipe", kern::kOCreat | kern::kOWrOnly);
+  ASSERT_TRUE(fd.ok());
+  std::vector<std::byte> mb(1 << 20, std::byte{3});
+  const auto before = mount_->journal_stats().pipelined_commits;
+  for (int i = 0; i < 16; ++i) {  // 16 MiB > kTxnCommitThreshold blocks
+    ASSERT_TRUE(kernel_.write(proc(), fd.value(), mb).ok());
+  }
+  ASSERT_EQ(Err::Ok, kernel_.fsync(proc(), fd.value()));
+  EXPECT_GT(mount_->journal_stats().pipelined_commits, before);
+  ASSERT_EQ(Err::Ok, kernel_.close(proc(), fd.value()));
+}
+
 TEST_F(Ext4Test, JournalRecoveryReplaysCommittedTransaction) {
   // Write + fsync, snapshot the device, then re-point a fresh kernel at
   // the snapshot: mount-time recovery must yield the same contents.

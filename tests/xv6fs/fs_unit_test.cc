@@ -161,6 +161,57 @@ TEST_F(Xv6Rig, LogAbsorbsRepeatedBlocks) {
   EXPECT_GT(after.absorbed, before.absorbed);  // data block re-logged
 }
 
+TEST_F(Xv6Rig, GroupCommitAbsorbsOpsUntilTheBatchFills) {
+  // Satellite (ISSUE 5): end_op no longer commits per closed op; up to
+  // max_log_batch ops pool into one transaction, and fsync still forces.
+  const bento::Ino ino = create_file("group");
+  // The create closed one op (still pooling); the three writes below stay
+  // well inside one max_log_batch window.
+  auto snap0 = fs().log_stats();
+  std::vector<std::byte> chunk(256, std::byte{4});
+  for (int i = 0; i < 3; ++i) {
+    write_at(ino, static_cast<std::uint64_t>(i) * 256, chunk);
+  }
+  // Three closed ops < max_log_batch (8): nothing committed yet.
+  EXPECT_EQ(fs().log_stats().commits, snap0.commits);
+  ASSERT_EQ(Err::Ok, fs().fsync(mount_->mkreq(), mount_->borrow(), ino, 0,
+                                false));
+  mount_->check_borrows();
+  const auto after = fs().log_stats();
+  EXPECT_EQ(after.commits, snap0.commits + 1);    // ONE commit for all ops
+  EXPECT_GT(after.group_commits, snap0.group_commits);
+  EXPECT_GE(after.ops_committed, snap0.ops_committed + 3);
+}
+
+TEST_F(Xv6Rig, EmptyForceCommitAndFlushAreSkipped) {
+  const bento::Ino ino = create_file("noop");
+  std::vector<std::byte> chunk(64, std::byte{6});
+  write_at(ino, 0, chunk);
+  ASSERT_EQ(Err::Ok, fs().fsync(mount_->mkreq(), mount_->borrow(), ino, 0,
+                                false));
+  mount_->check_borrows();
+  const auto snap = fs().log_stats();
+  // A second fsync with nothing new: no commit work, no flush barrier.
+  ASSERT_EQ(Err::Ok, fs().fsync(mount_->mkreq(), mount_->borrow(), ino, 0,
+                                false));
+  mount_->check_borrows();
+  const auto after = fs().log_stats();
+  EXPECT_EQ(after.commits, snap.commits);
+  EXPECT_GT(after.empty_commits_skipped, snap.empty_commits_skipped);
+  EXPECT_GT(after.flushes_skipped, snap.flushes_skipped);
+}
+
+TEST_F(Xv6Rig, MountOptsTuneTheLogParams) {
+  LogParams p = merge_log_opts("rw,max_log_batch=4,noplug,nopipeline,chunk=16",
+                               LogParams{});
+  EXPECT_EQ(p.max_log_batch, 4u);
+  EXPECT_FALSE(p.plug);
+  EXPECT_FALSE(p.pipeline);
+  LogParams q = merge_log_opts("nogroup", LogParams{});
+  EXPECT_EQ(q.max_log_batch, 1u);
+  EXPECT_TRUE(q.pipeline);
+}
+
 TEST_F(Xv6Rig, TruncateToZeroFreesEverything) {
   const auto free0 = fs().free_data_blocks();
   const bento::Ino ino = create_file("bigfree");
