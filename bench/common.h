@@ -44,6 +44,9 @@ struct BenchRun {
   std::uint64_t stripe_chunk_blocks = 16;
   int mirror_devices = 1;    // >1: mirror each member (RAID1 / RAID10)
   blk::MirrorReadPolicy mirror_policy = blk::MirrorReadPolicy::RoundRobin;
+  int parity_devices = 1;    // >=2: RAID5 data columns (RAID50 if striped)
+  std::uint64_t parity_chunk_blocks = 16;
+  int spare_devices = 0;
 };
 
 inline sim::RunStats run_bench(const BenchRun& cfg,
@@ -57,6 +60,9 @@ inline sim::RunStats run_bench(const BenchRun& cfg,
   opts.stripe_chunk_blocks = cfg.stripe_chunk_blocks;
   opts.mirror_devices = cfg.mirror_devices;
   opts.mirror_policy = cfg.mirror_policy;
+  opts.parity_devices = cfg.parity_devices;
+  opts.parity_chunk_blocks = cfg.parity_chunk_blocks;
+  opts.spare_devices = cfg.spare_devices;
   wl::TestBed bed(opts);
   std::vector<std::unique_ptr<sim::Workload>> jobs;
   jobs.reserve(static_cast<std::size_t>(cfg.nthreads));

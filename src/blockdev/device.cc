@@ -272,6 +272,25 @@ void BlockDevice::write_untimed(std::uint64_t blockno,
   std::memcpy(slot(blockno).data(), in.data(), kBlockSize);
 }
 
+sim::Nanos BlockDevice::write_fua(std::uint64_t blockno,
+                                  std::span<const std::byte> in) {
+  assert(in.size() >= kBlockSize);
+  // Transfer plus the single block's forced destage: the completion IS
+  // the durability point, so the block never enters the dirty set (and a
+  // stale cached copy of it is superseded on media).
+  const sim::Nanos done =
+      service(params_.write_xfer + params_.destage_per_block);
+  stats_.writes += 1;
+  stats_.write_requests += 1;
+  if (!dead_) {
+    bad_reads_.erase(blockno);
+    dirty_.erase(blockno);
+    std::memcpy(slot(blockno).data(), in.data(), kBlockSize);
+  }
+  sim::current().wait_until(done);
+  return done;
+}
+
 void BlockDevice::enable_crash_tracking() { crash_tracking_ = true; }
 
 void BlockDevice::kill_after(std::uint64_t n) {

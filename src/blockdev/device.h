@@ -156,6 +156,15 @@ class BlockDevice {
   /// One-bio convenience wrapper.
   void write(std::uint64_t blockno, std::span<const std::byte> in);
 
+  /// FUA write: one block forced to media before completion, bypassing
+  /// the volatile cache (priced as the transfer plus the block's
+  /// destage). Used for md-style metadata — a parity volume's
+  /// write-intent bitmap — that must be durable BEFORE dependent writes
+  /// are issued, without flushing the whole cache. Does not participate
+  /// in the kill_after write-command count (it is volume-internal
+  /// metadata, not a logical write), but a dead device still swallows it.
+  sim::Nanos write_fua(std::uint64_t blockno, std::span<const std::byte> in);
+
   /// FLUSH: destage the write cache and make everything durable (timed).
   void flush();
 

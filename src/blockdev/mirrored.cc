@@ -17,6 +17,10 @@ MirrorParams merge_mirror_opts(std::string_view opts, MirrorParams base) {
       base.policy = MirrorReadPolicy::RoundRobin;
     } else if (tok == "policy=sq") {
       base.policy = MirrorReadPolicy::ShortestQueue;
+    } else if (opt_num_after(tok, "spare=", n)) {
+      base.nspares = static_cast<std::size_t>(n);
+    } else if (tok == "scrub") {
+      base.auto_scrub = true;
     }
   });
   return base;
@@ -48,37 +52,46 @@ MirroredDevice::MirroredDevice(MirrorParams mp, DeviceParams member_params)
 
 MirroredDevice::MirroredDevice(MirrorParams mp,
                                std::vector<DeviceParams> member_params)
-    : BlockDevice(volume_params(member_params), NoBacking{}), mirror_(mp) {
+    : AggregateDevice(volume_params(member_params)), mirror_(mp) {
   mirror_.nmirrors = member_params.size();
+  std::vector<std::unique_ptr<BlockDevice>> members;
   for (const DeviceParams& p : member_params) {
     if (p.nblocks != member_params.front().nblocks) {
       throw std::invalid_argument("mirror members must be the same size");
     }
-    members_.push_back(std::make_unique<BlockDevice>(p));
+    members.push_back(std::make_unique<BlockDevice>(p));
   }
-  healthy_.assign(members_.size(), true);
-  busy_until_.assign(members_.size(), 0);
-  lat_ewma_.assign(members_.size(), 0);
-  last_read_end_.assign(members_.size(), ~0ULL);
-  rebuild_buf_.resize(std::max<std::size_t>(mirror_.rebuild_batch, 1));
+  std::vector<std::unique_ptr<BlockDevice>> spares;
+  for (std::size_t i = 0; i < mirror_.nspares; ++i) {
+    spares.push_back(std::make_unique<BlockDevice>(member_params.front()));
+  }
+  const std::size_t n = members.size();
+  adopt_children(std::move(members), std::move(spares), mirror_.rebuild_batch,
+                 mirror_.rebuild_lead);
+  busy_until_.assign(n, 0);
+  lat_ewma_.assign(n, 0);
+  last_read_end_.assign(n, ~0ULL);
+  if (mirror_.auto_scrub) arm_auto_scrub();
 }
 
 MirroredDevice::~MirroredDevice() = default;
 
-std::size_t MirroredDevice::healthy_members() const {
-  return static_cast<std::size_t>(
-      std::count(healthy_.begin(), healthy_.end(), true));
-}
-
 std::size_t MirroredDevice::first_healthy() const {
-  for (std::size_t i = 0; i < members_.size(); ++i) {
+  for (std::size_t i = 0; i < children_.size(); ++i) {
     if (healthy_[i]) return i;
   }
-  return members_.size();
+  return children_.size();
+}
+
+bool MirroredDevice::has_rebuild_source(std::size_t target) const {
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (i != target && healthy_[i]) return true;
+  }
+  return false;
 }
 
 std::size_t MirroredDevice::pick_read_member(std::uint64_t first_block) {
-  const std::size_t n = members_.size();
+  const std::size_t n = children_.size();
   // Sequential affinity beats the policy: a read continuing the stream a
   // member is already serving stays there, so the member prices it at the
   // sequential rate instead of paying a random seek on every other
@@ -116,7 +129,7 @@ std::size_t MirroredDevice::pick_read_member(std::uint64_t first_block) {
     const sim::Nanos score = pending + lat_ewma_[m];
     if (best == n || score < best_score ||
         (score == best_score &&
-         members_[m]->stats().busy < members_[best]->stats().busy)) {
+         children_[m]->stats().busy < children_[best]->stats().busy)) {
       best = m;
       best_score = score;
     }
@@ -141,10 +154,10 @@ void MirroredDevice::note_latency(std::size_t member, sim::Nanos sample) {
 }
 
 void MirroredDevice::submit_writes(const std::vector<Bio*>& parents,
-                                   MemberTickets& tickets,
+                                   ChildTickets& tickets,
                                    sim::Nanos& last_done) {
   if (parents.empty()) return;
-  const std::size_t n = members_.size();
+  const std::size_t n = children_.size();
   const bool deg = degraded();
   std::vector<std::vector<Bio>> copies(n);
 
@@ -164,7 +177,7 @@ void MirroredDevice::submit_writes(const std::vector<Bio*>& parents,
     if (deg) vstats_.degraded_writes += 1;
     // Write-interception accounting: a write landing (partly) ahead of the
     // resync cursor reaches the rebuild target before the copy pass does.
-    if (rebuild_active() && parent->end_block() > rebuild_cursor_) {
+    if (rebuild_active() && parent->end_block() > rebuild_cursor()) {
       vstats_.rebuild_write_intercepts += 1;
     }
   }
@@ -175,7 +188,7 @@ void MirroredDevice::submit_writes(const std::vector<Bio*>& parents,
   // ends up holding every member's ticket at once.
   for (std::size_t m = 0; m < n; ++m) {
     if (copies[m].empty()) continue;
-    const Ticket t = members_[m]->submit_async(copies[m]);
+    const Ticket t = children_[m]->submit_async(copies[m]);
     tickets.emplace_back(m, t);
     note_submission(m, t);
     last_done = std::max(last_done, t.done);
@@ -188,10 +201,10 @@ void MirroredDevice::submit_writes(const std::vector<Bio*>& parents,
 }
 
 void MirroredDevice::submit_reads(const std::vector<Bio*>& parents,
-                                  MemberTickets& tickets,
+                                  ChildTickets& tickets,
                                   sim::Nanos& last_done) {
   if (parents.empty()) return;
-  const std::size_t n = members_.size();
+  const std::size_t n = children_.size();
   const bool deg = degraded();
   std::vector<std::vector<Bio>> frags(n);
   std::vector<std::vector<Bio*>> owners(n);  // aligned with frags[m]
@@ -218,7 +231,7 @@ void MirroredDevice::submit_reads(const std::vector<Bio*>& parents,
   const sim::Nanos submitted_at = sim::now();
   for (std::size_t m = 0; m < n; ++m) {
     if (frags[m].empty()) continue;
-    const Ticket t = members_[m]->submit_async(frags[m]);
+    const Ticket t = children_[m]->submit_async(frags[m]);
     tickets.emplace_back(m, t);
     note_submission(m, t);
     last_done = std::max(last_done, t.done);
@@ -248,7 +261,7 @@ void MirroredDevice::submit_reads(const std::vector<Bio*>& parents,
         Bio retry(BioOp::Read);
         for (const BioVec& v : parent->vecs) retry.add_read(v.blockno, v.data);
         const Ticket t =
-            members_[alt]->submit_async(std::span<Bio>(&retry, 1));
+            children_[alt]->submit_async(std::span<Bio>(&retry, 1));
         tickets.emplace_back(alt, t);
         note_submission(alt, t);
         last_read_end_[alt] = parent->end_block();
@@ -261,310 +274,120 @@ void MirroredDevice::submit_reads(const std::vector<Bio*>& parents,
   }
 }
 
-MirroredDevice::MemberTickets MirroredDevice::route_batch(
-    std::span<Bio* const> bios, sim::Nanos& last_done) {
-  vstats_.batches += 1;
-  vstats_.bios += bios.size();
-
-  // Mirror the single-device queue's crash-count order: writes are counted
-  // bio-by-bio in stable first-block order (see RequestQueue::dispatch),
-  // so kill_after(n) selects the SAME n logical bios as on one device.
-  std::vector<Bio*> writes, survivors, killed, reads;
-  for (Bio* b : bios) {
-    (b->op == BioOp::Write ? writes : reads).push_back(b);
-  }
-  std::stable_sort(writes.begin(), writes.end(),
-                   [](const Bio* a, const Bio* b) {
-                     return a->first_block() < b->first_block();
-                   });
-  bool fire = false;
-  for (Bio* w : writes) {
-    if (kill_armed_ && !fire) {
-      if (kill_countdown_ == 0) fire = true;
-      else kill_countdown_ -= 1;
-    }
-    (fire ? killed : survivors).push_back(w);
-  }
-
-  MemberTickets tickets;
-  submit_writes(survivors, tickets, last_done);
+void MirroredDevice::route_policy(const std::vector<Bio*>& writes,
+                                  const std::vector<Bio*>& killed, bool fire,
+                                  const std::vector<Bio*>& reads,
+                                  ChildTickets& tickets,
+                                  sim::Nanos& last_done) {
+  submit_writes(writes, tickets, last_done);
   if (fire) {
-    // Power dies across the whole volume AT THIS INSTANT: every member
-    // swallows all later write commands and flushes, exactly when the
-    // single-device countdown would flip dead_.
-    volume_dead_ = true;
-    kill_armed_ = false;
-    for (auto& m : members_) m->power_off();
+    mark_volume_dead();
     submit_writes(killed, tickets, last_done);
   }
   submit_reads(reads, tickets, last_done);
-  return tickets;
-}
-
-sim::Nanos MirroredDevice::submit_impl(std::span<Bio* const> bios) {
-  if (bios.empty()) return sim::now();
-  rebuild_poke(sim::now());
-  sim::Nanos last_done = sim::now();
-  MemberTickets tickets = route_batch(bios, last_done);
-  for (auto& [m, t] : tickets) members_[m]->wait(t);
-  sim::current().wait_until(last_done);
-  return last_done;
-}
-
-Ticket MirroredDevice::submit_async_impl(std::span<Bio* const> bios) {
-  if (bios.empty()) return Ticket{};
-  rebuild_poke(sim::now());
-  sim::Nanos last_done = sim::now();
-  MemberTickets tickets = route_batch(bios, last_done);
-  vstats_.async_batches += 1;
-  const std::uint64_t id = next_ticket_++;
-  outstanding_.emplace(id, std::move(tickets));
-  vstats_.max_inflight =
-      std::max<std::uint64_t>(vstats_.max_inflight, outstanding_.size());
-  return Ticket{last_done, id};
-}
-
-sim::Nanos MirroredDevice::wait_impl(const Ticket& t) {
-  if (!t.valid()) return sim::now();
-  auto it = outstanding_.find(t.id);
-  if (it != outstanding_.end()) {
-    // Redeem every member ticket, INCLUDING those of a member that
-    // fail-stopped after submission: its queue already dispatched the
-    // batch, so fan-in just collects the completion times.
-    for (auto& [m, mt] : it->second) members_[m]->wait(mt);
-    outstanding_.erase(it);
-  }
-  sim::current().wait_until(t.done);  // redundant waits are harmless
-  return t.done;
-}
-
-sim::Nanos MirroredDevice::flush_nowait_impl() {
-  rebuild_poke(sim::now());
-  // FLUSH every serving member in parallel; the volume's flush completes
-  // when the slowest replica destages. A failed member is gone — it
-  // neither receives nor acknowledges the FLUSH.
-  sim::Nanos done = sim::now();
-  for (std::size_t m = 0; m < members_.size(); ++m) {
-    if (serves_writes(m)) done = std::max(done, members_[m]->flush_nowait());
-  }
-  return done;
 }
 
 void MirroredDevice::read_untimed(std::uint64_t blockno,
                                   std::span<std::byte> out) {
   std::size_t m = first_healthy();
-  if (m == members_.size()) {
+  if (m == children_.size()) {
     // Every member fail-stopped: there is no live logical image to read.
     // A mid-resync target is the best stale copy; with none, fail loudly
     // rather than silently serving a frozen pre-failure replica.
-    if (!rebuild_target_.has_value()) {
+    if (!rebuild_active()) {
       throw std::logic_error("read_untimed on a mirror with no live member");
     }
-    m = *rebuild_target_;
+    m = *rebuild_target();
   }
-  members_[m]->read_untimed(blockno, out);
+  children_[m]->read_untimed(blockno, out);
 }
 
 void MirroredDevice::write_untimed(std::uint64_t blockno,
                                    std::span<const std::byte> in) {
-  for (std::size_t m = 0; m < members_.size(); ++m) {
-    if (serves_writes(m)) members_[m]->write_untimed(blockno, in);
+  for (std::size_t m = 0; m < children_.size(); ++m) {
+    if (serves_writes(m)) children_[m]->write_untimed(blockno, in);
   }
 }
 
-// ---- member failure + online rebuild ----
+// ---- redundancy hooks ----
 
-void MirroredDevice::fail_member(std::size_t i) {
-  assert(i < members_.size());
-  if (rebuild_target_ == i) abort_rebuild();
-  healthy_[i] = false;
-  // Rebuild with no healthy source left cannot make progress.
-  if (rebuild_active() && first_healthy() == members_.size()) abort_rebuild();
-}
-
-void MirroredDevice::start_rebuild(std::size_t i) {
-  assert(i < members_.size());
-  assert(!healthy_[i] && "rebuilding a member that is already serving");
-  assert(!rebuild_active() && "one rebuild at a time");
-  if (first_healthy() == members_.size()) {
-    throw std::logic_error("rebuild needs at least one healthy source");
+bool MirroredDevice::rebuild_source_read(std::uint64_t start,
+                                         std::uint64_t n) {
+  // Resync-source selection: candidates ordered by observed
+  // completion-latency EWMA — the shortest-queue policy's signal — so the
+  // copy reads from the fastest replica instead of blindly from the first
+  // healthy one. Never-observed members (EWMA 0) and ties keep index
+  // order, which preserves the historical first-healthy pick. A medium
+  // error on the chosen source falls over to the next candidate (the
+  // failed attempt still cost its service time).
+  std::vector<std::size_t> order;
+  for (std::size_t m = 0; m < children_.size(); ++m) {
+    if (healthy_[m]) order.push_back(m);
   }
-  rebuild_target_ = i;
-  rebuild_cursor_ = 0;
-  vstats_.rebuilds_started += 1;
-  // The resync starts no earlier than now; its clock then advances as the
-  // copy progresses (poked forward by foreground submissions).
-  rebuild_thread_.wait_until(sim::now());
-}
-
-void MirroredDevice::rebuild_poke(sim::Nanos horizon) {
-  if (!rebuild_active()) return;
-  const sim::Nanos limit = horizon + mirror_.rebuild_lead;
-  bool yielded = false;
-  {
-    sim::ScopedThread in(rebuild_thread_);
-    while (rebuild_active() && rebuild_thread_.now() < limit) {
-      rebuild_copy_step();
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return lat_ewma_[a] < lat_ewma_[b];
+                   });
+  for (std::size_t src : order) {
+    Bio read(BioOp::Read);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      read.add_read(start + i, rebuild_buf_[i]);
     }
-    yielded = rebuild_active();
+    children_[src]->submit(read);
+    if (!read.io_error) return true;
   }
-  // Backpressure: the copy ran as far ahead of the poking thread as the
-  // lead window allows and yields the device back to foreground I/O.
-  if (yielded) vstats_.rebuild_throttle_yields += 1;
+  return false;
 }
 
-void MirroredDevice::rebuild_copy_step() {
-  assert(rebuild_active());
-  // Power died (the crash model cut the whole volume): resync writes
-  // would be silently swallowed by the dead target, so a "completed"
-  // rebuild could promote a bit-diverged replica. Abort instead.
-  if (members_[*rebuild_target_]->dead()) {
-    abort_rebuild();
-    return;
-  }
+std::uint64_t MirroredDevice::scrub_step(std::uint64_t cursor) {
   const std::uint64_t n = std::min<std::uint64_t>(
-      mirror_.rebuild_batch, nblocks() - rebuild_cursor_);
-  if (n == 0) {
-    complete_rebuild();
-    return;
-  }
-  // Read the run from a healthy peer (timed on the rebuild clock, through
-  // the member's queue — rebuild I/O competes for the member's channels).
-  Bio read(BioOp::Read);
-  for (std::uint64_t i = 0; i < n; ++i) {
-    read.add_read(rebuild_cursor_ + i, rebuild_buf_[i]);
-  }
-  std::size_t src = first_healthy();
-  members_[src]->submit(read);
-  while (read.io_error) {
-    // Source medium error: fall over to the next healthy peer; with no
-    // peer left the resync cannot complete.
-    std::size_t alt = members_.size();
-    for (std::size_t m = src + 1; m < members_.size(); ++m) {
-      if (healthy_[m]) {
-        alt = m;
-        break;
-      }
+      std::max<std::size_t>(mirror_.rebuild_batch, 1), nblocks() - cursor);
+  const std::size_t ref = first_healthy();
+  if (ref == children_.size()) return n;  // nothing to compare against
+  // Read every healthy replica's copy of the run (timed on the scrub
+  // thread, through the member queues) and repair divergent blocks from
+  // the reference copy — md's "repair" sync_action.
+  std::vector<BlockData> refbuf(n);
+  Bio refread(BioOp::Read);
+  for (std::uint64_t i = 0; i < n; ++i) refread.add_read(cursor + i, refbuf[i]);
+  children_[ref]->submit(refread);
+  std::vector<BlockData> buf(n);
+  for (std::size_t m = 0; m < children_.size(); ++m) {
+    if (m == ref || !healthy_[m]) continue;
+    Bio read(BioOp::Read);
+    for (std::uint64_t i = 0; i < n; ++i) read.add_read(cursor + i, buf[i]);
+    children_[m]->submit(read);
+    Bio repair(BioOp::Write);
+    std::size_t divergent = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (buf[i] == refbuf[i]) continue;
+      astats_.scrub_mismatches += 1;
+      repair.add_write(cursor + i, refbuf[i]);
+      divergent += 1;
     }
-    if (alt == members_.size()) {
-      abort_rebuild();
-      return;
+    if (divergent > 0) {
+      children_[m]->submit(repair);
+      astats_.scrub_repairs += divergent;
     }
-    read.io_error = false;
-    read.applied = false;
-    src = alt;
-    members_[src]->submit(read);
   }
-  Bio write(BioOp::Write);
-  for (std::uint64_t i = 0; i < n; ++i) {
-    write.add_write(rebuild_cursor_ + i, rebuild_buf_[i]);
-  }
-  members_[*rebuild_target_]->submit(write);
-  if (!write.applied) {  // target swallowed the copy (power death)
-    abort_rebuild();
-    return;
-  }
-  rebuild_cursor_ += n;
-  vstats_.rebuild_copied += n;
-  if (rebuild_cursor_ == nblocks()) complete_rebuild();
-}
-
-void MirroredDevice::complete_rebuild() {
-  assert(rebuild_active());
-  // Destage the target's write cache before declaring it in sync, then
-  // promote it back to serving reads.
-  const std::size_t t = *rebuild_target_;
-  sim::current().wait_until(members_[t]->flush_nowait());
-  healthy_[t] = true;
-  rebuild_target_.reset();
-  rebuild_cursor_ = nblocks();
-  vstats_.rebuilds_completed += 1;
-}
-
-void MirroredDevice::abort_rebuild() {
-  if (!rebuild_active()) return;
-  rebuild_target_.reset();
-  vstats_.rebuilds_aborted += 1;
-}
-
-void MirroredDevice::finish_rebuild() {
-  if (!rebuild_active()) return;
-  {
-    sim::ScopedThread in(rebuild_thread_);
-    while (rebuild_active()) rebuild_copy_step();
-  }
-  // Barrier: the caller observes the completed resync.
-  sim::current().wait_until(rebuild_thread_.now());
+  return n;
 }
 
 // ---- crash model ----
 
-void MirroredDevice::enable_crash_tracking() {
-  for (auto& m : members_) m->enable_crash_tracking();
-}
-
-void MirroredDevice::kill_after(std::uint64_t n) {
-  kill_armed_ = true;
-  kill_countdown_ = n;
-}
-
-void MirroredDevice::power_off() {
-  volume_dead_ = true;
-  kill_armed_ = false;
-  for (auto& m : members_) m->power_off();
-}
-
 bool MirroredDevice::dead() const {
-  if (volume_dead_) return true;
-  // Replicas die independently only through the whole-volume kill, so the
-  // volume is dead when every member is (a single dead member would be a
-  // fail_member'd one, which is degradation, not death).
-  for (const auto& m : members_) {
+  if (volume_killed()) return true;
+  for (const auto& m : children_) {
     if (!m->dead()) return false;
   }
   return true;
-}
-
-void MirroredDevice::crash(double survive_p, sim::Rng& rng) {
-  volume_dead_ = false;
-  kill_armed_ = false;
-  for (auto& m : members_) m->crash(survive_p, rng);
 }
 
 void MirroredDevice::inject_read_error(std::uint64_t blockno) {
   // Volume-level injection marks the block bad on EVERY replica (a truly
   // unreadable logical block); per-member injection — the interesting
   // fault for failover tests — goes through member(i).inject_read_error.
-  for (auto& m : members_) m->inject_read_error(blockno);
-}
-
-std::uint64_t MirroredDevice::dirty_blocks() const {
-  // Counts replica copies: N members with the same unflushed block report
-  // N (each member's cache really holds one).
-  std::uint64_t total = 0;
-  for (const auto& m : members_) total += m->dirty_blocks();
-  return total;
-}
-
-const DeviceStats& MirroredDevice::stats() const {
-  // Live view re-aggregated per call, like StripedDevice::stats().
-  agg_ = DeviceStats{};
-  for (const auto& m : members_) {
-    const DeviceStats& s = m->stats();
-    agg_.reads += s.reads;
-    agg_.writes += s.writes;
-    agg_.flushes += s.flushes;
-    agg_.blocks_destaged += s.blocks_destaged;
-    agg_.busy += s.busy;
-    agg_.read_requests += s.read_requests;
-    agg_.write_requests += s.write_requests;
-    agg_.merges += s.merges;
-    agg_.seq_read_blocks += s.seq_read_blocks;
-    agg_.read_errors += s.read_errors;
-    agg_.max_request_blocks =
-        std::max(agg_.max_request_blocks, s.max_request_blocks);
-  }
-  return agg_;
+  for (auto& m : children_) m->inject_read_error(blockno);
 }
 
 }  // namespace bsim::blk

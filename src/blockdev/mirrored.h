@@ -1,13 +1,16 @@
 // Redundant volumes: RAID1 mirroring of N member BlockDevices behind the
 // ordinary BlockDevice interface.
 //
-// Writes are replicated to every serving member — each member owns its own
-// RequestQueue (independent elevator/merge), the volume hands each member
-// its copy of the batch through `submit_async`, and the member tickets fan
-// out/in exactly like StripedDevice's, so one caller transfers to all
-// replicas concurrently in virtual time (a mirrored write costs what a
-// single-device write costs, not N of them). Reads are balanced across the
-// healthy members by a per-bio policy:
+// The shared aggregate machinery — member ownership, async ticket
+// fan-out/fan-in, the logical-write-bio crash model, member health,
+// online rebuild, hot spares, scrub scaffolding, stats aggregation —
+// lives in AggregateDevice (blockdev/aggregate.h); this class keeps only
+// the mirroring policy. Writes are replicated to every serving member —
+// each member owns its own RequestQueue (independent elevator/merge), the
+// volume hands each member its copy of the batch through `submit_async`,
+// so one caller transfers to all replicas concurrently in virtual time (a
+// mirrored write costs what a single-device write costs, not N of them).
+// Reads are balanced across the healthy members by a per-bio policy:
 //   - round-robin (`policy=rr`, default): cycle through healthy members;
 //   - shortest-queue (`policy=sq`): pick the member with the lowest
 //     expected completion time — outstanding volume-submitted work PLUS
@@ -22,29 +25,20 @@
 // Member-failure fault model — distinct from the power-loss crash model:
 //   - fail_member(i): fail-stop. The member vanishes from now on (its
 //     content freezes); no further reads or writes are routed to it. The
-//     volume keeps serving from the survivors ("degraded mode": stats
-//     expose degraded_reads/degraded_writes and redirected_reads).
+//     volume keeps serving from the survivors ("degraded mode"). With a
+//     hot spare configured ("spare=N"), the spare takes over the slot and
+//     rebuilds automatically.
 //   - BlockDevice::inject_read_error(b) on a member: reads of that block
 //     fail on that member only (Bio::io_error). The volume retries the
 //     bio on another healthy member (read_error_failovers) and only
 //     propagates io_error when every healthy member fails it.
-//   - The volume-level crash model matches StripedDevice: kill_after(n)
-//     counts LOGICAL write bios in single-device sort order and
-//     power_off()s every member at the expiry instant, so a mirrored
-//     crash sweep stays comparable bio-for-bio with one device.
 //
-// Online rebuild: start_rebuild(i) resyncs a previously failed member from
-// a healthy peer on a dedicated simulated thread (flusher-style): a resync
-// cursor sweeps the device in `rebuild_batch`-block copies, each copy
-// timed on the rebuild thread's clock through the member queues (so
-// rebuild I/O competes with foreground I/O for member channels).
-// Foreground submissions poke the rebuild forward but backpressure bounds
-// it: the rebuild clock may run at most `rebuild_lead` ahead of the
-// poking thread, so rebuild never starves foreground I/O of the device.
-// While rebuilding, the target receives every foreground write (writes
-// ahead of the cursor are counted as rebuild_write_intercepts) but serves
-// no reads; on completion the target is flushed, marked healthy, and must
-// be bit-identical to its peers.
+// Online rebuild (machinery in AggregateDevice): the resync source is the
+// healthy peer with the lowest observed completion-latency EWMA — the
+// same signal the sq read policy uses — so a slow replica is not made
+// slower by also feeding the resync. A scrub pass compares the replicas
+// block-for-block and repairs divergent copies from the first healthy
+// member.
 //
 // Stacking: RAID10 = StripedDevice constructed over MirroredDevice
 // members (see StripedDevice's prebuilt-children constructor). The mirror
@@ -55,12 +49,9 @@
 #include <memory>
 #include <optional>
 #include <string_view>
-#include <unordered_map>
-#include <utility>
 #include <vector>
 
-#include "blockdev/device.h"
-#include "sim/thread.h"
+#include "blockdev/aggregate.h"
 
 namespace bsim::blk {
 
@@ -69,6 +60,10 @@ enum class MirrorReadPolicy : std::uint8_t { RoundRobin, ShortestQueue };
 struct MirrorParams {
   std::size_t nmirrors = 2;
   MirrorReadPolicy policy = MirrorReadPolicy::RoundRobin;
+  /// Hot spares kept on cold standby (deployed on fail_member).
+  std::size_t nspares = 0;
+  /// One replica-verification pass starts with the first submission.
+  bool auto_scrub = false;
   /// Blocks copied per rebuild step (one read + one write submission).
   std::size_t rebuild_batch = 64;
   /// Backpressure: how far the rebuild clock may run ahead of the thread
@@ -76,9 +71,10 @@ struct MirrorParams {
   sim::Nanos rebuild_lead = 2 * sim::kMillisecond;
 };
 
-/// Apply any "mirror=N", "policy=rr|sq" tokens in `opts` onto `base`
-/// (same override-by-token contract as merge_stripe_opts; "mirror=1"
-/// disables mirroring, unrelated tokens are ignored).
+/// Apply any "mirror=N", "policy=rr|sq", "spare=N", "scrub" tokens in
+/// `opts` onto `base` (same override-by-token contract as
+/// merge_stripe_opts; "mirror=1" disables mirroring, unrelated tokens are
+/// ignored).
 MirrorParams merge_mirror_opts(std::string_view opts, MirrorParams base);
 
 /// Parse a mirror selection out of a free-form mount-option string.
@@ -97,7 +93,7 @@ struct MirrorVolumeStats {
   std::uint64_t read_error_failovers = 0;  // io_error retried on a mirror
   std::uint64_t async_batches = 0;
   std::uint64_t max_inflight = 0;   // peak unredeemed volume tickets
-  // ---- rebuild ----
+  // ---- rebuild (maintained by AggregateDevice) ----
   std::uint64_t rebuilds_started = 0;
   std::uint64_t rebuilds_completed = 0;
   std::uint64_t rebuilds_aborted = 0;   // member failed mid-rebuild
@@ -106,37 +102,43 @@ struct MirrorVolumeStats {
   std::uint64_t rebuild_throttle_yields = 0;   // backpressure pauses
 };
 
-class MirroredDevice final : public BlockDevice {
+class MirroredDevice final : public AggregateDevice {
  public:
   /// Uniform members: every member stores the FULL logical image, so
   /// `member_params.nblocks` is both the member and the volume size.
   MirroredDevice(MirrorParams mp, DeviceParams member_params);
   /// Heterogeneous members (e.g. one slow replica in policy tests). All
-  /// members must be the same size.
+  /// members must be the same size. Spares are shaped like the first.
   MirroredDevice(MirrorParams mp, std::vector<DeviceParams> member_params);
   ~MirroredDevice() override;
 
   [[nodiscard]] const MirrorParams& mirror() const { return mirror_; }
   [[nodiscard]] const MirrorVolumeStats& volume_stats() const {
+    const AggregateVolumeStats& a = aggregate_stats();
+    vstats_.batches = a.batches;
+    vstats_.bios = a.bios;
+    vstats_.async_batches = a.async_batches;
+    vstats_.max_inflight = a.max_inflight;
+    vstats_.rebuilds_started = a.rebuilds_started;
+    vstats_.rebuilds_completed = a.rebuilds_completed;
+    vstats_.rebuilds_aborted = a.rebuilds_aborted;
+    vstats_.rebuild_copied = a.rebuild_copied;
+    vstats_.rebuild_throttle_yields = a.rebuild_throttle_yields;
     return vstats_;
   }
-  [[nodiscard]] std::uint64_t inflight() const { return outstanding_.size(); }
 
-  // ---- member introspection ----
   // Deliberately NOT the fan_out() protocol: a mirror is one logical
   // device to per-device subsystems (flusher sharding, buffer shards);
   // replicas are an internal redundancy detail.
-  [[nodiscard]] std::size_t members() const { return members_.size(); }
-  [[nodiscard]] BlockDevice& member(std::size_t i) { return *members_[i]; }
-  [[nodiscard]] bool healthy(std::size_t i) const { return healthy_[i]; }
-  [[nodiscard]] std::size_t healthy_members() const;
-  /// Degraded: at least one member is failed or still rebuilding.
-  [[nodiscard]] bool degraded() const {
-    return healthy_members() < members_.size();
+  [[nodiscard]] std::size_t fan_out() const override { return 1; }
+  [[nodiscard]] BlockDevice& fan_child(std::size_t i) override {
+    (void)i;
+    return *this;
   }
 
   /// Observed completion-latency EWMA for member `i` (shortest-queue
-  /// policy input; 0 until the member has served anything).
+  /// policy input and resync-source selector; 0 until the member has
+  /// served anything).
   [[nodiscard]] sim::Nanos member_latency_ewma(std::size_t i) const {
     return lat_ewma_[i];
   }
@@ -145,48 +147,33 @@ class MirroredDevice final : public BlockDevice {
   void write_untimed(std::uint64_t blockno,
                      std::span<const std::byte> in) override;
 
-  // ---- member failure + online rebuild ----
-  /// Fail-stop member `i`: from now on it serves no I/O and receives no
-  /// replication; the volume runs degraded on the survivors. Aborts an
-  /// in-flight rebuild that was using `i` as target or source.
-  void fail_member(std::size_t i);
-  /// Begin resyncing failed member `i` from a healthy peer. The copy runs
-  /// on the rebuild thread's clock, poked forward by foreground
-  /// submissions; drive it to completion with finish_rebuild().
-  void start_rebuild(std::size_t i);
-  [[nodiscard]] bool rebuild_active() const { return rebuild_target_.has_value(); }
-  /// Next block the resync will copy (== nblocks() when done/inactive).
-  [[nodiscard]] std::uint64_t rebuild_cursor() const { return rebuild_cursor_; }
-  /// Run the resync to completion and advance the calling thread past it
-  /// (the "wait for md to finish" barrier). No-op when no rebuild is on.
-  void finish_rebuild();
-
-  // ---- crash model (volume-level, same contract as StripedDevice) ----
-  void enable_crash_tracking() override;
-  void kill_after(std::uint64_t n) override;
-  void power_off() override;
+  /// Replicas die independently only through the whole-volume kill, so
+  /// the volume is dead when every member is (a single dead member would
+  /// be a fail_member'd one, which is degradation, not death).
   [[nodiscard]] bool dead() const override;
-  void crash(double survive_p, sim::Rng& rng) override;
   void inject_read_error(std::uint64_t blockno) override;
 
-  [[nodiscard]] std::uint64_t dirty_blocks() const override;
-  [[nodiscard]] const DeviceStats& stats() const override;
-
  protected:
-  // ---- submission (BlockDevice impl hooks; the public entry points add
-  // the plug layer) ----
-  sim::Nanos submit_impl(std::span<Bio* const> bios) override;
-  Ticket submit_async_impl(std::span<Bio* const> bios) override;
-  sim::Nanos wait_impl(const Ticket& t) override;
-  sim::Nanos flush_nowait_impl() override;
+  void route_policy(const std::vector<Bio*>& writes,
+                    const std::vector<Bio*>& killed, bool fire,
+                    const std::vector<Bio*>& reads, ChildTickets& tickets,
+                    sim::Nanos& last_done) override;
+
+  // ---- redundancy hooks (AggregateDevice) ----
+  /// Any healthy peer can regenerate a replica.
+  [[nodiscard]] bool has_rebuild_source(std::size_t target) const override;
+  /// Resync source: the healthy peer with the lowest latency EWMA (ties
+  /// and never-observed members fall back to index order), with failover
+  /// to the next candidate on a medium error.
+  bool rebuild_source_read(std::uint64_t start, std::uint64_t n) override;
+  /// Scrub: compare the replicas block-for-block; repair divergent copies
+  /// from the first healthy member.
+  [[nodiscard]] std::uint64_t scrub_extent() const override {
+    return nblocks();
+  }
+  std::uint64_t scrub_step(std::uint64_t cursor) override;
 
  private:
-  using MemberTickets = std::vector<std::pair<std::size_t, Ticket>>;
-
-  /// Serving members receive writes: healthy ones plus a rebuild target.
-  [[nodiscard]] bool serves_writes(std::size_t i) const {
-    return healthy_[i] || rebuild_target_ == i;
-  }
   /// Pick the member to serve a read bio: sequential affinity first (a
   /// read continuing a stream stays on the member whose "head" is already
   /// there, like md's read_balance, so mirrored sequential streams keep
@@ -194,33 +181,18 @@ class MirroredDevice final : public BlockDevice {
   [[nodiscard]] std::size_t pick_read_member(std::uint64_t first_block);
   [[nodiscard]] std::size_t first_healthy() const;
 
-  /// Replicate/balance one batch; returns member tickets and the batch's
-  /// last completion time. Applies the logical-bio kill model and the
-  /// read-error failover.
-  MemberTickets route_batch(std::span<Bio* const> bios,
-                            sim::Nanos& last_done);
-  void submit_writes(const std::vector<Bio*>& parents, MemberTickets& tickets,
+  void submit_writes(const std::vector<Bio*>& parents, ChildTickets& tickets,
                      sim::Nanos& last_done);
-  void submit_reads(const std::vector<Bio*>& parents, MemberTickets& tickets,
+  void submit_reads(const std::vector<Bio*>& parents, ChildTickets& tickets,
                     sim::Nanos& last_done);
   void note_submission(std::size_t member, const Ticket& t);
   /// Fold one observed bio completion (done_at - submission time) into the
   /// member's latency EWMA (alpha = 1/8, like md's io-latency averaging).
   void note_latency(std::size_t member, sim::Nanos sample);
 
-  /// Advance the resync while its clock stays within rebuild_lead of
-  /// `horizon`; completes the rebuild when the cursor reaches the end.
-  void rebuild_poke(sim::Nanos horizon);
-  /// Copy one rebuild_batch starting at the cursor (rebuild clock).
-  void rebuild_copy_step();
-  void complete_rebuild();
-  void abort_rebuild();
-
   static DeviceParams volume_params(const std::vector<DeviceParams>& members);
 
   MirrorParams mirror_;
-  std::vector<std::unique_ptr<BlockDevice>> members_;
-  std::vector<bool> healthy_;
   /// Estimated absolute time each member's queue drains what WE submitted
   /// (shortest-queue policy input; per-member DeviceStats break ties).
   std::vector<sim::Nanos> busy_until_;
@@ -234,21 +206,7 @@ class MirroredDevice final : public BlockDevice {
   std::vector<std::uint64_t> last_read_end_;
   std::size_t rr_next_ = 0;
 
-  // Logical-bio kill model (see StripedDevice header comment).
-  bool kill_armed_ = false;
-  std::uint64_t kill_countdown_ = 0;
-  bool volume_dead_ = false;
-
-  // Online rebuild.
-  std::optional<std::size_t> rebuild_target_;
-  std::uint64_t rebuild_cursor_ = 0;
-  sim::SimThread rebuild_thread_{-16};
-  std::vector<BlockData> rebuild_buf_;
-
-  std::uint64_t next_ticket_ = 1;
-  std::unordered_map<std::uint64_t, MemberTickets> outstanding_;
-  MirrorVolumeStats vstats_;
-  mutable DeviceStats agg_;  // stats() aggregation scratch
+  mutable MirrorVolumeStats vstats_;
 };
 
 }  // namespace bsim::blk

@@ -26,8 +26,10 @@ void NvmRegion::write(std::size_t off, std::span<const std::byte> data) {
   assert(off + data.size() <= working_.size() && "NVM write out of range");
   charge_if_timed(static_cast<sim::Nanos>(lines(data.size())) *
                   params_.write_per_line);
-  std::memcpy(working_.data() + off, data.data(), data.size());
-  if (!data.empty()) dirty_.emplace_back(off, data.size());
+  if (!data.empty()) {
+    std::memcpy(working_.data() + off, data.data(), data.size());
+    dirty_.emplace_back(off, data.size());
+  }
   stats_.bytes_written += data.size();
 }
 

@@ -5,7 +5,9 @@
 
 #include <charconv>
 #include <cstdint>
+#include <string>
 #include <string_view>
+#include <vector>
 
 namespace bsim::blk {
 
@@ -30,6 +32,47 @@ inline bool opt_num_after(std::string_view tok, std::string_view prefix,
   const std::string_view v = tok.substr(prefix.size());
   const auto [ptr, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
   return ec == std::errc{} && ptr == v.data() + v.size();
+}
+
+/// Whether `tok` is in the full vocabulary the volume layers and file
+/// systems accept. Every consumer still parses only the tokens it cares
+/// about; this is the union, maintained so strict mount validation can
+/// reject typos ("mirrro=2", "chunk=16k") instead of silently mounting
+/// with the option ignored.
+inline bool known_opt_token(std::string_view tok) {
+  static constexpr std::string_view kExact[] = {
+      "rw",       "linear",  "nogroup", "nopipeline",
+      "noplug",   "noflusher", "io_uring", "extfuse",
+      "scrub",    "lax_opts", "policy=rr", "policy=sq"};
+  static constexpr std::string_view kNumeric[] = {
+      "stripe=", "chunk=", "mirror=", "parity=",
+      "spare=",  "max_log_batch=", "log_blocks="};
+  for (const std::string_view k : kExact) {
+    if (tok == k) return true;
+  }
+  std::uint64_t n = 0;
+  for (const std::string_view p : kNumeric) {
+    if (opt_num_after(tok, p, n)) return true;
+  }
+  return false;
+}
+
+/// The unrecognized tokens of a mount-option string (empty: all known).
+inline std::vector<std::string> unknown_opt_tokens(std::string_view opts) {
+  std::vector<std::string> bad;
+  for_each_opt_token(opts, [&](std::string_view tok) {
+    if (!known_opt_token(tok)) bad.emplace_back(tok);
+  });
+  return bad;
+}
+
+/// The "lax_opts" escape hatch: this mount opts out of strict validation
+/// (for experiments carrying options the vocabulary does not know yet).
+inline bool opts_lax(std::string_view opts) {
+  bool lax = false;
+  for_each_opt_token(opts,
+                     [&](std::string_view tok) { lax = lax || tok == "lax_opts"; });
+  return lax;
 }
 
 }  // namespace bsim::blk

@@ -5,7 +5,6 @@
 #include <stdexcept>
 
 #include "blockdev/opts.h"
-#include "sim/thread.h"
 
 namespace bsim::blk {
 
@@ -78,8 +77,7 @@ StripedDevice::StripedDevice(StripeParams sp,
 
 StripedDevice::StripedDevice(StripeParams sp,
                              std::vector<std::unique_ptr<BlockDevice>> children)
-    : BlockDevice(volume_params(sp, params_of(children)), NoBacking{}),
-      stripe_(sp) {
+    : AggregateDevice(volume_params(sp, params_of(children))), stripe_(sp) {
   assert(!children.empty());
   stripe_.ndevices = children.size();
   child_usable_ = children.front()->nblocks();
@@ -101,7 +99,7 @@ StripedDevice::StripedDevice(StripeParams sp,
       throw std::invalid_argument("striped members must be the same size");
     }
   }
-  children_ = std::move(children);
+  adopt_children(std::move(children));
 }
 
 StripedDevice::~StripedDevice() = default;
@@ -175,88 +173,18 @@ void StripedDevice::submit_fragments(const std::vector<Bio*>& parents,
   }
 }
 
-StripedDevice::ChildTickets StripedDevice::route_batch(
-    std::span<Bio* const> bios, sim::Nanos& last_done) {
-  vstats_.batches += 1;
-  vstats_.bios += bios.size();
-
-  // Mirror the single-device queue's crash-count order: writes are counted
-  // bio-by-bio in stable first-block order (see RequestQueue::dispatch),
-  // so kill_after(n) on a striped volume selects the SAME n logical bios
-  // as on one device for an identical submission sequence.
-  std::vector<Bio*> writes, survivors, killed;
-  for (Bio* b : bios) {
-    if (b->op == BioOp::Write) writes.push_back(b);
-  }
-  std::stable_sort(writes.begin(), writes.end(),
-                   [](const Bio* a, const Bio* b) {
-                     return a->first_block() < b->first_block();
-                   });
-  bool fire = false;
-  for (Bio* w : writes) {
-    if (kill_armed_ && !fire) {
-      if (kill_countdown_ == 0) fire = true;
-      else kill_countdown_ -= 1;
-    }
-    (fire ? killed : survivors).push_back(w);
-  }
-  for (Bio* b : bios) {
-    if (b->op == BioOp::Read) survivors.push_back(b);
-  }
-
-  ChildTickets tickets;
+void StripedDevice::route_policy(const std::vector<Bio*>& writes,
+                                 const std::vector<Bio*>& killed, bool fire,
+                                 const std::vector<Bio*>& reads,
+                                 ChildTickets& tickets,
+                                 sim::Nanos& last_done) {
+  std::vector<Bio*> survivors = writes;
+  survivors.insert(survivors.end(), reads.begin(), reads.end());
   submit_fragments(survivors, tickets, last_done);
   if (fire) {
-    // Power dies across the whole volume AT THIS INSTANT: every member
-    // swallows all later write commands and flushes (accepted and timed,
-    // never applied) — the same moment the single-device countdown would
-    // flip dead_, so flush/destage behaviour stays comparable.
-    volume_dead_ = true;
-    kill_armed_ = false;
-    for (auto& c : children_) c->power_off();
+    mark_volume_dead();
     submit_fragments(killed, tickets, last_done);
   }
-  return tickets;
-}
-
-sim::Nanos StripedDevice::submit_impl(std::span<Bio* const> bios) {
-  if (bios.empty()) return sim::now();
-  sim::Nanos last_done = sim::now();
-  ChildTickets tickets = route_batch(bios, last_done);
-  for (auto& [c, t] : tickets) children_[c]->wait(t);
-  sim::current().wait_until(last_done);
-  return last_done;
-}
-
-Ticket StripedDevice::submit_async_impl(std::span<Bio* const> bios) {
-  if (bios.empty()) return Ticket{};
-  sim::Nanos last_done = sim::now();
-  ChildTickets tickets = route_batch(bios, last_done);
-  vstats_.async_batches += 1;
-  const std::uint64_t id = next_ticket_++;
-  outstanding_.emplace(id, std::move(tickets));
-  vstats_.max_inflight =
-      std::max<std::uint64_t>(vstats_.max_inflight, outstanding_.size());
-  return Ticket{last_done, id};
-}
-
-sim::Nanos StripedDevice::wait_impl(const Ticket& t) {
-  if (!t.valid()) return sim::now();
-  auto it = outstanding_.find(t.id);
-  if (it != outstanding_.end()) {
-    for (auto& [c, ct] : it->second) children_[c]->wait(ct);
-    outstanding_.erase(it);
-  }
-  sim::current().wait_until(t.done);  // redundant waits are harmless
-  return t.done;
-}
-
-sim::Nanos StripedDevice::flush_nowait_impl() {
-  // FLUSH every member in parallel: each barriers its own channels; the
-  // volume's flush completes when the slowest member destages.
-  sim::Nanos done = sim::now();
-  for (auto& c : children_) done = std::max(done, c->flush_nowait());
-  return done;
 }
 
 void StripedDevice::read_untimed(std::uint64_t blockno,
@@ -267,69 +195,6 @@ void StripedDevice::read_untimed(std::uint64_t blockno,
 void StripedDevice::write_untimed(std::uint64_t blockno,
                                   std::span<const std::byte> in) {
   children_[child_of(blockno)]->write_untimed(child_block_of(blockno), in);
-}
-
-void StripedDevice::enable_crash_tracking() {
-  for (auto& c : children_) c->enable_crash_tracking();
-}
-
-void StripedDevice::kill_after(std::uint64_t n) {
-  kill_armed_ = true;
-  kill_countdown_ = n;
-}
-
-void StripedDevice::kill_after_child(std::size_t child, std::uint64_t n) {
-  assert(child < children_.size());
-  children_[child]->kill_after(n);
-}
-
-void StripedDevice::power_off() {
-  volume_dead_ = true;
-  kill_armed_ = false;
-  for (auto& c : children_) c->power_off();
-}
-
-bool StripedDevice::dead() const {
-  if (volume_dead_) return true;
-  for (const auto& c : children_) {
-    if (c->dead()) return true;
-  }
-  return false;
-}
-
-void StripedDevice::crash(double survive_p, sim::Rng& rng) {
-  volume_dead_ = false;
-  kill_armed_ = false;
-  for (auto& c : children_) c->crash(survive_p, rng);
-}
-
-std::uint64_t StripedDevice::dirty_blocks() const {
-  std::uint64_t total = 0;
-  for (const auto& c : children_) total += c->dirty_blocks();
-  return total;
-}
-
-const DeviceStats& StripedDevice::stats() const {
-  // Like the base class, the returned reference is a live view: it
-  // reflects whatever I/O has happened by the time it is read (here via
-  // re-aggregation on each call). Callers wanting a snapshot to diff
-  // against must copy the struct, exactly as with a plain device.
-  agg_ = DeviceStats{};
-  for (const auto& c : children_) {
-    const DeviceStats& s = c->stats();
-    agg_.reads += s.reads;
-    agg_.writes += s.writes;
-    agg_.flushes += s.flushes;
-    agg_.blocks_destaged += s.blocks_destaged;
-    agg_.busy += s.busy;
-    agg_.read_requests += s.read_requests;
-    agg_.write_requests += s.write_requests;
-    agg_.merges += s.merges;
-    agg_.seq_read_blocks += s.seq_read_blocks;
-    agg_.max_request_blocks =
-        std::max(agg_.max_request_blocks, s.max_request_blocks);
-  }
-  return agg_;
 }
 
 }  // namespace bsim::blk

@@ -1,16 +1,16 @@
 // Multi-device striped volumes: a RAID0-style (or linear-concat) aggregate
 // of N BlockDevices behind the ordinary BlockDevice interface.
 //
-// The volume owns one RequestQueue *per member device* (each child's own
-// queue). An incoming Bio batch is split at stripe boundaries into
-// per-child fragment bios, each child's fragments are handed to that
-// child's queue as ONE batch (so every member elevator-sorts and merges
-// its share independently), and the child submissions go out through
-// `submit_async` — the caller's single submit()/submit_async() therefore
-// holds QD>1 *across devices*: all members transfer concurrently in
-// virtual time, while each member's media effects still land at
-// submission, in deterministic program order (child 0 first, then child 1,
-// …; within a child, the child queue's documented write-sorted order).
+// The shared aggregate machinery — per-member RequestQueues, async ticket
+// fan-out/fan-in, the logical-write-bio crash model, per-member stats
+// aggregation — lives in AggregateDevice (blockdev/aggregate.h); this
+// class keeps only the striping policy: the chunk math and the splitting
+// of logical bios into per-member fragments. A caller's single
+// submit()/submit_async() holds QD>1 *across devices*: all members
+// transfer concurrently in virtual time, while each member's media effects
+// still land at submission, in deterministic program order (child 0 first,
+// then child 1, …; within a child, the child queue's documented
+// write-sorted order).
 //
 // Geometry (Raid0): logical blocks are grouped into chunks of
 // `chunk_blocks`; chunk c lives on child c % N at child-chunk c / N.
@@ -19,32 +19,22 @@
 // run becomes N long sequential child runs that merge per child.
 // Linear mode concatenates the children instead (child = block / size).
 //
-// Crash model:
-//   - kill_after(n) counts *logical* write bios, in the same
-//     write-sorted order the single-device queue counts them. The first n
-//     logical bios apply on their members in full; everything after dies
-//     on every member. Counting logical bios (not per-child fragments)
-//     keeps a striped crash sweep comparable bio-for-bio with the same op
-//     trace on one device — the recovered logical image is bit-identical.
+// Crash model (see AggregateDevice):
+//   - kill_after(n) counts *logical* write bios, in the same write-sorted
+//     order the single-device queue counts them, so a striped crash sweep
+//     stays comparable bio-for-bio with the same op trace on one device;
 //   - kill_after_child(i, n) arms the per-member kill instead: member i
 //     stops persisting after n more *fragment* write commands while the
 //     other members keep going — power loss of one shard mid-batch, the
 //     failure mode only multi-device volumes have.
-//   - crash(p, rng) / enable_crash_tracking() fan out to every member in
-//     index order (deterministic rng consumption).
-//
-// DeviceStats aggregate across members on read (stats()); per-member
-// counters stay available through fan_child(i).stats().
 #pragma once
 
 #include <memory>
 #include <optional>
 #include <string_view>
-#include <unordered_map>
-#include <utility>
 #include <vector>
 
-#include "blockdev/device.h"
+#include "blockdev/aggregate.h"
 
 namespace bsim::blk {
 
@@ -79,7 +69,7 @@ struct StripeVolumeStats {
   std::uint64_t max_inflight = 0;   // peak unredeemed volume tickets
 };
 
-class StripedDevice final : public BlockDevice {
+class StripedDevice final : public AggregateDevice {
  public:
   /// Uniform members: `child_params.nblocks` is the PER-CHILD size
   /// (rounded down to a whole number of chunks in Raid0 mode).
@@ -88,25 +78,24 @@ class StripedDevice final : public BlockDevice {
   /// children must have the same usable size; Raid0 requires it.
   StripedDevice(StripeParams sp, std::vector<DeviceParams> child_params);
   /// Prebuilt members: stacking volumes, e.g. RAID10 = a stripe whose
-  /// members are MirroredDevices. Each child is addressed purely through
-  /// the BlockDevice interface (its own submit_async fans further down).
+  /// members are MirroredDevices, RAID50 = a stripe of ParityDevices.
+  /// Each child is addressed purely through the BlockDevice interface
+  /// (its own submit_async fans further down).
   StripedDevice(StripeParams sp,
                 std::vector<std::unique_ptr<BlockDevice>> children);
   ~StripedDevice() override;
 
   [[nodiscard]] const StripeParams& stripe() const { return stripe_; }
   [[nodiscard]] const StripeVolumeStats& volume_stats() const {
+    const AggregateVolumeStats& a = aggregate_stats();
+    vstats_.batches = a.batches;
+    vstats_.bios = a.bios;
+    vstats_.async_batches = a.async_batches;
+    vstats_.max_inflight = a.max_inflight;
     return vstats_;
   }
-  [[nodiscard]] std::uint64_t inflight() const { return outstanding_.size(); }
 
-  // ---- fan-out introspection ----
-  [[nodiscard]] std::size_t fan_out() const override {
-    return children_.size();
-  }
-  [[nodiscard]] BlockDevice& fan_child(std::size_t i) override {
-    return *children_[i];
-  }
+  // ---- geometry ----
   [[nodiscard]] std::size_t child_of(std::uint64_t blockno) const override;
   /// The member-local block number logical `blockno` maps to.
   [[nodiscard]] std::uint64_t child_block_of(std::uint64_t blockno) const;
@@ -129,33 +118,16 @@ class StripedDevice final : public BlockDevice {
     children_[child_of(blockno)]->inject_read_error(child_block_of(blockno));
   }
 
-  // ---- crash model ----
-  void enable_crash_tracking() override;
-  void kill_after(std::uint64_t n) override;
-  /// Cut power to ONE member after `n` more of ITS write commands
-  /// (fragment bios, counted in that member queue's dispatch order).
-  void kill_after_child(std::size_t child, std::uint64_t n);
-  void power_off() override;
-  [[nodiscard]] bool dead() const override;
-  void crash(double survive_p, sim::Rng& rng) override;
-
-  [[nodiscard]] std::uint64_t dirty_blocks() const override;
-  [[nodiscard]] const DeviceStats& stats() const override;
-
  protected:
-  // ---- submission (BlockDevice impl hooks; the public entry points add
-  // the plug layer, whose deferred batches route here at unplug) ----
-  sim::Nanos submit_impl(std::span<Bio* const> bios) override;
-  Ticket submit_async_impl(std::span<Bio* const> bios) override;
-  sim::Nanos wait_impl(const Ticket& t) override;
-  sim::Nanos flush_nowait_impl() override;
+  /// Striping submits the surviving writes and the reads together: each
+  /// member receives its fragments of the whole batch as ONE async
+  /// submission (one elevator pass per member).
+  void route_policy(const std::vector<Bio*>& writes,
+                    const std::vector<Bio*>& killed, bool fire,
+                    const std::vector<Bio*>& reads, ChildTickets& tickets,
+                    sim::Nanos& last_done) override;
 
  private:
-  using ChildTickets = std::vector<std::pair<std::size_t, Ticket>>;
-
-  /// Split + route one batch; returns the child tickets and the batch's
-  /// last completion time. Applies the logical-bio kill model.
-  ChildTickets route_batch(std::span<Bio* const> bios, sim::Nanos& last_done);
   /// Split `parents` into per-child fragment batches and submit each
   /// child's batch async (child index order). Appends tickets.
   void submit_fragments(const std::vector<Bio*>& parents,
@@ -164,18 +136,8 @@ class StripedDevice final : public BlockDevice {
                                     const std::vector<DeviceParams>& children);
 
   StripeParams stripe_;
-  std::vector<std::unique_ptr<BlockDevice>> children_;
   std::uint64_t child_usable_ = 0;  // usable blocks per member (uniform)
-
-  // Logical-bio kill model (see header comment).
-  bool kill_armed_ = false;
-  std::uint64_t kill_countdown_ = 0;
-  bool volume_dead_ = false;
-
-  std::uint64_t next_ticket_ = 1;
-  std::unordered_map<std::uint64_t, ChildTickets> outstanding_;
-  StripeVolumeStats vstats_;
-  mutable DeviceStats agg_;  // stats() aggregation scratch
+  mutable StripeVolumeStats vstats_;
 };
 
 }  // namespace bsim::blk

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "blockdev/opts.h"
 #include "sim/cost_model.h"
 #include "sim/thread.h"
 
@@ -22,6 +23,17 @@ std::vector<std::string_view> split_components(std::string_view rest) {
     i = j;
   }
   return parts;
+}
+
+/// Shape one RAID5 member for a volume of LOGICAL size `params.nblocks`:
+/// a data column rounded up to whole chunks, plus the intent-bitmap head.
+blk::DeviceParams parity_member_shape(const blk::ParityParams& pp,
+                                      blk::DeviceParams params) {
+  const std::uint64_t ck = std::max<std::uint64_t>(pp.chunk_blocks, 1);
+  std::uint64_t usable = (params.nblocks + pp.ndata - 1) / pp.ndata;
+  usable = (usable + ck - 1) / ck * ck;
+  params.nblocks = usable + blk::ParityDevice::kBitmapBlocks;
+  return params;
 }
 
 }  // namespace
@@ -75,6 +87,16 @@ blk::MirroredDevice& Kernel::add_mirrored_device(
   return *raw;
 }
 
+blk::ParityDevice& Kernel::add_parity_device(std::string name,
+                                             blk::ParityParams pp,
+                                             blk::DeviceParams params) {
+  auto dev = std::make_unique<blk::ParityDevice>(
+      pp, parity_member_shape(pp, params));
+  auto* raw = dev.get();
+  add_device(std::move(name), std::move(dev));
+  return *raw;
+}
+
 blk::BlockDevice& Kernel::add_volume(std::string name,
                                      std::optional<blk::StripeParams> sp,
                                      std::optional<blk::MirrorParams> mp,
@@ -96,6 +118,29 @@ blk::BlockDevice& Kernel::add_volume(std::string name,
   }
   if (mirrored) return add_mirrored_device(std::move(name), *mp, params);
   return add_device(std::move(name), params);
+}
+
+blk::BlockDevice& Kernel::add_volume(std::string name,
+                                     std::optional<blk::StripeParams> sp,
+                                     std::optional<blk::MirrorParams> mp,
+                                     std::optional<blk::ParityParams> pp,
+                                     blk::DeviceParams params) {
+  const bool parity = pp.has_value() && pp->ndata >= 2;
+  if (!parity) return add_volume(std::move(name), sp, mp, params);
+  const bool striped = sp.has_value() && sp->ndevices > 1;
+  // Parity beats mirror in a combined selection (one redundancy scheme
+  // per leaf volume); parity plus stripe is RAID50.
+  if (!striped) return add_parity_device(std::move(name), *pp, params);
+  blk::DeviceParams child = params;
+  child.nblocks = params.nblocks / sp->ndevices;
+  std::vector<std::unique_ptr<blk::BlockDevice>> children;
+  children.reserve(sp->ndevices);
+  for (std::size_t i = 0; i < sp->ndevices; ++i) {
+    children.push_back(std::make_unique<blk::ParityDevice>(
+        *pp, parity_member_shape(*pp, child)));
+  }
+  return add_device(std::move(name), std::make_unique<blk::StripedDevice>(
+                                         *sp, std::move(children)));
 }
 
 blk::BlockDevice* Kernel::device(std::string_view name) {
@@ -129,6 +174,13 @@ Err Kernel::mount(std::string_view fstype, std::string_view devname,
   if (dev == nullptr) return Err::NoDev;
   if (mountpoint.empty() || mountpoint.front() != '/') return Err::Inval;
   if (sb_at(mountpoint) != nullptr) return Err::Busy;
+  // Strict option parsing: every token must be in the shared vocabulary
+  // (blockdev/opts.h), or the mount fails — a typo'd "mirrro=2" must not
+  // silently mount unmirrored. "lax_opts" opts a mount out (experiments
+  // carrying options the vocabulary does not know yet).
+  if (!blk::opts_lax(opts) && !blk::unknown_opt_tokens(opts).empty()) {
+    return Err::Inval;
+  }
 
   auto sb = type->mount(*dev, opts);
   if (!sb.ok()) return sb.error();

@@ -17,6 +17,7 @@
 
 #include "blockdev/device.h"
 #include "blockdev/mirrored.h"
+#include "blockdev/parity.h"
 #include "blockdev/striped.h"
 #include "kernel/vfs.h"
 
@@ -76,12 +77,24 @@ class Kernel {
   blk::MirroredDevice& add_mirrored_device(std::string name,
                                            blk::MirrorParams mp,
                                            blk::DeviceParams member_params);
+  /// Build a RAID5 parity volume of pp.ndata + 1 members
+  /// (`params.nblocks` is the LOGICAL size; member sizing — plus the
+  /// intent-bitmap block — is derived) and expose it as one device.
+  blk::ParityDevice& add_parity_device(std::string name, blk::ParityParams pp,
+                                       blk::DeviceParams params);
   /// Build the volume a (stripe, mirror) selection describes: plain
   /// device, RAID0 stripe, RAID1 mirror, or RAID10 (a stripe of mirrors;
   /// `params.nblocks` is the LOGICAL volume size, split across stripes).
   blk::BlockDevice& add_volume(std::string name,
                                std::optional<blk::StripeParams> sp,
                                std::optional<blk::MirrorParams> mp,
+                               blk::DeviceParams params);
+  /// Same, with RAID5 in the selection: parity beats mirror; parity plus
+  /// stripe builds RAID50 (a stripe of parity volumes).
+  blk::BlockDevice& add_volume(std::string name,
+                               std::optional<blk::StripeParams> sp,
+                               std::optional<blk::MirrorParams> mp,
+                               std::optional<blk::ParityParams> pp,
                                blk::DeviceParams params);
   [[nodiscard]] blk::BlockDevice* device(std::string_view name);
   /// Reverse lookup (used by drivers that need the /dev path of a device).

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "blockdev/mirrored.h"
+#include "blockdev/parity.h"
 #include "blockdev/striped.h"
 
 #include "bento/bentofs.h"
@@ -43,6 +44,15 @@ struct BedOptions {
   /// honoured from mount_opts tokens ("mirror=2[,policy=rr|sq]").
   int mirror_devices = 1;
   blk::MirrorReadPolicy mirror_policy = blk::MirrorReadPolicy::RoundRobin;
+  /// RAID5 parity volume: >=2 data columns over parity_devices + 1
+  /// members (device_blocks stays the LOGICAL size). Combined with
+  /// stripe_devices>1 it builds RAID50. Also honoured from mount_opts
+  /// tokens ("parity=4,chunk=16[,spare=1][,scrub]"). Parity beats mirror
+  /// when both are selected.
+  int parity_devices = 1;  // <2: no parity volume
+  std::uint64_t parity_chunk_blocks = 16;
+  int spare_devices = 0;
+  bool auto_scrub = false;
 };
 
 /// Builds the full stack for one deployment. The mountpoint is /mnt.
@@ -60,11 +70,19 @@ class TestBed {
     mp.nmirrors = static_cast<std::size_t>(
         std::max(opts_.mirror_devices, 1));
     mp.policy = opts_.mirror_policy;
+    blk::ParityParams pp;
+    pp.ndata = static_cast<std::size_t>(std::max(opts_.parity_devices, 1));
+    pp.chunk_blocks = opts_.parity_chunk_blocks;
+    pp.nspares = static_cast<std::size_t>(std::max(opts_.spare_devices, 0));
+    pp.auto_scrub = opts_.auto_scrub;
     // Mount-option tokens override field-by-field; absent tokens keep
     // the programmatic configuration above.
     sp = blk::merge_stripe_opts(opts_.mount_opts, sp);
     mp = blk::merge_mirror_opts(opts_.mount_opts, mp);
-    auto& dev = kernel_.add_volume("ssd0", sp, mp, opts_.device);
+    pp = blk::merge_parity_opts(opts_.mount_opts, pp);
+    auto& dev = kernel_.add_volume(
+        "ssd0", sp, mp, pp.ndata >= 2 ? std::optional(pp) : std::nullopt,
+        opts_.device);
     if (opts_.fs == "ext4j") {
       ext4::mkfs(dev, /*inodes_per_group=*/8192);
     } else {

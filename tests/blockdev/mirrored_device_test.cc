@@ -516,6 +516,67 @@ TEST_F(MirroredDeviceTest, FailSourceDuringRebuildFallsOverOrAborts) {
   EXPECT_EQ(md2.volume_stats().rebuilds_aborted, 1u);
 }
 
+TEST_F(MirroredDeviceTest, RebuildSourcePrefersTheFastReplicaByEwma) {
+  // Resync-source selection reuses the read policy's latency EWMA: with
+  // one replica an order of magnitude slower, the copy must come off a
+  // fast member, not blindly off the first healthy index.
+  MirrorParams mp;
+  mp.nmirrors = 3;
+  mp.policy = MirrorReadPolicy::ShortestQueue;
+  mp.rebuild_batch = 8;
+  mp.rebuild_lead = sim::usec(20);
+  std::vector<DeviceParams> members(3);
+  for (auto& m : members) {
+    m.nblocks = 64;
+    m.channels = 1;
+  }
+  members[0].read_lat_rand = members[1].read_lat_rand * 10;
+  members[0].read_lat_seq = members[1].read_lat_seq * 10;
+  MirroredDevice md(mp, members);
+  for (std::uint64_t b = 0; b < 64; ++b) {
+    md.write(b, pattern(static_cast<std::uint8_t>(b)));
+  }
+  // Seed the EWMAs: scattered single-bio reads observe both members'
+  // latencies (the sq policy tries each at least once).
+  std::array<std::byte, kBlockSize> buf{};
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    Bio rd = Bio::single_read((i * 3) % 64, buf);
+    md.wait(md.submit_async(std::span<Bio>(&rd, 1)));
+    sim::current().wait_until(sim::now() + sim::kMillisecond);
+  }
+  ASSERT_GT(md.member_latency_ewma(0), md.member_latency_ewma(1));
+
+  md.fail_member(2);
+  const auto slow0 = md.member(0).stats().reads;
+  const auto fast1 = md.member(1).stats().reads;
+  md.start_rebuild(2);
+  md.finish_rebuild();
+  EXPECT_TRUE(members_identical(md, 1, 2));
+  // The whole copy was fed by the fast replica.
+  EXPECT_EQ(md.member(0).stats().reads, slow0);
+  EXPECT_GT(md.member(1).stats().reads, fast1);
+}
+
+TEST_F(MirroredDeviceTest, HotSpareDeploysOnMemberFailure) {
+  MirrorParams mp;
+  mp.nmirrors = 2;
+  mp.nspares = 1;
+  DeviceParams member;
+  member.nblocks = 64;
+  MirroredDevice md(mp, member);
+  EXPECT_EQ(md.spares_available(), 1u);
+  for (std::uint64_t b = 0; b < 64; ++b) {
+    md.write(b, pattern(static_cast<std::uint8_t>(b)));
+  }
+  md.fail_member(1);
+  EXPECT_EQ(md.spares_available(), 0u);
+  EXPECT_EQ(md.aggregate_stats().spares_deployed, 1u);
+  EXPECT_TRUE(md.rebuild_active());
+  md.finish_rebuild();
+  EXPECT_FALSE(md.degraded());
+  EXPECT_TRUE(members_identical(md, 0, 1));
+}
+
 // ---- crash model parity ----
 
 TEST_F(MirroredDeviceTest, GlobalKillCountsLogicalBiosLikeOneDevice) {

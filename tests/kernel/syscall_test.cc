@@ -53,6 +53,33 @@ TEST_F(SyscallTest, MountErrors) {
   EXPECT_EQ(kernel_.umount("/nothing"), Err::NoEnt);
 }
 
+TEST_F(SyscallTest, MountRejectsUnknownOptionTokens) {
+  // Strict option validation: a typo'd token ("mirrro=2" for "mirror=2",
+  // a malformed value "chunk=16k") used to mount fine with the option
+  // silently ignored — an experiment then measured the wrong deployment.
+  blk::DeviceParams params;
+  params.nblocks = 32768;
+  auto& dev = kernel_.add_device("ssd1", params);
+  xv6::mkfs(dev, 4096);
+  EXPECT_EQ(kernel_.mount("xv6_bento", "ssd1", "/m2", "mirrro=2"),
+            Err::Inval);
+  EXPECT_EQ(kernel_.mount("xv6_bento", "ssd1", "/m2", "chunk=16k"),
+            Err::Inval);
+  EXPECT_EQ(kernel_.mount("xv6_bento", "ssd1", "/m2", "noflusher,bogus"),
+            Err::Inval);
+  // Nothing was mounted by the rejected attempts.
+  EXPECT_EQ(kernel_.umount("/m2"), Err::NoEnt);
+  // Every known token (and combinations) still mounts...
+  ASSERT_EQ(Err::Ok, kernel_.mount("xv6_bento", "ssd1", "/m2",
+                                   "rw,noflusher,max_log_batch=4"));
+  ASSERT_EQ(Err::Ok, kernel_.umount("/m2"));
+  // ... and "lax_opts" opts one mount out of validation (options the
+  // vocabulary does not know yet, e.g. from an experiment branch).
+  ASSERT_EQ(Err::Ok, kernel_.mount("xv6_bento", "ssd1", "/m2",
+                                   "lax_opts,future_knob=7"));
+  ASSERT_EQ(Err::Ok, kernel_.umount("/m2"));
+}
+
 TEST_F(SyscallTest, PathResolutionErrors) {
   EXPECT_EQ(kernel_.stat(proc(), "/other/x").error(), Err::NoEnt);
   EXPECT_EQ(kernel_.stat(proc(), "/mnt/no/such/depth").error(), Err::NoEnt);
