@@ -59,6 +59,10 @@ int main() {
         mbps[m] = stats.mbytes_per_sec();
         json.add(std::string(label) + "/" + modes[m].label, cfg.label,
                  mbps[m]);
+        // Foreground write latency: with the flusher on, the writer pays
+        // the poke, not the drain — p99 is gated downward.
+        json.add_latency(std::string(label) + "/" + modes[m].label + "-lat",
+                         cfg.label, stats.latency);
       }
       std::printf("%-10s %12.1f %12.1f %9.2fx\n", label.c_str(), mbps[0],
                   mbps[1], mbps[0] > 0 ? mbps[1] / mbps[0] : 0.0);

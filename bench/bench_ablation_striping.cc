@@ -112,7 +112,7 @@ double raw_rnd_read(std::size_t ndev) {
 }
 
 /// Buffered sequential writes through the mounted Bento deployment.
-double fs_seq_write(int ndev) {
+sim::RunStats fs_seq_write(int ndev) {
   BenchRun run;
   run.fs = "xv6_bento";
   run.nthreads = 1;
@@ -121,11 +121,10 @@ double fs_seq_write(int ndev) {
   run.stripe_devices = ndev;
   run.stripe_chunk_blocks = kChunkBlocks;
   wl::SharedFile file;
-  auto stats = run_bench(run, [&](wl::TestBed& bed, int tid) {
+  return run_bench(run, [&](wl::TestBed& bed, int tid) {
     return std::make_unique<wl::WriteMicro>(bed, file, /*sequential=*/true,
                                             1 << 20, tid, 42);
   });
-  return stats.mbytes_per_sec();
 }
 
 }  // namespace
@@ -144,12 +143,16 @@ int main() {
   for (const std::size_t n : devs) {
     const double w = raw_seq_write(n);
     const double r = raw_rnd_read(n);
-    const double f = fs_seq_write(static_cast<int>(n));
+    const sim::RunStats fstats = fs_seq_write(static_cast<int>(n));
+    const double f = fstats.mbytes_per_sec();
     if (n == 1) base_write = w;
     const std::string label = std::to_string(n) + "dev";
     json.add("raw-seqwrite", label, w);
     json.add("raw-rndread", label, r);
     json.add("Bento-seqwrite", label, f);
+    // Per-op (1 MiB buffered write) latency through the full stack; p99
+    // gated downward so stripe-routing regressions surface as latency.
+    json.add_latency("Bento-seqwrite-lat", label, fstats.latency);
     json.add("raw-seqwrite-scaling", label,
              base_write > 0 ? w / base_write : 0.0);
     std::printf("%-8zu %14.1f %9.2fx %14.1f %14.1f\n", n, w,

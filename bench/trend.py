@@ -7,12 +7,20 @@ a human-readable TREND.md markdown table, so CI artifacts carry a single
 perf snapshot per run and successive runs can be diffed.
 
 With --baseline pointing at a previous run's BENCH_TREND.json (CI downloads
-the last artifact), every tracked bandwidth row is compared against the
-baseline and the script FAILS (exit 2) when any series regresses by more
-than --fail-threshold (default 10%) — the ROADMAP "gate on regressions"
-item. Tracked rows are those in reports whose unit is MBps, excluding
-ratio/count series (scaling factors and commit counts are not bandwidths;
-for counts, lower is better).
+the last artifact), tracked rows are compared against the baseline and the
+script FAILS (exit 2) on any regression beyond --fail-threshold (default
+10%). Gating is DIRECTION-AWARE (schema v2 reports tag rows):
+
+  - direction "up" (bandwidth, ops/s): fails when the value DROPS by more
+    than the threshold.
+  - direction "down" (latency): fails when the value RISES by more than
+    the threshold — a p99 latency regression is caught even when the
+    accompanying MBps row improved.
+  - direction "" / absent on a tagged row: tracked in the trend artifacts
+    but never gated.
+
+Legacy (schema v1) rows carry no tags; those gate exactly as before: rows
+of reports whose unit is MBps, excluding ratio/count series, gate "up".
 
 Usage: trend.py [--dir DIR] [--out-json PATH] [--out-md PATH]
                [--baseline PATH] [--fail-threshold FRAC]
@@ -41,11 +49,22 @@ NOTES = {
     ),
     "striping": (
         "RAID0 scaling sweep: raw volume bandwidth and the full "
-        "Bento-seqwrite stack vs member count."
+        "Bento-seqwrite stack vs member count. Write-latency p50/p99 ride "
+        "along per member count (p99 gated downward)."
     ),
     "redundancy": (
         "RAID1 sweep: read scaling across replicas; writes must stay at "
         "single-device cost."
+    ),
+    "fsynclat": (
+        "Per-op pwrite+fsync latency (the journal commit round trip) on "
+        "plain, RAID0/4, and RAID5/4 volumes. p99 is gated downward: a "
+        ">10% p99 increase fails CI even if throughput improved."
+    ),
+    "flusher": (
+        "Background-writeback ablation: buffered write throughput with "
+        "the per-device flusher on vs writer-context sync, plus "
+        "foreground write-latency attribution (p99 gated downward)."
     ),
 }
 
@@ -66,11 +85,32 @@ def load_reports(directory):
     return reports
 
 
+def row_unit(rep, row):
+    return row.get("unit") or rep.get("unit") or "value"
+
+
+def row_direction(rep, row):
+    """Gating direction for a row: "up", "down", or None (not gated)."""
+    if "direction" in row or "unit" in row:
+        # Schema v2 tagged row: the tag is authoritative.
+        d = row.get("direction", "")
+        return d if d in ("up", "down") else None
+    # Legacy row: gate MBps bandwidths upward, exclude ratios/counts.
+    if rep.get("unit") != "MBps":
+        return None
+    series = row["series"]
+    if "scaling" in series or "commit" in series or "count" in series:
+        return None
+    return "up"
+
+
 def render_markdown(reports):
     lines = ["# Perf trend", ""]
     lines.append(
         "One table per bench; values are the latest run's "
-        "(series, label) points.")
+        "(series, label) points. Columns marked with a trailing `*` are "
+        "regression-GATED (direction-aware: bandwidth gates on drops, "
+        "latency on increases); unmarked columns are tracked only.")
     for rep in reports:
         unit = rep.get("unit") or "value"
         lines.append("")
@@ -80,16 +120,31 @@ def render_markdown(reports):
         if note:
             lines.append(note)
             lines.append("")
-        # Pivot: one row per label, one column per series.
+        # Pivot: one row per label, one column per series. A series'
+        # header carries its unit (when it differs from the report's)
+        # and the gated mark.
         series, labels = [], []
         cells = {}
+        sunits, sgated = {}, {}
         for row in rep["rows"]:
-            if row["series"] not in series:
-                series.append(row["series"])
+            s = row["series"]
+            if s not in series:
+                series.append(s)
             if row["label"] not in labels:
                 labels.append(row["label"])
-            cells[(row["series"], row["label"])] = row["value"]
-        lines.append("| label | " + " | ".join(series) + " |")
+            cells[(s, row["label"])] = row["value"]
+            sunits[s] = row_unit(rep, row)
+            if row_direction(rep, row) is not None:
+                sgated[s] = True
+        heads = []
+        for s in series:
+            head = s
+            if sunits.get(s) and sunits[s] != unit:
+                head += f" [{sunits[s]}]"
+            if sgated.get(s):
+                head += "*"
+            heads.append(head)
+        lines.append("| label | " + " | ".join(heads) + " |")
         lines.append("|---" * (len(series) + 1) + "|")
         for label in labels:
             vals = []
@@ -102,19 +157,16 @@ def render_markdown(reports):
 
 
 def tracked_rows(reports):
-    """(bench, series, label) -> value for the bandwidth rows the
-    regression gate watches."""
+    """(bench, series, label) -> (value, direction, unit) for every row
+    the regression gate watches."""
     out = {}
     for rep in reports:
-        if rep.get("unit") != "MBps":
-            continue
         for row in rep["rows"]:
-            series = row["series"]
-            # Ratios and counts ride along in MBps reports but are not
-            # bandwidths (and for commit counts, lower is better).
-            if "scaling" in series or "commit" in series or "count" in series:
+            d = row_direction(rep, row)
+            if d is None:
                 continue
-            out[(rep["bench"], series, row["label"])] = row["value"]
+            key = (rep["bench"], row["series"], row["label"])
+            out[key] = (row["value"], d, row_unit(rep, row))
     return out
 
 
@@ -129,12 +181,15 @@ def check_regressions(reports, baseline_path, threshold):
     base_rows = tracked_rows(base.get("reports", []))
     new_rows = tracked_rows(reports)
     regressions = []
-    for key, old in base_rows.items():
-        new = new_rows.get(key)
-        if new is None or old <= 0:
+    for key, (old, direction, unit) in base_rows.items():
+        entry = new_rows.get(key)
+        if entry is None or old <= 0:
             continue  # series removed/renamed: not a perf regression
-        if new < old * (1.0 - threshold):
-            regressions.append((key, old, new))
+        new = entry[0]
+        if direction == "up" and new < old * (1.0 - threshold):
+            regressions.append((key, old, new, direction, unit))
+        elif direction == "down" and new > old * (1.0 + threshold):
+            regressions.append((key, old, new, direction, unit))
     return regressions
 
 
@@ -146,7 +201,8 @@ def main():
     ap.add_argument("--baseline", default=None,
                     help="previous run's BENCH_TREND.json to gate against")
     ap.add_argument("--fail-threshold", type=float, default=0.10,
-                    help="relative MBps drop that fails the gate")
+                    help="relative change that fails the gate (drop for "
+                         "direction=up rows, rise for direction=down rows)")
     args = ap.parse_args()
 
     out_json = args.out_json or os.path.join(args.dir, "BENCH_TREND.json")
@@ -172,10 +228,12 @@ def main():
         regressions = check_regressions(reports, args.baseline,
                                         args.fail_threshold)
         if regressions:
-            for (bench, series, label), old, new in regressions:
+            for (bench, series, label), old, new, d, unit in regressions:
+                kind = "drop" if d == "up" else "increase"
                 print(f"trend.py: REGRESSION {bench}/{series}/{label}: "
-                      f"{old:g} -> {new:g} MBps "
-                      f"({(new / old - 1) * 100:+.1f}%)", file=sys.stderr)
+                      f"{old:g} -> {new:g} {unit} "
+                      f"({(new / old - 1) * 100:+.1f}% {kind})",
+                      file=sys.stderr)
             return 2
         print("trend.py: regression gate passed "
               f"(threshold {args.fail_threshold:.0%})")

@@ -22,6 +22,7 @@
 #include "bento/ownership.h"
 #include "kernel/errno.h"
 #include "kernel/types.h"
+#include "sim/jsonw.h"
 
 namespace bsim::bento {
 
@@ -114,6 +115,11 @@ class FileSystem {
   /// recognize and ignore the rest; wrapper file systems forward to the
   /// file system they stack over. Default: ignore everything.
   virtual void apply_mount_opts(std::string_view opts) { (void)opts; }
+  /// Append this file system's stats objects (each with a "struct" key
+  /// naming its type) to an OPEN JSON array — the unified snapshot hook
+  /// (Kernel::dump_stats). Wrapper file systems also forward to the file
+  /// system they stack over. Default: nothing to report.
+  virtual void dump_stats(sim::JsonWriter& w) const { (void)w; }
   /// Mount-time initialization: read the superblock, recover the journal.
   virtual Err init(const Request& req, SbRef sb) = 0;
   /// Unmount: flush everything.

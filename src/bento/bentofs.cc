@@ -409,6 +409,17 @@ Result<kern::SuperBlock*> BentoFsType::mount(blk::BlockDevice& dev,
   kern::FlusherParams fp;
   fp.drain_buffers = true;
   kern::maybe_attach_flusher(*sb, opts, fp);
+  // Join the unified stats snapshot; fs() resolves at dump time, so
+  // online upgrades report the live instance's stats.
+  BentoModule* mod = module.get();
+  sb->register_stats("bento", [mod](sim::JsonWriter& w) {
+    w.begin_object();
+    w.field("struct", "ModuleStats");
+    w.field("dispatches", mod->stats().dispatches);
+    w.field("upgrades", mod->stats().upgrades);
+    w.end_object();
+    mod->fs().dump_stats(w);
+  });
   module.release();  // owned via sb->fs_info, reclaimed in kill_sb
   return sb.release();
 }

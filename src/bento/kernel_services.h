@@ -67,6 +67,17 @@ class BlockBackend {
   /// Stripe geometry hint (blocks per full stripe row; 0 = no striping).
   [[nodiscard]] virtual std::uint64_t stripe_width() const { return 0; }
 
+  /// Journal stage tracepoint (TO/TC/JW/JR/JK; see blockdev/trace.h):
+  /// `txn` is the journal's transaction sequence, `nblocks` the stage's
+  /// payload. No-op unless the kernel backend's device is traced;
+  /// userspace backends have no trace ring and keep the default.
+  virtual void trace_journal(blk::TraceEv ev, std::uint64_t txn,
+                             std::uint32_t nblocks) {
+    (void)ev;
+    (void)txn;
+    (void)nblocks;
+  }
+
  protected:
   friend class SuperBlockCap;
   friend class BufferHeadHandle;
@@ -230,6 +241,11 @@ class SuperBlockCap {
   [[nodiscard]] std::uint64_t stripe_width() const {
     return backend_->stripe_width();
   }
+  /// Journal stage tracepoint (free on the sim clock; no-op untraced).
+  void trace_journal(blk::TraceEv ev, std::uint64_t txn,
+                     std::uint32_t nblocks) {
+    backend_->trace_journal(ev, txn, nblocks);
+  }
 
  private:
   BlockBackend* backend_;
@@ -254,6 +270,10 @@ class KernelBlockBackend final : public BlockBackend {
   WriteTicket flush_all_async() override;
   [[nodiscard]] std::uint64_t stripe_width() const override {
     return cache_->device().stripe_width_blocks();
+  }
+  void trace_journal(blk::TraceEv ev, std::uint64_t txn,
+                     std::uint32_t nblocks) override {
+    cache_->device().trace_event(ev, txn, 0, nblocks, blk::TraceOp::Journal);
   }
 
   [[nodiscard]] kern::BufferCache& cache() { return *cache_; }

@@ -121,6 +121,19 @@ std::size_t NvmLogFs::pending_bytes() const {
   return total;
 }
 
+void NvmLogFs::dump_stats(sim::JsonWriter& w) const {
+  w.begin_object();
+  w.field("struct", "NvmLogStats");
+  w.field("log_appends", stats_.log_appends);
+  w.field("log_bytes", stats_.log_bytes);
+  w.field("digests", stats_.digests);
+  w.field("digested_bytes", stats_.digested_bytes);
+  w.field("recovered_records", stats_.recovered_records);
+  w.field("torn_records_dropped", stats_.torn_records_dropped);
+  w.end_object();
+  lower_->dump_stats(w);  // the stacked file system reports too
+}
+
 // ---- log ----
 
 Err NvmLogFs::append_record(Ino ino, std::uint64_t off,

@@ -130,6 +130,7 @@ class NvmLogFs final : public FileSystem {
     std::uint64_t torn_records_dropped = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
+  void dump_stats(sim::JsonWriter& w) const override;
   [[nodiscard]] std::size_t pending_bytes() const;
   [[nodiscard]] FileSystem& lower() { return *lower_; }
 

@@ -27,12 +27,24 @@ std::size_t AggregateDevice::healthy_members() const {
       std::count(healthy_.begin(), healthy_.end(), true));
 }
 
+void AggregateDevice::install_tracer(const std::shared_ptr<Tracer>& t,
+                                     const std::string& name) {
+  BlockDevice::install_tracer(t, name);
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    children_[i]->install_tracer(t, name + "/" + std::to_string(i));
+  }
+}
+
 // ---- submission skeleton ----
 
 AggregateDevice::ChildTickets AggregateDevice::route_batch(
     std::span<Bio* const> bios, sim::Nanos& last_done) {
   astats_.batches += 1;
   astats_.bios += bios.size();
+  // Logical bios queue at the volume: Q lands on the volume's trace slot
+  // (members trace their fragments separately). Idempotent for bios the
+  // plug layer already stamped.
+  for (Bio* b : bios) note_bio_queued(*b);
 
   // Mirror the single-device queue's crash-count order: writes are counted
   // bio-by-bio in stable first-block order (see RequestQueue::dispatch),
@@ -57,6 +69,21 @@ AggregateDevice::ChildTickets AggregateDevice::route_batch(
 
   ChildTickets tickets;
   route_policy(survivors, killed, fire, reads, tickets, last_done);
+  if (Tracer* tr = tracer(); tr != nullptr) {
+    // Media effects (and done_at) land at routing, so the logical C is
+    // known now even on the async path; t is the bio's own completion.
+    for (const Bio* b : bios) {
+      TraceEvent e;
+      e.t = b->done_at;
+      e.id = b->trace_id;
+      e.block = b->first_block();
+      e.nblocks = static_cast<std::uint32_t>(b->nblocks());
+      e.dev = trace_dev_;
+      e.ev = TraceEv::Complete;
+      e.op = b->op == BioOp::Read ? TraceOp::Read : TraceOp::Write;
+      tr->emit(e);
+    }
+  }
   return tickets;
 }
 
@@ -359,6 +386,11 @@ const DeviceStats& AggregateDevice::stats() const {
     agg_.read_errors += s.read_errors;
     agg_.max_request_blocks =
         std::max(agg_.max_request_blocks, s.max_request_blocks);
+    agg_.read_wait.merge(s.read_wait);
+    agg_.write_wait.merge(s.write_wait);
+    agg_.read_service.merge(s.read_service);
+    agg_.write_service.merge(s.write_service);
+    agg_.flush_lat.merge(s.flush_lat);
   }
   return agg_;
 }

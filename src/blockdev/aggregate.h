@@ -141,6 +141,13 @@ class AggregateDevice : public BlockDevice {
   [[nodiscard]] std::uint64_t dirty_blocks() const override;
   [[nodiscard]] const DeviceStats& stats() const override;
 
+  /// Register the volume AND every member in the shared trace: the volume
+  /// takes `name`, member `i` takes "<name>/<i>" (recursively for nested
+  /// volumes, e.g. RAID10's mirrors). Volume-level Q/C events land on the
+  /// volume slot; member queues emit their own Q/M/D/C per fragment.
+  void install_tracer(const std::shared_ptr<Tracer>& t,
+                      const std::string& name) override;
+
  protected:
   using ChildTickets = std::vector<std::pair<std::size_t, Ticket>>;
 

@@ -25,9 +25,44 @@ void RequestQueue::dispatch(std::vector<Bio*>& list, sim::Nanos& last_done) {
              list[j]->end_block() == list[j - 1]->end_block()))) {
       j += 1;
     }
-    const sim::Nanos done =
-        dev_->do_request(std::span<Bio* const>(list.data() + i, j - i));
+    const std::span<Bio* const> req(list.data() + i, j - i);
+    sim::Nanos start = 0;
+    const sim::Nanos done = dev_->do_request(req, &start);
     for (std::size_t k = i; k < j; ++k) list[k]->done_at = done;
+    if (Tracer* tr = dev_->tracer_.get(); tr != nullptr) {
+      const TraceOp op =
+          req.front()->op == BioOp::Read ? TraceOp::Read : TraceOp::Write;
+      TraceEvent e;
+      e.dev = dev_->trace_dev_;
+      e.op = op;
+      // Bios folded into the lead one: an M each, at merge (dispatch) time.
+      for (std::size_t k = i + 1; k < j; ++k) {
+        e.t = sim::now();
+        e.ev = TraceEv::Merge;
+        e.id = list[k]->trace_id;
+        e.block = list[k]->first_block();
+        e.nblocks = static_cast<std::uint32_t>(list[k]->nblocks());
+        tr->emit(e);
+      }
+      // One D for the merged request, stamped when it takes its channel.
+      std::uint32_t total = 0;
+      for (const Bio* b : req) total += static_cast<std::uint32_t>(b->nblocks());
+      e.t = start;
+      e.ev = TraceEv::Dispatch;
+      e.id = req.front()->trace_id;
+      e.block = req.front()->first_block();
+      e.nblocks = total;
+      tr->emit(e);
+      // Every bio completes with the request.
+      e.ev = TraceEv::Complete;
+      e.t = done;
+      for (const Bio* b : req) {
+        e.id = b->trace_id;
+        e.block = b->first_block();
+        e.nblocks = static_cast<std::uint32_t>(b->nblocks());
+        tr->emit(e);
+      }
+    }
     last_done = std::max(last_done, done);
     i = j;
   }
@@ -40,6 +75,9 @@ sim::Nanos RequestQueue::start_batch(std::span<Bio* const> bios) {
   std::vector<Bio*> reads, writes;
   for (Bio* b : bios) {
     assert(!b->vecs.empty() && "submitting an empty bio");
+    // Idempotent: bios that already queued upstream (plug accumulation,
+    // volume routing) keep their original queue time and trace id.
+    dev_->note_bio_queued(*b);
     (b->op == BioOp::Read ? reads : writes).push_back(b);
   }
 

@@ -77,6 +77,15 @@ struct Bio {
   /// stays false. Redundant volumes retry the bio on a mirror; plain
   /// consumers treat it like any other I/O error.
   bool io_error = false;
+  /// Virtual time the bio entered a queue (plug accumulation or request
+  /// queue, whichever first; -1 = not yet queued). The Q→D queue-wait
+  /// histograms are derived from this; set once, never reset.
+  sim::Nanos queued_at = -1;
+  /// Trace identity (0 = unassigned). Assigned at the first Q event when
+  /// the device tree is traced; a volume fragment carries its logical
+  /// parent's id in parent_trace_id so the analyzer can stitch fan-outs.
+  std::uint64_t trace_id = 0;
+  std::uint64_t parent_trace_id = 0;
 
   Bio() = default;
   explicit Bio(BioOp o) : op(o) {}

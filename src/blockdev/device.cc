@@ -40,7 +40,56 @@ sim::Nanos BlockDevice::service(sim::Nanos latency) {
   return done;
 }
 
-sim::Nanos BlockDevice::do_request(std::span<Bio* const> bios) {
+void BlockDevice::arm_trace(std::size_t capacity, const std::string& name) {
+  install_tracer(std::make_shared<Tracer>(capacity), name);
+}
+
+void BlockDevice::install_tracer(const std::shared_ptr<Tracer>& t,
+                                 const std::string& name) {
+  tracer_ = t;
+  trace_dev_ = t->register_device(name);
+}
+
+void BlockDevice::trace_event(TraceEv ev, std::uint64_t id,
+                              std::uint64_t block, std::uint32_t nblocks,
+                              TraceOp op) {
+  if (!tracer_) return;
+  TraceEvent e;
+  e.t = sim::now();
+  e.id = id;
+  e.block = block;
+  e.nblocks = nblocks;
+  e.dev = trace_dev_;
+  e.ev = ev;
+  e.op = op;
+  tracer_->emit(e);
+}
+
+void BlockDevice::note_bio_queued(Bio& b) {
+  if (b.queued_at >= 0) return;  // already queued upstream (volume / plug)
+  b.queued_at = sim::now();
+  if (!tracer_) return;
+  if (b.trace_id == 0) b.trace_id = tracer_->next_id();
+  const TraceOp op = b.op == BioOp::Read ? TraceOp::Read : TraceOp::Write;
+  TraceEvent e;
+  e.t = b.queued_at;
+  e.id = b.trace_id;
+  e.parent = b.parent_trace_id;
+  e.block = b.first_block();
+  e.nblocks = static_cast<std::uint32_t>(b.nblocks());
+  e.dev = trace_dev_;
+  e.op = op;
+  if (b.parent_trace_id != 0) {
+    // A volume fragment: link it to its logical parent before its Q.
+    e.ev = TraceEv::FanChild;
+    tracer_->emit(e);
+  }
+  e.ev = TraceEv::Queue;
+  tracer_->emit(e);
+}
+
+sim::Nanos BlockDevice::do_request(std::span<Bio* const> bios,
+                                   sim::Nanos* start_out) {
   assert(!bios.empty());
   const BioOp op = bios.front()->op;
   std::size_t nblocks = 0;
@@ -63,8 +112,14 @@ sim::Nanos BlockDevice::do_request(std::span<Bio* const> bios) {
     stats_.seq_read_blocks +=
         static_cast<std::uint64_t>(nblocks - 1) + (sequential ? 1 : 0);
     const sim::Nanos done = service(lat);
+    const sim::Nanos start = done - lat;  // channel occupancy began here
+    if (start_out != nullptr) *start_out = start;
     stats_.reads += nblocks;
     stats_.read_requests += 1;
+    for (Bio* b : bios) {
+      if (b->queued_at >= 0) stats_.read_wait.record(start - b->queued_at);
+      stats_.read_service.record(done - start);
+    }
     for (Bio* b : bios) {
       // A bio touching an injected bad block fails whole: the command is
       // timed (the drive spent the service attempt) but transfers nothing.
@@ -125,7 +180,14 @@ sim::Nanos BlockDevice::do_request(std::span<Bio* const> bios) {
       std::memcpy(dst.data(), v.wdata.data(), kBlockSize);
     }
   }
-  return service(lat);
+  const sim::Nanos done = service(lat);
+  const sim::Nanos start = done - lat;
+  if (start_out != nullptr) *start_out = start;
+  for (Bio* b : bios) {
+    if (b->queued_at >= 0) stats_.write_wait.record(start - b->queued_at);
+    stats_.write_service.record(done - start);
+  }
+  return done;
 }
 
 // ---- public submission entry points (plug-aware, non-virtual) ----
@@ -149,6 +211,9 @@ sim::Nanos BlockDevice::submit(std::span<Bio> bios) {
 Ticket BlockDevice::submit_async(std::span<Bio> bios) {
   if (bios.empty()) return Ticket{};
   if (plug_depth_ > 0) {
+    // Accumulation is where the bio enters "the queue": stamp Q now so
+    // the wait histograms charge plug residency to queue wait.
+    for (Bio& b : bios) note_bio_queued(b);
     for (Bio& b : bios) plug_list_.push_back(&b);
     plug_stats_.plugged_batches += 1;
     plug_stats_.plugged_bios += bios.size();
@@ -184,6 +249,7 @@ void BlockDevice::plug() {
   plug_depth_ += 1;
   if (plug_depth_ == 1) {
     plug_stats_.plugs += 1;
+    trace_event(TraceEv::Plug, 0, 0, 0, TraceOp::Write);
     // Resolved synthetic tickets from EARLIER windows that were never
     // waited become no-ops now instead of accumulating forever. This is
     // safe because every consumer that defers its waits past a window
@@ -198,6 +264,8 @@ Ticket BlockDevice::unplug() {
   assert(plug_depth_ > 0 && "unplug without a matching plug");
   plug_depth_ -= 1;
   if (plug_depth_ > 0) return Ticket{};  // nested: outermost dispatches
+  trace_event(TraceEv::Unplug, 0, 0,
+              static_cast<std::uint32_t>(plug_list_.size()), TraceOp::Write);
   if (plug_list_.empty() && plug_pending_.empty()) return Ticket{};
   const Ticket real =
       plug_list_.empty() ? Ticket{}
@@ -210,7 +278,14 @@ Ticket BlockDevice::unplug() {
 
 void BlockDevice::flush_plug() {
   if (plug_list_.empty() && plug_pending_.empty()) return;
-  if (plug_depth_ > 0) plug_stats_.forced_flushes += 1;
+  if (plug_depth_ > 0) {
+    plug_stats_.forced_flushes += 1;
+    // An early flush is an unplug event too (blktrace's "unplug due to
+    // sync"); the window itself stays open.
+    trace_event(TraceEv::Unplug, 0, 0,
+                static_cast<std::uint32_t>(plug_list_.size()),
+                TraceOp::Write);
+  }
   const Ticket real =
       plug_list_.empty() ? Ticket{}
                          : submit_async_impl(std::span<Bio* const>(plug_list_));
@@ -255,6 +330,18 @@ sim::Nanos BlockDevice::flush_nowait_impl() {
   for (auto& ch : channel_free_) ch = done;
   stats_.busy += cost;
   stats_.flushes += 1;
+  stats_.flush_lat.record(done - sim::now());
+  if (tracer_) {
+    TraceEvent e;
+    e.t = done;
+    e.id = tracer_->next_id();
+    e.block = 0;
+    e.nblocks = static_cast<std::uint32_t>(dirty_.size());
+    e.dev = trace_dev_;
+    e.ev = TraceEv::Flush;
+    e.op = TraceOp::Flush;
+    tracer_->emit(e);
+  }
   if (dead_) return done;  // dead device: nothing destages
   stats_.blocks_destaged += dirty_.size();
   dirty_.clear();
@@ -278,10 +365,32 @@ sim::Nanos BlockDevice::write_fua(std::uint64_t blockno,
   // Transfer plus the single block's forced destage: the completion IS
   // the durability point, so the block never enters the dirty set (and a
   // stale cached copy of it is superseded on media).
-  const sim::Nanos done =
-      service(params_.write_xfer + params_.destage_per_block);
+  const sim::Nanos queued = sim::now();
+  const sim::Nanos lat = params_.write_xfer + params_.destage_per_block;
+  const sim::Nanos done = service(lat);
+  const sim::Nanos start = done - lat;
   stats_.writes += 1;
   stats_.write_requests += 1;
+  stats_.write_wait.record(start - queued);
+  stats_.write_service.record(done - start);
+  if (tracer_) {
+    const std::uint64_t id = tracer_->next_id();
+    TraceEvent e;
+    e.id = id;
+    e.block = blockno;
+    e.nblocks = 1;
+    e.dev = trace_dev_;
+    e.op = TraceOp::Write;
+    e.t = queued;
+    e.ev = TraceEv::Queue;
+    tracer_->emit(e);
+    e.t = start;
+    e.ev = TraceEv::Dispatch;
+    tracer_->emit(e);
+    e.t = done;
+    e.ev = TraceEv::Complete;
+    tracer_->emit(e);
+  }
   if (!dead_) {
     bad_reads_.erase(blockno);
     dirty_.erase(blockno);

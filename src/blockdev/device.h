@@ -27,7 +27,9 @@
 #include <vector>
 
 #include "blockdev/bio.h"
+#include "blockdev/trace.h"
 #include "sim/rng.h"
+#include "sim/stats.h"
 #include "sim/time.h"
 
 namespace bsim::blk {
@@ -58,6 +60,15 @@ struct DeviceStats {
   std::uint64_t seq_read_blocks = 0; // blocks priced at read_lat_seq
   std::uint64_t max_request_blocks = 0;  // largest merged request seen
   std::uint64_t read_errors = 0;     // read bios failed by injected errors
+  // ---- latency attribution (per op class) ----
+  // Queue wait is Q→D (bio queued until its merged request starts on a
+  // channel); service is D→C (channel occupancy of the request, charged
+  // once per bio sharing it). Sampled per bio so merged bios each count.
+  sim::LatencyHistogram read_wait;
+  sim::LatencyHistogram write_wait;
+  sim::LatencyHistogram read_service;
+  sim::LatencyHistogram write_service;
+  sim::LatencyHistogram flush_lat;   // FLUSH submit→complete (incl. barrier)
 };
 
 /// Accounting for the blk_plug-style submission plug (see BlockDevice::plug).
@@ -149,6 +160,26 @@ class BlockDevice {
   [[nodiscard]] bool plugged() const { return plug_depth_ > 0; }
   [[nodiscard]] const PlugStats& plug_stats() const { return plug_stats_; }
 
+  // ---- blktrace-style tracing (see blockdev/trace.h) ----
+  /// Arm tracing on this device tree: allocate a shared ring of `capacity`
+  /// events and register this device (and, for a volume, every member as
+  /// "<name>/<i>") in its device table. Armed once, at mount time, by the
+  /// "-o trace=N" mount option; re-arming replaces the previous tracer.
+  /// Tracing never touches the simulated clock.
+  void arm_trace(std::size_t capacity, const std::string& name = "dev");
+  [[nodiscard]] Tracer* tracer() const { return tracer_.get(); }
+  /// Emit one event against this device's slot (no-op when not traced).
+  /// Journal layers use this for their stage events; the bio path emits
+  /// through the same helper internally.
+  void trace_event(TraceEv ev, std::uint64_t id, std::uint64_t block,
+                   std::uint32_t nblocks, TraceOp op);
+  /// Attach a (shared) tracer and register this device under `name`.
+  /// Aggregate volumes override to also register every member device as
+  /// "<name>/<i>". Public so a volume can install into BlockDevice-typed
+  /// members; arm_trace is the normal entry point.
+  virtual void install_tracer(const std::shared_ptr<Tracer>& t,
+                              const std::string& name);
+
   /// Read one block into `out` (timed). One-bio convenience wrapper.
   void read(std::uint64_t blockno, std::span<std::byte> out);
 
@@ -236,6 +267,16 @@ class BlockDevice {
   virtual sim::Nanos wait_impl(const Ticket& t) { return queue_.wait(t); }
   virtual sim::Nanos flush_nowait_impl();
 
+  /// First contact of a bio with this device's submission path: stamp
+  /// queued_at (once — a volume stamps before fan-out and members keep the
+  /// original time) and, when traced, assign a trace id and emit Q (plus X
+  /// linking a fragment to its logical parent).
+  void note_bio_queued(Bio& b);
+
+  // ---- trace state (shared ring across a volume tree; see arm_trace) ----
+  std::shared_ptr<Tracer> tracer_;
+  std::uint16_t trace_dev_ = 0;  // this device's slot in the tracer
+
  private:
   friend class RequestQueue;
 
@@ -249,7 +290,11 @@ class BlockDevice {
   /// Execute one merged request (same-op bios covering consecutive
   /// blocks): price it, occupy a channel, apply data. Returns the absolute
   /// completion time; does NOT wait (the queue owns the batch barrier).
-  sim::Nanos do_request(std::span<Bio* const> bios);
+  /// `start_out`, when non-null, receives the time the request began
+  /// occupying its channel (completion minus service latency) — the D
+  /// timestamp and the Q→D/D→C histogram split point.
+  sim::Nanos do_request(std::span<Bio* const> bios,
+                        sim::Nanos* start_out = nullptr);
 
   DeviceParams params_;
   std::vector<std::unique_ptr<BlockData>> blocks_;

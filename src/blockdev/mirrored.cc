@@ -169,6 +169,7 @@ void MirroredDevice::submit_writes(const std::vector<Bio*>& parents,
     for (std::size_t m = 0; m < n; ++m) {
       if (!serves_writes(m)) continue;
       Bio& copy = copies[m].emplace_back(BioOp::Write);
+      copy.parent_trace_id = parent->trace_id;
       for (const BioVec& v : parent->vecs) copy.add_write(v.blockno, v.wdata);
       vstats_.replicated_writes += 1;
       replicated = true;
@@ -224,6 +225,7 @@ void MirroredDevice::submit_reads(const std::vector<Bio*>& parents,
     vstats_.balanced_reads += 1;
     if (deg) vstats_.degraded_reads += 1;
     Bio& frag = frags[m].emplace_back(BioOp::Read);
+    frag.parent_trace_id = parent->trace_id;
     owners[m].push_back(parent);
     for (const BioVec& v : parent->vecs) frag.add_read(v.blockno, v.data);
   }
@@ -259,6 +261,7 @@ void MirroredDevice::submit_reads(const std::vector<Bio*>& parents,
         vstats_.read_error_failovers += 1;
         vstats_.redirected_reads += 1;
         Bio retry(BioOp::Read);
+        retry.parent_trace_id = parent->trace_id;
         for (const BioVec& v : parent->vecs) retry.add_read(v.blockno, v.data);
         const Ticket t =
             children_[alt]->submit_async(std::span<Bio>(&retry, 1));

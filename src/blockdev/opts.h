@@ -46,7 +46,7 @@ inline bool known_opt_token(std::string_view tok) {
       "scrub",    "lax_opts", "policy=rr", "policy=sq"};
   static constexpr std::string_view kNumeric[] = {
       "stripe=", "chunk=", "mirror=", "parity=",
-      "spare=",  "max_log_batch=", "log_blocks="};
+      "spare=",  "max_log_batch=", "log_blocks=", "trace="};
   for (const std::string_view k : kExact) {
     if (tok == k) return true;
   }

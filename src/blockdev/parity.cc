@@ -414,6 +414,7 @@ void ParityDevice::submit_write_lines(const std::vector<Bio*>& parents,
       if (frags[m].empty() || owners[m].back() != parent ||
           frags[m].back().end_block() != mb) {
         frags[m].emplace_back(BioOp::Write);
+        frags[m].back().parent_trace_id = parent->trace_id;
         owners[m].push_back(parent);
         vstats_.fragments += 1;
       }
@@ -476,6 +477,7 @@ void ParityDevice::submit_dead_writes(const std::vector<Bio*>& parents,
       if (frags[m].empty() || owners[m].back() != parent ||
           frags[m].back().end_block() != mb) {
         frags[m].emplace_back(BioOp::Write);
+        frags[m].back().parent_trace_id = parent->trace_id;
         owners[m].push_back(parent);
       }
       frags[m].back().add_write(mb, v.wdata);
@@ -530,6 +532,7 @@ void ParityDevice::submit_reads(const std::vector<Bio*>& parents,
       if (frags[m].empty() || owners[m].back() != parent ||
           frags[m].back().end_block() != mb) {
         frags[m].emplace_back(BioOp::Read);
+        frags[m].back().parent_trace_id = parent->trace_id;
         owners[m].push_back(parent);
         vstats_.fragments += 1;
       }

@@ -138,6 +138,7 @@ void StripedDevice::submit_fragments(const std::vector<Bio*>& parents,
       const std::uint64_t cb = child_block_of(v.blockno);
       if (c != cur_child) {
         frags[c].emplace_back(parent->op);
+        frags[c].back().parent_trace_id = parent->trace_id;
         owners[c].push_back(parent);
         cur_child = c;
         nfrags += 1;

@@ -29,6 +29,12 @@ void Ext4Mount::j_write(std::uint32_t blockno) {
   sb_->bufcache().pin_journal(blockno, true);
   if (std::find(running_txn_.begin(), running_txn_.end(), blockno) ==
       running_txn_.end()) {
+    if (running_txn_.empty()) {
+      // First tagged block opens the running transaction (jseq_ is the
+      // sequence its records will carry).
+      sb_->bdev().trace_event(blk::TraceEv::TxnOpen, jseq_, 0, 0,
+                              blk::TraceOp::Journal);
+    }
     running_txn_.push_back(blockno);
   }
 }
@@ -64,6 +70,12 @@ Err Ext4Mount::j_commit(bool flush_device) {
   // bounded by kJPipelineDepth commits (oldest redeemed first).
   constexpr std::size_t kJPipelineDepth = 2;
   while (jpipeline_.size() >= kJPipelineDepth) j_wait_oldest();
+  const sim::Nanos t0 = sim::now();
+  if (!running_txn_.empty()) {
+    sb_->bdev().trace_event(blk::TraceEv::TxnClose, jseq_, 0,
+                            static_cast<std::uint32_t>(running_txn_.size()),
+                            blk::TraceOp::Journal);
+  }
   std::vector<blk::Ticket> tickets;
   auto fail = [&](Err e) {
     for (const blk::Ticket& t : tickets) bc.wait(t);
@@ -115,6 +127,12 @@ Err Ext4Mount::j_commit(bool flush_device) {
         bc.brelse(src.value());
       }
       tickets.push_back(bc.sync_dirty_buffers_async(jrun));
+      sb_->bdev().trace_event(blk::TraceEv::JLogWrite, jseq_, 0,
+                              static_cast<std::uint32_t>(n + 1),
+                              blk::TraceOp::Journal);
+      if (tickets.back().done > 0) {
+        jstats_.jwrite_lat.record(tickets.back().done - t0);
+      }
       for (auto* bh : jrun) bc.brelse(bh);
     }
     // Commit record: strictly ordered after the journal data on media
@@ -131,6 +149,11 @@ Err Ext4Mount::j_commit(bool flush_device) {
       kern::BufferHead* cbh = cb.value();
       tickets.push_back(bc.sync_dirty_buffers_async(
           std::span<kern::BufferHead* const>(&cbh, 1)));
+      sb_->bdev().trace_event(blk::TraceEv::JCommitRecord, jseq_, 0, 1,
+                              blk::TraceOp::Journal);
+      if (tickets.back().done > 0) {
+        jstats_.record_lat.record(tickets.back().done - t0);
+      }
     }
     bc.brelse(cb.value());
 
@@ -150,6 +173,12 @@ Err Ext4Mount::j_commit(bool flush_device) {
         homes.push_back(bh.value());
       }
       tickets.push_back(bc.sync_dirty_buffers_async(homes));
+      sb_->bdev().trace_event(blk::TraceEv::JCheckpoint, jseq_, 0,
+                              static_cast<std::uint32_t>(n),
+                              blk::TraceOp::Journal);
+      if (tickets.back().done > 0) {
+        jstats_.checkpoint_lat.record(tickets.back().done - t0);
+      }
       for (auto* h : homes) bc.brelse(h);
     }
     jseq_ += 1;
@@ -1348,6 +1377,31 @@ class Ext4FsType final : public kern::FileSystemType {
     }
     Err e = mnt->mount_init();
     if (e != Err::Ok) return e;
+    Ext4Mount* m = mnt.get();
+    sb->register_stats("ext4", [m](sim::JsonWriter& w) {
+      const JournalStats& js = m->journal_stats();
+      w.begin_object();
+      w.field("struct", "JournalStats");
+      w.field("commits", js.commits);
+      w.field("blocks_journaled", js.blocks_journaled);
+      w.field("shared_commits", js.shared_commits);
+      w.field("recoveries", js.recoveries);
+      w.field("pipelined_commits", js.pipelined_commits);
+      w.field("empty_commits_skipped", js.empty_commits_skipped);
+      sim::dump_histogram(w, "jwrite_lat", js.jwrite_lat);
+      sim::dump_histogram(w, "record_lat", js.record_lat);
+      sim::dump_histogram(w, "checkpoint_lat", js.checkpoint_lat);
+      w.end_object();
+      const MapStats& ms = m->map_stats();
+      w.begin_object();
+      w.field("struct", "MapStats");
+      w.field("bmap_calls", ms.bmap_calls);
+      w.field("map_runs", ms.map_runs);
+      w.field("map_run_blocks", ms.map_run_blocks);
+      w.field("map_indirect_reads", ms.map_indirect_reads);
+      w.field("readpages_calls", ms.readpages_calls);
+      w.end_object();
+    });
     mnt.release();
     return sb.release();
   }

@@ -10,6 +10,7 @@
 
 #include "ext4/layout.h"
 #include "kernel/kernel.h"
+#include "sim/stats.h"
 
 namespace bsim::ext4 {
 
@@ -20,6 +21,11 @@ struct JournalStats {
   std::uint64_t recoveries = 0;
   std::uint64_t pipelined_commits = 0;  // returned with transfers in flight
   std::uint64_t empty_commits_skipped = 0;  // flush-commit with nothing to do
+  // ---- commit-stage latency (commit entry -> stage transfer completion,
+  // one sample per journal record) ----
+  sim::LatencyHistogram jwrite_lat;      // descriptor+data journal run
+  sim::LatencyHistogram record_lat;      // commit record (the commit point)
+  sim::LatencyHistogram checkpoint_lat;  // home-location batch
 };
 
 /// Block-mapping accounting: the regression stat for the readahead path.

@@ -247,6 +247,20 @@ kern::Result<kern::SuperBlock*> FuseFsType::mount(blk::BlockDevice& dev,
   module->fs().apply_mount_opts(opts);
   Err e = module->mount_init();
   if (e != Err::Ok) return e;
+  FuseModule* mod = module.get();
+  sb->register_stats("fuse", [mod](sim::JsonWriter& w) {
+    w.begin_object();
+    w.field("struct", "FuseConnStats");
+    w.field("requests", mod->conn_stats().requests);
+    w.field("payload_bytes", mod->conn_stats().payload_bytes);
+    w.end_object();
+    w.begin_object();
+    w.field("struct", "ModuleStats");
+    w.field("dispatches", mod->stats().dispatches);
+    w.field("upgrades", mod->stats().upgrades);
+    w.end_object();
+    mod->fs().dump_stats(w);
+  });
   module.release();  // owned via sb->fs_info, reclaimed in kill_sb
   return sb.release();
 }

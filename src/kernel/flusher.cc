@@ -128,6 +128,10 @@ void Flusher::run_cycle(bool timer_due) {
     }
   }
   running_ = false;
+  // thread_.now() is where this cycle's writeback completed (it never
+  // moves backwards, so a no-work wake records the residual backlog of
+  // the previous cycle — 0 once the device is idle).
+  stats_.wake_to_drain.record(thread_.now() - wake_at);
   if (timer_due) next_timer_ = wake_at + params_.period;
 }
 

@@ -36,6 +36,7 @@
 #include <string_view>
 #include <vector>
 
+#include "sim/stats.h"
 #include "sim/thread.h"
 #include "sim/time.h"
 
@@ -94,6 +95,9 @@ struct FlusherStats {
   /// wake is O(dirty inodes); before it, every wake walked the whole
   /// inode cache (the ROADMAP full-walk item).
   std::uint64_t inodes_scanned = 0;
+  /// Per wake: poke time -> the cycle's last writeback completion on the
+  /// flusher clock (how long one background drain occupies the device).
+  sim::LatencyHistogram wake_to_drain;
 };
 
 /// One background writeback thread for one *member device* of a mounted

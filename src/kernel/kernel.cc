@@ -181,6 +181,16 @@ Err Kernel::mount(std::string_view fstype, std::string_view devname,
   if (!blk::opts_lax(opts) && !blk::unknown_opt_tokens(opts).empty()) {
     return Err::Inval;
   }
+  // "trace=N": arm blktrace-style tracing on the device tree (ring of N
+  // events) BEFORE the file system mounts, so journal replay and the first
+  // metadata reads are captured. Tracing never touches the simulated
+  // clock, so results stay bit-identical with it on.
+  blk::for_each_opt_token(opts, [&](std::string_view tok) {
+    std::uint64_t n = 0;
+    if (blk::opt_num_after(tok, "trace=", n) && n > 0) {
+      dev->arm_trace(static_cast<std::size_t>(n), std::string{devname});
+    }
+  });
 
   auto sb = type->mount(*dev, opts);
   if (!sb.ok()) return sb.error();

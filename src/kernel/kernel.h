@@ -136,6 +136,15 @@ class Kernel {
   /// Resolve a path to a referenced inode (internal + test use; timed).
   Result<Inode*> resolve(std::string_view path, SuperBlock** sb_out = nullptr);
 
+  // ---- unified stats snapshot (untimed; see kernel/stats_snapshot.cc) ----
+  /// One JSON document covering every device tree (DeviceStats with
+  /// latency histograms, RequestQueueStats, PlugStats, volume stats) and
+  /// every mount (buffer cache, page cache, flushers, plus whatever the
+  /// file system registered via SuperBlock::register_stats).
+  [[nodiscard]] std::string dump_stats();
+  /// Same, written to `path` (bench exit hook).
+  Err dump_stats_to(const std::string& path);
+
  private:
   // IoUring executes batched ops through the private file helpers so it
   // pays per-SQE dispatch instead of a full syscall per op (see uring.h).

@@ -23,6 +23,7 @@
 #include "kernel/flusher.h"
 #include "kernel/page_cache.h"
 #include "kernel/types.h"
+#include "sim/jsonw.h"
 #include "sim/sync.h"
 
 namespace bsim::kern {
@@ -209,11 +210,26 @@ class SuperBlock {
     return dirty_inodes_.size();
   }
 
+  // ---- stats registry ----
+  /// A callback that appends one or more JSON objects (each with a
+  /// "struct" key naming its stats type) to an open array.
+  using StatsDumper = std::function<void(sim::JsonWriter&)>;
+  /// Join the unified stats snapshot (Kernel::dump_stats). File systems
+  /// register their *Stats owners at mount; `name` labels the source.
+  void register_stats(std::string name, StatsDumper fn) {
+    stats_dumpers_.emplace_back(std::move(name), std::move(fn));
+  }
+  [[nodiscard]] const std::vector<std::pair<std::string, StatsDumper>>&
+  stats_dumpers() const {
+    return stats_dumpers_;
+  }
+
  private:
   static std::string dkey(Inode& dir, std::string_view name);
 
   std::vector<std::unique_ptr<Flusher>> flushers_;
   std::vector<Inode*> dirty_inodes_;  // insertion (dirtying) order
+  std::vector<std::pair<std::string, StatsDumper>> stats_dumpers_;
 
   BufferCache bufcache_;
   std::unordered_map<Ino, std::unique_ptr<Inode>> icache_;

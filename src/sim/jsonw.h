@@ -1,0 +1,121 @@
+// Minimal JSON writer for stats snapshots and machine-readable dumps.
+// Comma/nesting management only — no DOM, no parsing, no allocation beyond
+// the output string. Header-only so blockdev/ and kernel/ can both emit
+// JSON without a new link dependency.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/stats.h"
+#include "sim/time.h"
+
+namespace bsim::sim {
+
+class JsonWriter {
+ public:
+  JsonWriter() { out_.reserve(4096); }
+
+  void begin_object() {
+    sep();
+    out_ += '{';
+    fresh_.push_back(true);
+  }
+  void end_object() {
+    fresh_.pop_back();
+    out_ += '}';
+  }
+  void begin_array() {
+    sep();
+    out_ += '[';
+    fresh_.push_back(true);
+  }
+  void end_array() {
+    fresh_.pop_back();
+    out_ += ']';
+  }
+
+  void key(std::string_view k) {
+    sep();
+    quote(k);
+    out_ += ": ";
+    pending_value_ = true;
+  }
+
+  void value(std::string_view s) {
+    sep();
+    quote(s);
+  }
+  void value(const char* s) { value(std::string_view{s}); }
+  void value(std::uint64_t v) {
+    sep();
+    out_ += std::to_string(v);
+  }
+  void value(std::int64_t v) {
+    sep();
+    out_ += std::to_string(v);
+  }
+  void value(double v) {
+    sep();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    out_ += buf;
+  }
+  void value(bool v) {
+    sep();
+    out_ += v ? "true" : "false";
+  }
+
+  template <class V>
+  void field(std::string_view k, V v) {
+    key(k);
+    value(v);
+  }
+
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  void sep() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (fresh_.empty()) return;
+    if (!fresh_.back()) out_ += ", ";
+    fresh_.back() = false;
+  }
+
+  void quote(std::string_view s) {
+    out_ += '"';
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out_ += '\\';
+      out_ += c;
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<bool> fresh_;  // per nesting level: no element emitted yet
+  bool pending_value_ = false;
+};
+
+/// Serialize a histogram as a named sub-object of the current object:
+/// {"count": N, "min_ns": .., "mean_ns": .., "p50_ns": .., "p99_ns": ..,
+///  "max_ns": ..}. Quantiles are the histogram's bucket upper bounds.
+inline void dump_histogram(JsonWriter& w, std::string_view name,
+                           const LatencyHistogram& h) {
+  w.key(name);
+  w.begin_object();
+  w.field("count", h.count());
+  w.field("min_ns", static_cast<std::int64_t>(h.min()));
+  w.field("mean_ns", h.mean());
+  w.field("p50_ns", static_cast<std::int64_t>(h.quantile(0.50)));
+  w.field("p99_ns", static_cast<std::int64_t>(h.quantile(0.99)));
+  w.field("max_ns", static_cast<std::int64_t>(h.max()));
+  w.end_object();
+}
+
+}  // namespace bsim::sim

@@ -1117,6 +1117,25 @@ Err Xv6FileSystem::sync_fs(const Request&, SbRef sb) {
   return Err::Ok;
 }
 
+void Xv6FileSystem::dump_stats(sim::JsonWriter& w) const {
+  const LogStats& s = log_.stats();
+  w.begin_object();
+  w.field("struct", "LogStats");
+  w.field("commits", s.commits);
+  w.field("blocks_logged", s.blocks_logged);
+  w.field("absorbed", s.absorbed);
+  w.field("recoveries", s.recoveries);
+  w.field("ops_committed", s.ops_committed);
+  w.field("group_commits", s.group_commits);
+  w.field("pipelined_commits", s.pipelined_commits);
+  w.field("empty_commits_skipped", s.empty_commits_skipped);
+  w.field("flushes_skipped", s.flushes_skipped);
+  sim::dump_histogram(w, "logwrite_lat", s.logwrite_lat);
+  sim::dump_histogram(w, "record_lat", s.record_lat);
+  sim::dump_histogram(w, "checkpoint_lat", s.checkpoint_lat);
+  w.end_object();
+}
+
 // ---- online upgrade (§4.8) ----
 
 bento::TransferableState Xv6FileSystem::prepare_transfer(const Request& req,

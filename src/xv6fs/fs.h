@@ -118,6 +118,7 @@ class Xv6FileSystem : public bento::FileSystem {
                           bento::TransferableState state) override;
 
   // ---- introspection (tests / benches) ----
+  void dump_stats(sim::JsonWriter& w) const override;
   [[nodiscard]] const LogStats& log_stats() const { return log_.stats(); }
   [[nodiscard]] std::uint64_t free_data_blocks() const { return free_blocks_; }
   [[nodiscard]] std::uint64_t free_inodes() const { return free_inodes_; }

@@ -97,6 +97,11 @@ void Log::begin_op(SuperBlockCap& sb, std::uint32_t reserved) {
       lock_.acquire();
     }
   }
+  // A fresh batch (nothing open, nothing pooled) opens a new transaction.
+  if (outstanding_ == 0 && pending_.empty() && ops_in_batch_ == 0) {
+    txn_seq_ += 1;
+    sb.trace_journal(blk::TraceEv::TxnOpen, txn_seq_, 0);
+  }
   outstanding_ += 1;
   lock_.release();
 }
@@ -201,6 +206,13 @@ Err Log::commit(SuperBlockCap& sb) {
   const std::size_t depth = std::max<std::size_t>(params_.pipeline_depth, 1);
   while (inflight_.size() >= depth) wait_oldest(sb);
 
+  // Stage latencies are measured from here: each stage's histogram records
+  // commit-entry -> that stage's transfer completion (ticket done time),
+  // so the three nest like a waterfall.
+  const sim::Nanos t0 = sim::now();
+  sb.trace_journal(blk::TraceEv::TxnClose, txn_seq_,
+                   static_cast<std::uint32_t>(pending_.size()));
+
   std::vector<WriteTicket> tickets;
   bool plugged = false;
   auto fail = [&](Err e) {
@@ -229,6 +241,11 @@ Err Log::commit(SuperBlockCap& sb) {
     batch.reserve(dsts.size());
     for (auto& h : dsts) batch.push_back(&h);
     tickets.push_back(sb.sync_batch_async(batch));
+    sb.trace_journal(blk::TraceEv::JLogWrite, txn_seq_,
+                     static_cast<std::uint32_t>(pending_.size()));
+    if (tickets.back().ticket.done > 0) {
+      stats_.logwrite_lat.record(tickets.back().ticket.done - t0);
+    }
   }
   if (durability_ == Durability::Strict) {
     tickets.push_back(sb.flush_all_async());
@@ -245,6 +262,10 @@ Err Log::commit(SuperBlockCap& sb) {
   {
     const Err e = write_header_async(sb, header, tickets);
     if (e != Err::Ok) return fail(e);  // tickets already out: redeem them
+    sb.trace_journal(blk::TraceEv::JCommitRecord, txn_seq_, 1);
+    if (tickets.back().ticket.done > 0) {
+      stats_.record_lat.record(tickets.back().ticket.done - t0);
+    }
   }
   if (durability_ == Durability::Strict) {
     tickets.push_back(sb.flush_all_async());
@@ -263,6 +284,12 @@ Err Log::commit(SuperBlockCap& sb) {
   {
     const Err e = install(sb, header, /*recovering=*/false, &tickets);
     if (e != Err::Ok) return fail(e);
+    sb.trace_journal(blk::TraceEv::JCheckpoint, txn_seq_, header.n);
+    // Under a plug the install ticket is synthetic (done = 0); the real
+    // completion rides the unplug ticket, recorded below instead.
+    if (tickets.back().ticket.done > 0) {
+      stats_.checkpoint_lat.record(tickets.back().ticket.done - t0);
+    }
   }
   if (durability_ == Durability::Strict) {
     tickets.push_back(sb.flush_all_async());
@@ -275,6 +302,9 @@ Err Log::commit(SuperBlockCap& sb) {
   if (plugged) {
     plugged = false;
     tickets.push_back(sb.unplug());
+    if (tickets.back().ticket.done > 0) {
+      stats_.checkpoint_lat.record(tickets.back().ticket.done - t0);
+    }
   }
   if (durability_ == Durability::Strict) {
     tickets.push_back(sb.flush_all_async());

@@ -51,6 +51,7 @@
 
 #include "bento/kernel_services.h"
 #include "kernel/errno.h"
+#include "sim/stats.h"
 #include "xv6fs/layout.h"
 
 namespace bsim::xv6 {
@@ -90,6 +91,11 @@ struct LogStats {
   std::uint64_t pipelined_commits = 0;  // returned with transfers in flight
   std::uint64_t empty_commits_skipped = 0;  // force_commit with nothing to do
   std::uint64_t flushes_skipped = 0;  // fsync barriers skipped (already clean)
+  // ---- commit-stage latency (from commit entry to each stage's transfer
+  // completion; submission-order stages, so the histograms nest) ----
+  sim::LatencyHistogram logwrite_lat;    // log-run batch durable-on-ticket
+  sim::LatencyHistogram record_lat;      // commit record (the commit point)
+  sim::LatencyHistogram checkpoint_lat;  // install-to-home batch
 };
 
 class Log {
@@ -182,6 +188,9 @@ class Log {
   std::deque<std::vector<bento::WriteTicket>> inflight_;
   /// Commits since the last durability barrier (flush-skip bookkeeping).
   std::uint64_t commits_since_flush_ = 0;
+  /// Transaction sequence for the TO/TC/JW/JR/JK tracepoints; bumped when
+  /// a fresh batch opens in begin_op.
+  std::uint64_t txn_seq_ = 0;
   LogStats stats_;
 };
 

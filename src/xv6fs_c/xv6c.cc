@@ -1141,6 +1141,17 @@ class Xv6cFsType final : public kern::FileSystemType {
     kern::FlusherParams fp;
     fp.drain_buffers = true;
     kern::maybe_attach_flusher(*sb, opts, fp);
+    Xv6cMount* m = mnt.get();
+    sb->register_stats("xv6c", [m](sim::JsonWriter& w) {
+      const CLogStats& s = m->log_stats();
+      w.begin_object();
+      w.field("struct", "CLogStats");
+      w.field("commits", s.commits);
+      w.field("blocks_logged", s.blocks_logged);
+      w.field("ops_committed", s.ops_committed);
+      w.field("group_commits", s.group_commits);
+      w.end_object();
+    });
     mnt.release();
     return sb.release();
   }
