@@ -61,6 +61,15 @@ NOTES = {
         "plain, RAID0/4, and RAID5/4 volumes. p99 is gated downward: a "
         ">10% p99 increase fails CI even if throughput improved."
     ),
+    "faultpath": (
+        "Failure-path hardening (ISSUE 10): pwrite+fsync under a periodic "
+        "device fault schedule (2ms up / 50us down) healed by the request "
+        "queue's bounded retry (backoff 200us), on plain/RAID1/RAID5 "
+        "volumes. `faulted` ops/s is gated upward and `faulted-lat.p99` "
+        "downward — the degraded path must not rot; `healthy`/retry-count "
+        "rows are tracked unguarded. The bench itself fails if no retry "
+        "ever succeeds."
+    ),
     "flusher": (
         "Background-writeback ablation: buffered write throughput with "
         "the per-device flusher on vs writer-context sync, plus "

@@ -37,7 +37,13 @@ BentoModule::BentoModule(kern::SuperBlock& sb, std::unique_ptr<FileSystem> fs,
     : sb_(&sb),
       backend_(std::move(backend)),
       cap_(SuperBlockCap::Key{}, *backend_),
-      fs_(std::move(fs)) {}
+      fs_(std::move(fs)) {
+  // Route journal-abort notifications into the kernel superblock's
+  // errors= policy (covers both the kernel and the FUSE deployment —
+  // FuseModule passes through this constructor too).
+  backend_->set_fs_error_hook(
+      [this](kern::Err e) { sb_->fs_error(e); });
+}
 
 BentoModule* BentoModule::from(kern::SuperBlock& sb) {
   return static_cast<BentoModule*>(sb.fs_info);

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -66,6 +67,18 @@ class BlockBackend {
 
   /// Stripe geometry hint (blocks per full stripe row; 0 = no striping).
   [[nodiscard]] virtual std::uint64_t stripe_width() const { return 0; }
+
+  /// Unrecoverable-error notification channel: a file system that must
+  /// give up (journal abort on a failed journal write) reports it here,
+  /// and the mounting framework routes it into the kernel SuperBlock's
+  /// errors= policy (remount-ro / continue / panic). Default: nowhere to
+  /// report (the userspace debug rig has no kernel superblock).
+  void set_fs_error_hook(std::function<void(kern::Err)> fn) {
+    fs_error_hook_ = std::move(fn);
+  }
+  void report_fs_error(kern::Err e) {
+    if (fs_error_hook_) fs_error_hook_(e);
+  }
 
   /// Journal stage tracepoint (TO/TC/JW/JR/JK; see blockdev/trace.h):
   /// `txn` is the journal's transaction sequence, `nblocks` the stage's
@@ -120,6 +133,9 @@ class BlockBackend {
   /// For subclasses constructing handles.
   static BufferHeadHandle make_handle(BlockBackend& owner, void* impl,
                                       std::uint64_t blockno);
+
+ private:
+  std::function<void(kern::Err)> fs_error_hook_;
 };
 
 /// RAII capability for one cached block (the paper's BufferHead wrapper).
@@ -246,6 +262,9 @@ class SuperBlockCap {
                      std::uint32_t nblocks) {
     backend_->trace_journal(ev, txn, nblocks);
   }
+  /// Report an unrecoverable file-system error (journal abort) to the
+  /// mounting framework (see BlockBackend::set_fs_error_hook).
+  void report_fs_error(kern::Err e) { backend_->report_fs_error(e); }
 
  private:
   BlockBackend* backend_;

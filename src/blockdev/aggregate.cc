@@ -113,7 +113,12 @@ Ticket AggregateDevice::submit_async_impl(std::span<Bio* const> bios) {
   outstanding_.emplace(id, std::move(tickets));
   astats_.max_inflight =
       std::max<std::uint64_t>(astats_.max_inflight, outstanding_.size());
-  return Ticket{last_done, id};
+  Ticket t{last_done, id};
+  // A logical bio that still carries io_error after routing (member
+  // failure the redundancy could not absorb) fails the ticket, same as a
+  // plain queue's.
+  for (const Bio* b : bios) t.failed |= b->io_error;
+  return t;
 }
 
 sim::Nanos AggregateDevice::wait_impl(const Ticket& t) {
@@ -360,6 +365,29 @@ void AggregateDevice::crash(double survive_p, sim::Rng& rng) {
   for (auto& c : children_) c->crash(survive_p, rng);
 }
 
+// ---- fault-model fan-out ----
+
+void AggregateDevice::inject_transient_errors(std::uint64_t k) {
+  for (auto& c : children_) c->inject_transient_errors(k);
+}
+
+void AggregateDevice::set_fault_schedule(const FaultSchedule& s) {
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    FaultSchedule cs = s;
+    // Distinct RNG stream per member (splitmix64 increment), same windows.
+    cs.seed = s.seed * 0x9e3779b97f4a7c15ULL + i + 1;
+    children_[i]->set_fault_schedule(cs);
+  }
+}
+
+void AggregateDevice::clear_fault_schedule() {
+  for (auto& c : children_) c->clear_fault_schedule();
+}
+
+void AggregateDevice::set_retry_policy(const RetryPolicy& p) {
+  for (auto& c : children_) c->set_retry_policy(p);
+}
+
 std::uint64_t AggregateDevice::dirty_blocks() const {
   std::uint64_t total = 0;
   for (const auto& c : children_) total += c->dirty_blocks();
@@ -384,6 +412,9 @@ const DeviceStats& AggregateDevice::stats() const {
     agg_.merges += s.merges;
     agg_.seq_read_blocks += s.seq_read_blocks;
     agg_.read_errors += s.read_errors;
+    agg_.write_errors += s.write_errors;
+    agg_.transient_errors += s.transient_errors;
+    agg_.faults_scheduled += s.faults_scheduled;
     agg_.max_request_blocks =
         std::max(agg_.max_request_blocks, s.max_request_blocks);
     agg_.read_wait.merge(s.read_wait);

@@ -138,6 +138,18 @@ class AggregateDevice : public BlockDevice {
   [[nodiscard]] bool dead() const override;
   void crash(double survive_p, sim::Rng& rng) override;
 
+  // ---- fault-model fan-out (members inherit the volume's faults; the
+  // per-block inject_read_error/inject_write_error routing is geometry-
+  // specific and lives in the subclasses) ----
+  /// Arm every member: each independently fails its next `k` accesses.
+  void inject_transient_errors(std::uint64_t k) override;
+  /// Arm every member with a per-member derived seed, so replicas do not
+  /// fail in lockstep and redundancy/retry have something to work with.
+  void set_fault_schedule(const FaultSchedule& s) override;
+  void clear_fault_schedule() override;
+  /// Retries run where faults fire: on every member's request queue.
+  void set_retry_policy(const RetryPolicy& p) override;
+
   [[nodiscard]] std::uint64_t dirty_blocks() const override;
   [[nodiscard]] const DeviceStats& stats() const override;
 

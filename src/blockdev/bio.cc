@@ -29,6 +29,16 @@ void RequestQueue::dispatch(std::vector<Bio*>& list, sim::Nanos& last_done) {
     sim::Nanos start = 0;
     const sim::Nanos done = dev_->do_request(req, &start);
     for (std::size_t k = i; k < j; ++k) list[k]->done_at = done;
+    // Transiently-failed bios get their bounded retries BEFORE the trace
+    // completions, so each bio's C event carries its final outcome and
+    // completion time (one C per Q, retries visible as R events).
+    if (policy_.max_retries > 0) {
+      for (std::size_t k = i; k < j; ++k) {
+        if (list[k]->io_error && list[k]->retryable) {
+          retry_bio(*list[k], last_done);
+        }
+      }
+    }
     if (Tracer* tr = dev_->tracer_.get(); tr != nullptr) {
       const TraceOp op =
           req.front()->op == BioOp::Read ? TraceOp::Read : TraceOp::Write;
@@ -53,10 +63,11 @@ void RequestQueue::dispatch(std::vector<Bio*>& list, sim::Nanos& last_done) {
       e.block = req.front()->first_block();
       e.nblocks = total;
       tr->emit(e);
-      // Every bio completes with the request.
+      // Every bio completes with the request (a retried bio at its own,
+      // later, final completion).
       e.ev = TraceEv::Complete;
-      e.t = done;
       for (const Bio* b : req) {
+        e.t = b->done_at;
         e.id = b->trace_id;
         e.block = b->first_block();
         e.nblocks = static_cast<std::uint32_t>(b->nblocks());
@@ -66,6 +77,43 @@ void RequestQueue::dispatch(std::vector<Bio*>& list, sim::Nanos& last_done) {
     last_done = std::max(last_done, done);
     i = j;
   }
+}
+
+void RequestQueue::retry_bio(Bio& b, sim::Nanos& last_done) {
+  const sim::Nanos deadline = policy_.deadline > 0 && b.queued_at >= 0
+                                  ? b.queued_at + policy_.deadline
+                                  : 0;
+  while (b.io_error && b.retryable) {
+    if (b.retries >= policy_.max_retries) break;  // exhausted: stays failed
+    const sim::Nanos at = b.done_at + policy_.backoff;
+    if (deadline != 0 && at > deadline) {
+      stats_.deadline_expirations += 1;
+      break;
+    }
+    b.retries += 1;
+    stats_.retries += 1;
+    if (Tracer* tr = dev_->tracer_.get(); tr != nullptr) {
+      TraceEvent e;
+      e.t = at;
+      e.id = b.trace_id;
+      e.block = b.first_block();
+      e.nblocks = static_cast<std::uint32_t>(b.nblocks());
+      e.dev = dev_->trace_dev_;
+      e.ev = TraceEv::Requeue;
+      e.op = b.op == BioOp::Read ? TraceOp::Read : TraceOp::Write;
+      tr->emit(e);
+    }
+    b.io_error = false;
+    b.retryable = false;
+    Bio* const one = &b;
+    b.done_at =
+        dev_->do_request(std::span<Bio* const>(&one, 1), nullptr, at);
+    if (!b.io_error) {
+      stats_.retry_successes += 1;
+      break;
+    }
+  }
+  last_done = std::max(last_done, b.done_at);
 }
 
 sim::Nanos RequestQueue::start_batch(std::span<Bio* const> bios) {
@@ -115,7 +163,9 @@ Ticket RequestQueue::submit_async(std::span<Bio* const> bios) {
   outstanding_.insert(next_ticket_);
   stats_.max_inflight = std::max<std::uint64_t>(stats_.max_inflight,
                                                 outstanding_.size());
-  return Ticket{last_done, next_ticket_++};
+  Ticket t{last_done, next_ticket_++};
+  for (const Bio* b : bios) t.failed |= b->io_error;
+  return t;
 }
 
 sim::Nanos RequestQueue::wait(const Ticket& t) {

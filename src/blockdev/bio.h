@@ -71,12 +71,22 @@ struct Bio {
   /// Dirty-state owners (the buffer cache) must not clear dirty bits for
   /// unapplied writes.
   bool applied = false;
-  /// A read command touched an unreadable block (the member-failure fault
-  /// model's injected medium error; see BlockDevice::inject_read_error).
-  /// The whole command fails — no data was transferred — and `applied`
-  /// stays false. Redundant volumes retry the bio on a mirror; plain
-  /// consumers treat it like any other I/O error.
+  /// The command touched a faulted block or a fault window (the
+  /// member-failure fault model; see BlockDevice::inject_read_error /
+  /// inject_write_error / set_fault_schedule). The whole command fails —
+  /// no data was transferred — and `applied` stays false. Redundant
+  /// volumes retry the bio on a mirror; plain consumers treat it like any
+  /// other I/O error.
   bool io_error = false;
+  /// The failure that set io_error was TRANSIENT (an injected transient
+  /// error or a scheduled fault window) rather than a sticky medium error:
+  /// the request queue's retry policy may reissue the bio. Cleared before
+  /// each retry attempt; left set alongside io_error on exhaustion so
+  /// stats can tell the failure classes apart.
+  bool retryable = false;
+  /// Retry attempts the request queue made for this bio (0 on the
+  /// zero-fault path).
+  std::uint32_t retries = 0;
   /// Virtual time the bio entered a queue (plug accumulation or request
   /// queue, whichever first; -1 = not yet queued). The Q→D queue-wait
   /// histograms are derived from this; set once, never reset.
@@ -139,6 +149,24 @@ struct RequestQueueStats {
   std::uint64_t bios = 0;           // bios submitted
   std::uint64_t async_batches = 0;  // batches submitted without a barrier
   std::uint64_t max_inflight = 0;   // peak unredeemed async tickets
+  // ---- transient-error retry policy (see RetryPolicy) ----
+  std::uint64_t retries = 0;            // retry attempts issued
+  std::uint64_t retry_successes = 0;    // retried bios that then completed
+  std::uint64_t deadline_expirations = 0;  // retries abandoned at deadline
+};
+
+/// Bounded-retry policy for transient failures, applied per bio by the
+/// request queue: a bio that fails with Bio::retryable set is reissued up
+/// to `max_retries` times, each attempt `backoff` after the previous
+/// failure's completion (in virtual time — the md/SCSI mid-layer requeue).
+/// `deadline` bounds the total queue residency: a retry that would start
+/// later than queued_at + deadline is abandoned and the bio stays failed.
+/// The default (max_retries = 0) disables retry entirely, keeping the
+/// zero-fault path bit-identical.
+struct RetryPolicy {
+  std::uint32_t max_retries = 0;
+  sim::Nanos backoff = sim::usec(50);
+  sim::Nanos deadline = 0;  // 0 = no deadline
 };
 
 /// Value-batch to pointer-batch conversion (the device layer's plug and
@@ -159,6 +187,11 @@ inline std::vector<Bio*> bio_ptrs(std::span<Bio> bios) {
 struct Ticket {
   sim::Nanos done = 0;
   std::uint64_t id = 0;  // 0 = empty
+  /// At least one bio of the ticket's batch failed (io_error after any
+  /// retries) — set at submission, when media effects land, so a journal
+  /// can check it before issuing dependent writes without redeeming the
+  /// ticket first.
+  bool failed = false;
 
   [[nodiscard]] bool valid() const { return id != 0; }
 };
@@ -210,12 +243,23 @@ class RequestQueue {
 
   [[nodiscard]] const RequestQueueStats& stats() const { return stats_; }
 
+  /// Arm (or disarm, with max_retries = 0) the transient-error retry
+  /// policy. Normally set through BlockDevice::set_retry_policy, which a
+  /// volume fans out to every member queue.
+  void set_retry_policy(const RetryPolicy& p) { policy_ = p; }
+  [[nodiscard]] const RetryPolicy& retry_policy() const { return policy_; }
+
  private:
   /// Sort + merge + dispatch; fills done_at, returns last completion.
   sim::Nanos start_batch(std::span<Bio* const> bios);
   void dispatch(std::vector<Bio*>& list, sim::Nanos& last_done);
+  /// Reissue one transiently-failed bio per the retry policy; updates
+  /// done_at/io_error in place and folds the final completion into
+  /// `last_done`.
+  void retry_bio(Bio& b, sim::Nanos& last_done);
 
   BlockDevice* dev_;
+  RetryPolicy policy_;
   std::uint64_t next_ticket_ = 1;
   std::unordered_set<std::uint64_t> outstanding_;  // unredeemed ticket ids
   RequestQueueStats stats_;

@@ -30,10 +30,10 @@ BlockData& BlockDevice::slot(std::uint64_t blockno) {
   return *p;
 }
 
-sim::Nanos BlockDevice::service(sim::Nanos latency) {
+sim::Nanos BlockDevice::service(sim::Nanos latency, sim::Nanos not_before) {
   // Pick the channel that frees up first; queue behind it if busy.
   auto it = std::min_element(channel_free_.begin(), channel_free_.end());
-  const sim::Nanos start = std::max(*it, sim::now());
+  const sim::Nanos start = std::max({*it, sim::now(), not_before});
   const sim::Nanos done = start + latency;
   *it = done;
   stats_.busy += latency;
@@ -88,8 +88,54 @@ void BlockDevice::note_bio_queued(Bio& b) {
   tracer_->emit(e);
 }
 
+void BlockDevice::set_fault_schedule(const FaultSchedule& s) {
+  fault_sched_ = s;
+  fault_sched_armed_ = true;
+  fault_sched_t0_ = sim::now();
+  fault_rng_ = sim::Rng(s.seed);
+}
+
+bool BlockDevice::scheduled_fault_at(sim::Nanos at) {
+  const sim::Nanos period =
+      fault_sched_.up_interval + fault_sched_.down_interval;
+  if (period > 0) {
+    const sim::Nanos phase = (at - fault_sched_t0_) % period;
+    if (phase < fault_sched_.up_interval) return false;  // healthy window
+  }
+  return fault_rng_.chance(fault_sched_.fail_p);
+}
+
+bool BlockDevice::fault_check(Bio& b, sim::Nanos at) {
+  // Sticky per-block errors first (a bad sector beats a transient blip),
+  // direction-specific; these are NOT retryable.
+  const auto& bad = b.op == BioOp::Read ? bad_reads_ : bad_writes_;
+  if (!bad.empty()) {
+    for (const BioVec& v : b.vecs) {
+      if (bad.contains(v.blockno)) {
+        b.io_error = true;
+        return true;
+      }
+    }
+  }
+  if (transient_remaining_ > 0) {
+    transient_remaining_ -= 1;
+    stats_.transient_errors += 1;
+    b.io_error = true;
+    b.retryable = true;
+    return true;
+  }
+  if (fault_sched_armed_ && scheduled_fault_at(at)) {
+    stats_.faults_scheduled += 1;
+    b.io_error = true;
+    b.retryable = true;
+    return true;
+  }
+  return false;
+}
+
 sim::Nanos BlockDevice::do_request(std::span<Bio* const> bios,
-                                   sim::Nanos* start_out) {
+                                   sim::Nanos* start_out,
+                                   sim::Nanos not_before) {
   assert(!bios.empty());
   const BioOp op = bios.front()->op;
   std::size_t nblocks = 0;
@@ -97,6 +143,7 @@ sim::Nanos BlockDevice::do_request(std::span<Bio* const> bios,
   stats_.max_request_blocks = std::max<std::uint64_t>(
       stats_.max_request_blocks, nblocks);
   stats_.merges += bios.size() - 1;
+  const bool faulty = faults_armed();
 
   if (op == BioOp::Read) {
     // A merged request is one device command: only its first block can be
@@ -111,7 +158,7 @@ sim::Nanos BlockDevice::do_request(std::span<Bio* const> bios,
         first_lat + static_cast<sim::Nanos>(nblocks - 1) * params_.read_lat_seq;
     stats_.seq_read_blocks +=
         static_cast<std::uint64_t>(nblocks - 1) + (sequential ? 1 : 0);
-    const sim::Nanos done = service(lat);
+    const sim::Nanos done = service(lat, not_before);
     const sim::Nanos start = done - lat;  // channel occupancy began here
     if (start_out != nullptr) *start_out = start;
     stats_.reads += nblocks;
@@ -121,14 +168,9 @@ sim::Nanos BlockDevice::do_request(std::span<Bio* const> bios,
       stats_.read_service.record(done - start);
     }
     for (Bio* b : bios) {
-      // A bio touching an injected bad block fails whole: the command is
-      // timed (the drive spent the service attempt) but transfers nothing.
-      bool bad = false;
-      if (!bad_reads_.empty()) {
-        for (const BioVec& v : b->vecs) bad |= bad_reads_.contains(v.blockno);
-      }
-      if (bad) {
-        b->io_error = true;
+      // A bio hitting the fault model fails whole: the command is timed
+      // (the drive spent the service attempt) but transfers nothing.
+      if (faulty && fault_check(*b, start)) {
         stats_.read_errors += 1;
         continue;
       }
@@ -149,6 +191,15 @@ sim::Nanos BlockDevice::do_request(std::span<Bio* const> bios,
   sim::Nanos lat = 0;
   stats_.write_requests += 1;
   std::size_t occupancy = dirty_.size();
+  // Predicted channel-start for the fault schedule: service() below picks
+  // the earliest-free channel, so this equals the start it will compute
+  // (nothing between here and there touches channel_free_).
+  sim::Nanos pred = 0;
+  if (faulty) {
+    pred = std::max(
+        {*std::min_element(channel_free_.begin(), channel_free_.end()),
+         sim::now(), not_before});
+  }
   for (Bio* b : bios) {
     for (const BioVec& v : b->vecs) {
       lat += params_.write_xfer;
@@ -168,6 +219,12 @@ sim::Nanos BlockDevice::do_request(std::span<Bio* const> bios,
       else kill_countdown_ -= 1;
     }
     if (dead_) continue;  // power died: this bio never reached the device
+    // Faults fail the command visibly (io_error; a dead device swallows
+    // silently): full latency charged, no media change, no heal.
+    if (faulty && fault_check(*b, pred)) {
+      stats_.write_errors += 1;
+      continue;
+    }
     b->applied = true;
     for (const BioVec& v : b->vecs) {
       bad_reads_.erase(v.blockno);  // a successful write repairs the sector
@@ -180,7 +237,7 @@ sim::Nanos BlockDevice::do_request(std::span<Bio* const> bios,
       std::memcpy(dst.data(), v.wdata.data(), kBlockSize);
     }
   }
-  const sim::Nanos done = service(lat);
+  const sim::Nanos done = service(lat, not_before);
   const sim::Nanos start = done - lat;
   if (start_out != nullptr) *start_out = start;
   for (Bio* b : bios) {

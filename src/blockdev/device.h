@@ -47,6 +47,21 @@ struct DeviceParams {
   std::uint64_t write_cache_blocks = 4096;   // 16 MiB volatile cache
 };
 
+/// dm-flakey-style programmable fault schedule: the device alternates an
+/// `up_interval` (healthy) and a `down_interval` (faulting) in virtual
+/// time, starting up at arming time; while down, each bio independently
+/// fails with probability `fail_p` under a seeded RNG. With both
+/// intervals zero the schedule degenerates to pure per-op probability.
+/// Scheduled failures are TRANSIENT (Bio::retryable), so they compose
+/// with the request queue's RetryPolicy. Evaluated at the bio's predicted
+/// channel-start time, so a retry backing off past the down window heals.
+struct FaultSchedule {
+  sim::Nanos up_interval = 0;
+  sim::Nanos down_interval = 0;
+  double fail_p = 1.0;
+  std::uint64_t seed = 1;
+};
+
 struct DeviceStats {
   std::uint64_t reads = 0;    // blocks read
   std::uint64_t writes = 0;   // blocks written (write commands = bios)
@@ -60,6 +75,9 @@ struct DeviceStats {
   std::uint64_t seq_read_blocks = 0; // blocks priced at read_lat_seq
   std::uint64_t max_request_blocks = 0;  // largest merged request seen
   std::uint64_t read_errors = 0;     // read bios failed by injected errors
+  std::uint64_t write_errors = 0;    // write bios failed by injected errors
+  std::uint64_t transient_errors = 0;   // failures from inject_transient_errors
+  std::uint64_t faults_scheduled = 0;   // failures from the fault schedule
   // ---- latency attribution (per op class) ----
   // Queue wait is Q→D (bio queued until its merged request starts on a
   // channel); service is D→C (channel occupancy of the request, charged
@@ -239,6 +257,41 @@ class BlockDevice {
   [[nodiscard]] std::size_t injected_read_errors() const {
     return bad_reads_.size();
   }
+  /// Mark `blockno` unwritable: any write bio touching it fails with
+  /// Bio::io_error set (full latency charged, no media change, dirty
+  /// state untouched — the write never happened). Sticky — a failed
+  /// sector stays failed — until clear_write_error removes the mark
+  /// (tests model repair/remap explicitly). Not retryable: the request
+  /// queue's retry policy only reissues transient failures.
+  virtual void inject_write_error(std::uint64_t blockno) {
+    bad_writes_.insert(blockno);
+  }
+  virtual void clear_write_error(std::uint64_t blockno) {
+    bad_writes_.erase(blockno);
+  }
+  [[nodiscard]] std::size_t injected_write_errors() const {
+    return bad_writes_.size();
+  }
+  /// Fail the next `k` bios (either direction) with a TRANSIENT error
+  /// (Bio::retryable set), then heal — a controller hiccup rather than a
+  /// medium defect. Counts down per bio, in dispatch order; an aggregate
+  /// volume arms every member independently.
+  virtual void inject_transient_errors(std::uint64_t k) {
+    transient_remaining_ += k;
+  }
+  /// Arm the programmable fault schedule (see FaultSchedule). The up
+  /// window starts now; re-arming replaces the previous schedule and
+  /// reseeds the RNG. An aggregate volume arms every member with a seed
+  /// derived per member, so replicas do not fail in lockstep.
+  virtual void set_fault_schedule(const FaultSchedule& s);
+  virtual void clear_fault_schedule() { fault_sched_armed_ = false; }
+  /// Arm the request queue's transient-error retry policy (see
+  /// RetryPolicy). An aggregate volume fans the policy to every member
+  /// queue — retries happen where the fault fired, under the volume's
+  /// routing.
+  virtual void set_retry_policy(const RetryPolicy& p) {
+    queue_.set_retry_policy(p);
+  }
 
   /// Simulate power loss: every write since the last flush() is reverted,
   /// except that each non-durable block independently survives with
@@ -286,15 +339,29 @@ class BlockDevice {
   void flush_plug();
 
   BlockData& slot(std::uint64_t blockno);
-  sim::Nanos service(sim::Nanos latency);
+  sim::Nanos service(sim::Nanos latency, sim::Nanos not_before = 0);
   /// Execute one merged request (same-op bios covering consecutive
   /// blocks): price it, occupy a channel, apply data. Returns the absolute
   /// completion time; does NOT wait (the queue owns the batch barrier).
   /// `start_out`, when non-null, receives the time the request began
   /// occupying its channel (completion minus service latency) — the D
-  /// timestamp and the Q→D/D→C histogram split point.
+  /// timestamp and the Q→D/D→C histogram split point. `not_before` delays
+  /// the channel start (the retry path's virtual-time backoff).
   sim::Nanos do_request(std::span<Bio* const> bios,
-                        sim::Nanos* start_out = nullptr);
+                        sim::Nanos* start_out = nullptr,
+                        sim::Nanos not_before = 0);
+  /// Evaluate the fault model for one bio whose request starts at `at`:
+  /// sticky per-block errors (direction-specific), then the transient
+  /// countdown, then the fault schedule. Sets io_error (and retryable for
+  /// the transient classes) and returns true when the bio must fail.
+  bool fault_check(Bio& b, sim::Nanos at);
+  [[nodiscard]] bool scheduled_fault_at(sim::Nanos at);
+  /// Whether any fault source is armed — gates fault_check so the
+  /// zero-fault path takes no new branches and consumes no RNG.
+  [[nodiscard]] bool faults_armed() const {
+    return !bad_reads_.empty() || !bad_writes_.empty() ||
+           transient_remaining_ > 0 || fault_sched_armed_;
+  }
 
   DeviceParams params_;
   std::vector<std::unique_ptr<BlockData>> blocks_;
@@ -303,6 +370,12 @@ class BlockDevice {
   // on; otherwise the map holds nullptr values and acts as a dirty set).
   std::unordered_map<std::uint64_t, std::unique_ptr<BlockData>> dirty_;
   std::unordered_set<std::uint64_t> bad_reads_;  // injected medium errors
+  std::unordered_set<std::uint64_t> bad_writes_;  // injected write errors
+  std::uint64_t transient_remaining_ = 0;  // inject_transient_errors countdown
+  bool fault_sched_armed_ = false;
+  FaultSchedule fault_sched_;
+  sim::Nanos fault_sched_t0_ = 0;  // up window starts here
+  sim::Rng fault_rng_{1};
   bool crash_tracking_ = false;
   bool dead_ = false;
   std::uint64_t kill_countdown_ = 0;

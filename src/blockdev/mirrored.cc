@@ -161,10 +161,13 @@ void MirroredDevice::submit_writes(const std::vector<Bio*>& parents,
   const bool deg = degraded();
   std::vector<std::vector<Bio>> copies(n);
 
+  std::vector<std::uint32_t> ncopies(parents.size(), 0);
+  std::vector<std::uint32_t> nfailed(parents.size(), 0);
   for (Bio* parent : parents) {
     assert(!parent->vecs.empty() && "submitting an empty bio");
     parent->done_at = 0;
     parent->applied = true;  // AND-ed with every replica below
+    parent->io_error = false;
     bool replicated = false;
     for (std::size_t m = 0; m < n; ++m) {
       if (!serves_writes(m)) continue;
@@ -197,6 +200,17 @@ void MirroredDevice::submit_writes(const std::vector<Bio*>& parents,
       Bio* parent = parents[i];
       parent->done_at = std::max(parent->done_at, copies[m][i].done_at);
       if (!copies[m][i].applied) parent->applied = false;
+      ncopies[i] += 1;
+      if (copies[m][i].io_error) nfailed[i] += 1;
+    }
+  }
+  // A write error on ONE replica does not fail the logical write — the
+  // surviving copies carry the data (md would kick the member; we keep
+  // it, and applied=false keeps dirty-state owners retrying). Only when
+  // EVERY replica failed does the error surface.
+  for (std::size_t i = 0; i < parents.size(); ++i) {
+    if (ncopies[i] > 0 && nfailed[i] == ncopies[i]) {
+      parents[i]->io_error = true;
     }
   }
 }
@@ -391,6 +405,17 @@ void MirroredDevice::inject_read_error(std::uint64_t blockno) {
   // unreadable logical block); per-member injection — the interesting
   // fault for failover tests — goes through member(i).inject_read_error.
   for (auto& m : children_) m->inject_read_error(blockno);
+}
+
+void MirroredDevice::inject_write_error(std::uint64_t blockno) {
+  // Same contract as inject_read_error: volume-level marks every replica
+  // (a logically unwritable block); per-member injection goes through
+  // member(i) directly.
+  for (auto& m : children_) m->inject_write_error(blockno);
+}
+
+void MirroredDevice::clear_write_error(std::uint64_t blockno) {
+  for (auto& m : children_) m->clear_write_error(blockno);
 }
 
 }  // namespace bsim::blk

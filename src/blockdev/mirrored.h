@@ -152,6 +152,8 @@ class MirroredDevice final : public AggregateDevice {
   /// be a fail_member'd one, which is degradation, not death).
   [[nodiscard]] bool dead() const override;
   void inject_read_error(std::uint64_t blockno) override;
+  void inject_write_error(std::uint64_t blockno) override;
+  void clear_write_error(std::uint64_t blockno) override;
 
  protected:
   void route_policy(const std::vector<Bio*>& writes,

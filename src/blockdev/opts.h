@@ -43,10 +43,12 @@ inline bool known_opt_token(std::string_view tok) {
   static constexpr std::string_view kExact[] = {
       "rw",       "linear",  "nogroup", "nopipeline",
       "noplug",   "noflusher", "io_uring", "extfuse",
-      "scrub",    "lax_opts", "policy=rr", "policy=sq"};
+      "scrub",    "lax_opts", "policy=rr", "policy=sq",
+      "errors=remount-ro", "errors=continue", "errors=panic"};
   static constexpr std::string_view kNumeric[] = {
       "stripe=", "chunk=", "mirror=", "parity=",
-      "spare=",  "max_log_batch=", "log_blocks=", "trace="};
+      "spare=",  "max_log_batch=", "log_blocks=", "trace=",
+      "retries=", "retry_backoff_us=", "io_deadline_ms="};
   for (const std::string_view k : kExact) {
     if (tok == k) return true;
   }

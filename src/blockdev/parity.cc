@@ -430,6 +430,13 @@ void ParityDevice::submit_write_lines(const std::vector<Bio*>& parents,
       Bio* parent = owners[m][i];
       parent->done_at = std::max(parent->done_at, frags[m][i].done_at);
       if (!frags[m][i].applied) parent->applied = false;
+      // A failed data write is NOT absorbed by redundancy: the new parity
+      // was computed against the new data, so the line is inconsistent
+      // and the new data exists nowhere durable. The region stays marked
+      // (scrub re-derives consistent parity from the surviving old data)
+      // but the logical write itself has failed — swallowing it here
+      // would be silent data loss.
+      if (frags[m][i].io_error) parent->io_error = true;
     }
   }
 
@@ -448,6 +455,11 @@ void ParityDevice::submit_write_lines(const std::vector<Bio*>& parents,
       }
       for (Bio* parent : line.parity_reliant) {
         if (!pwrites[m][i].applied) parent->applied = false;
+        // A degraded write survives ONLY through the parity update; if
+        // that failed, the write failed. (For ordinary lines a failed
+        // parity write is absorbed: the data landed, the region stays
+        // marked, and scrub re-derives the parity.)
+        if (pwrites[m][i].io_error) parent->io_error = true;
       }
     }
   }
@@ -773,7 +785,10 @@ std::uint64_t ParityDevice::scrub_step(std::uint64_t cursor) {
   const std::uint64_t nl = std::min<std::uint64_t>(
       std::max<std::uint64_t>(parity_.rebuild_batch, 1), extent - cursor);
   // Verification compares whole lines: it needs every member present.
-  if (degraded()) return nl;
+  if (degraded()) {
+    scrub_skipped_ = true;
+    return nl;
+  }
   const std::uint64_t mb0 = kBitmapBlocks + cursor;
   const std::size_t n = children_.size();
   std::vector<std::vector<BlockData>> buf(n);
@@ -784,7 +799,14 @@ std::uint64_t ParityDevice::scrub_step(std::uint64_t cursor) {
     for (std::uint64_t i = 0; i < nl; ++i) read.add_read(mb0 + i, buf[m][i]);
     const Ticket t = children_[m]->submit_async(std::span<Bio>(&read, 1));
     done = std::max(done, t.done);
-    if (read.io_error) return nl;  // medium error: the read path heals it
+    if (read.io_error) {
+      // Medium or scheduled error: this line batch goes UNVERIFIED (never
+      // "repair" from a failed read's buffer — a fault window must not
+      // rewrite good parity). The pass completes but must not clear the
+      // intent bits it did not check.
+      scrub_skipped_ = true;
+      return nl;
+    }
   }
   sim::current().wait_until(done);
   for (std::uint64_t i = 0; i < nl; ++i) {
@@ -805,7 +827,11 @@ std::uint64_t ParityDevice::scrub_step(std::uint64_t cursor) {
     }
     Bio repair = Bio::single_write(mb0 + i, par);
     children_[p]->submit(repair);
-    astats_.scrub_repairs += 1;
+    if (repair.applied) {
+      astats_.scrub_repairs += 1;
+    } else {
+      scrub_skipped_ = true;  // repair lost to a fault: line still stale
+    }
   }
   return nl;
 }
@@ -813,8 +839,11 @@ std::uint64_t ParityDevice::scrub_step(std::uint64_t cursor) {
 void ParityDevice::on_scrub_complete() {
   // A clean, non-degraded pass verified every line: the write-hole
   // exposure the sticky intent bits recorded is gone. (A pass that ran
-  // degraded skipped verification — keep the bits.)
-  if (degraded()) return;
+  // degraded — or skipped lines on faulted reads/repairs — did NOT verify
+  // everything: keep the bits for the next pass.)
+  const bool skipped = scrub_skipped_;
+  scrub_skipped_ = false;
+  if (degraded() || skipped) return;
   if (dirty_regions() == 0) return;
   region_dirty_.assign(region_dirty_.size(), false);
   bitmap_page_.fill(std::byte{0});

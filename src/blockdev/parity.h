@@ -190,6 +190,14 @@ class ParityDevice final : public AggregateDevice {
     children_[data_member_of(blockno)]->inject_read_error(
         child_block_of(blockno));
   }
+  void inject_write_error(std::uint64_t blockno) override {
+    children_[data_member_of(blockno)]->inject_write_error(
+        child_block_of(blockno));
+  }
+  void clear_write_error(std::uint64_t blockno) override {
+    children_[data_member_of(blockno)]->clear_write_error(
+        child_block_of(blockno));
+  }
 
   /// Crash recovery (array assembly after power loss): recompute parity
   /// for every stripe row in a region marked in the write-intent bitmap,
@@ -283,6 +291,10 @@ class ParityDevice final : public AggregateDevice {
 
   ParityParams parity_;
   std::uint64_t rows_ = 0;
+  /// The running scrub pass skipped verification somewhere (degraded, a
+  /// faulted read, a lost repair): on_scrub_complete keeps the intent
+  /// bits. Reset when the pass's completion is processed.
+  bool scrub_skipped_ = false;
   std::vector<bool> region_dirty_;   // in-memory intent bitmap
   BlockData bitmap_page_;            // on-media image (replicated)
   mutable ParityVolumeStats vstats_;

@@ -23,6 +23,9 @@ void dump_device_stats(sim::JsonWriter& w, const std::string& name,
   w.field("seq_read_blocks", s.seq_read_blocks);
   w.field("max_request_blocks", s.max_request_blocks);
   w.field("read_errors", s.read_errors);
+  w.field("write_errors", s.write_errors);
+  w.field("transient_errors", s.transient_errors);
+  w.field("faults_scheduled", s.faults_scheduled);
   sim::dump_histogram(w, "read_wait", s.read_wait);
   sim::dump_histogram(w, "write_wait", s.write_wait);
   sim::dump_histogram(w, "read_service", s.read_service);
@@ -40,6 +43,9 @@ void dump_queue_stats(sim::JsonWriter& w, const std::string& name,
   w.field("bios", s.bios);
   w.field("async_batches", s.async_batches);
   w.field("max_inflight", s.max_inflight);
+  w.field("retries", s.retries);
+  w.field("retry_successes", s.retry_successes);
+  w.field("deadline_expirations", s.deadline_expirations);
   w.end_object();
 }
 

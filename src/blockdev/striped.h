@@ -117,6 +117,12 @@ class StripedDevice final : public AggregateDevice {
   void inject_read_error(std::uint64_t blockno) override {
     children_[child_of(blockno)]->inject_read_error(child_block_of(blockno));
   }
+  void inject_write_error(std::uint64_t blockno) override {
+    children_[child_of(blockno)]->inject_write_error(child_block_of(blockno));
+  }
+  void clear_write_error(std::uint64_t blockno) override {
+    children_[child_of(blockno)]->clear_write_error(child_block_of(blockno));
+  }
 
  protected:
   /// Striping submits the surviving writes and the reads together: each

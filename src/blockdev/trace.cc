@@ -20,6 +20,7 @@ const char* trace_ev_name(TraceEv ev) {
     case TraceEv::JLogWrite: return "JW";
     case TraceEv::JCommitRecord: return "JR";
     case TraceEv::JCheckpoint: return "JK";
+    case TraceEv::Requeue: return "R";
   }
   return "?";
 }

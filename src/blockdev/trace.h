@@ -10,6 +10,7 @@
 //   M  bio merged into the preceding request (back-merge/absorption)
 //   D  merged request dispatched to a device channel
 //   C  bio completed
+//   R  bio requeued for a bounded retry after a transient error
 //   X  fan-out child: a volume fragment bio linked to its logical parent
 //   F  device FLUSH (cache destage barrier)
 //   TO/TC  journal transaction opened / closed (id = txn sequence)
@@ -49,9 +50,10 @@ enum class TraceEv : std::uint8_t {
   JLogWrite,
   JCommitRecord,
   JCheckpoint,
+  Requeue,
 };
 
-inline constexpr int kTraceEvCount = 13;
+inline constexpr int kTraceEvCount = 14;
 
 /// The blkparse-style letter for an event ("Q", "D", "TO", ...).
 const char* trace_ev_name(TraceEv ev);

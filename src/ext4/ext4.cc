@@ -51,6 +51,7 @@ void Ext4Mount::j_drain() {
 }
 
 Err Ext4Mount::j_commit(bool flush_device) {
+  if (jaborted_) return Err::Io;
   auto& bc = sb_->bufcache();
   std::size_t written = 0;
 
@@ -81,6 +82,19 @@ Err Ext4Mount::j_commit(bool flush_device) {
     for (const blk::Ticket& t : tickets) bc.wait(t);
     j_drain();
     return e;
+  };
+  // Journal abort (jbd2_journal_abort): a write into the journal area
+  // failed on media, so this transaction can never become durable. The
+  // commit record for it is never issued — recovery ignores the partial
+  // record and replays nothing past the last committed seq. The tagged
+  // blocks stay journal-pinned in the cache so uncommitted state never
+  // reaches home locations; errors= policy decides the mount's fate.
+  auto abort_journal = [&](Err e) {
+    jstats_.jbd_aborted += 1;
+    jaborted_ = true;
+    running_txn_.clear();
+    sb_->fs_error(e);
+    return fail(e);
   };
   while (written < running_txn_.size()) {
     // One journal record holds as many tags as fit the descriptor block
@@ -127,6 +141,10 @@ Err Ext4Mount::j_commit(bool flush_device) {
         bc.brelse(src.value());
       }
       tickets.push_back(bc.sync_dirty_buffers_async(jrun));
+      if (tickets.back().failed) {
+        for (auto* bh : jrun) bc.brelse(bh);
+        return abort_journal(Err::Io);
+      }
       sb_->bdev().trace_event(blk::TraceEv::JLogWrite, jseq_, 0,
                               static_cast<std::uint32_t>(n + 1),
                               blk::TraceOp::Journal);
@@ -149,6 +167,13 @@ Err Ext4Mount::j_commit(bool flush_device) {
       kern::BufferHead* cbh = cb.value();
       tickets.push_back(bc.sync_dirty_buffers_async(
           std::span<kern::BufferHead* const>(&cbh, 1)));
+      // Failed commit record: the transaction never committed — abort
+      // BEFORE the checkpoint, or uncommitted state reaches home
+      // locations with no durable record protecting it.
+      if (tickets.back().failed) {
+        bc.brelse(cb.value());
+        return abort_journal(Err::Io);
+      }
       sb_->bdev().trace_event(blk::TraceEv::JCommitRecord, jseq_, 0, 1,
                               blk::TraceOp::Journal);
       if (tickets.back().done > 0) {
@@ -233,6 +258,7 @@ Err Ext4Mount::j_force(std::uint64_t op_seq) {
       arrival >= flush_start_ && arrival < flush_end_ + kBatchSlack;
 
   sim::ScopedLock guard(journal_lock_);
+  if (jaborted_) return Err::Io;
   if (committed_seq_ >= op_seq && running_txn_.empty()) {
     sim::current().wait_until(last_commit_end_);
     jstats_.shared_commits += 1;
@@ -1388,6 +1414,7 @@ class Ext4FsType final : public kern::FileSystemType {
       w.field("recoveries", js.recoveries);
       w.field("pipelined_commits", js.pipelined_commits);
       w.field("empty_commits_skipped", js.empty_commits_skipped);
+      w.field("jbd_aborted", js.jbd_aborted);
       sim::dump_histogram(w, "jwrite_lat", js.jwrite_lat);
       sim::dump_histogram(w, "record_lat", js.record_lat);
       sim::dump_histogram(w, "checkpoint_lat", js.checkpoint_lat);

@@ -21,6 +21,7 @@ struct JournalStats {
   std::uint64_t recoveries = 0;
   std::uint64_t pipelined_commits = 0;  // returned with transfers in flight
   std::uint64_t empty_commits_skipped = 0;  // flush-commit with nothing to do
+  std::uint64_t jbd_aborted = 0;  // journal aborts (failed journal write)
   // ---- commit-stage latency (commit entry -> stage transfer completion,
   // one sample per journal record) ----
   sim::LatencyHistogram jwrite_lat;      // descriptor+data journal run
@@ -195,6 +196,9 @@ class Ext4Mount final : public kern::InodeOps,
   /// A commit wrote since the last device flush (the empty-commit /
   /// no-op-flush skip bookkeeping).
   bool jdirty_since_flush_ = false;
+  /// Journal aborted (a journal-area write failed on media). An aborted
+  /// journal never commits again; the mount's errors= policy was applied.
+  bool jaborted_ = false;
   JournalStats jstats_;
   MapStats mstats_;
   std::unordered_map<std::uint32_t, DirIndex> dir_indexes_;

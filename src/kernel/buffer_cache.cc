@@ -9,7 +9,10 @@
 namespace bsim::kern {
 
 BufferCache::BufferCache(blk::BlockDevice& dev, std::size_t capacity)
-    : dev_(dev), capacity_(capacity), shard_dirty_(dev.fan_out(), 0) {}
+    : dev_(dev),
+      capacity_(capacity),
+      shard_dirty_(dev.fan_out(), 0),
+      wb_err_(dev.fan_out()) {}
 
 BufferCache::~BufferCache() = default;
 
@@ -130,7 +133,10 @@ void BufferCache::sync_dirty_buffer(BufferHead* bh) {
   dev_.submit(bio);
   // A write command that never executed (crash-model kill point) did not
   // write the buffer back: it must stay dirty.
-  if (bio.applied) {
+  if (bio.io_error) {
+    wb_err_[dev_.child_of(bh->blockno)].record(Err::Io);
+    wb_last_err_ = Err::Io;
+  } else if (bio.applied) {
     set_clean(bh);
     stats_.writebacks += 1;
   }
@@ -172,6 +178,15 @@ void BufferCache::retire_batch(std::span<BufferHead* const> bhs,
                                std::span<const blk::Bio> bios) {
   assert(bhs.size() == bios.size());
   for (std::size_t i = 0; i < bhs.size(); ++i) {
+    if (bios[i].io_error) {
+      // A device write error (io_error discriminates it from the crash
+      // model's silent swallow, which leaves io_error clear): the buffer
+      // stays dirty AND the failure is parked in the shard's error
+      // sequence for the next fsync/sync to report.
+      wb_err_[dev_.child_of(bios[i].vecs.front().blockno)].record(Err::Io);
+      wb_last_err_ = Err::Io;
+      continue;
+    }
     if (!bios[i].applied) continue;
     set_clean(bhs[i]);
     stats_.writebacks += 1;

@@ -19,6 +19,7 @@
 
 #include "blockdev/device.h"
 #include "kernel/errno.h"
+#include "kernel/errseq.h"
 #include "sim/sync.h"
 
 namespace bsim::kern {
@@ -152,6 +153,30 @@ class BufferCache {
   /// BufferHead::jdirty). No-op when the block is not cached.
   void pin_journal(std::uint64_t blockno, bool pin);
 
+  // ---- writeback error sequence (errseq_t over metadata writeback) ----
+  /// A buffer writeback that failed with a device write error (not a
+  /// crash-model swallow) is recorded per member-device shard; fsync and
+  /// sync consumers carry an ErrSeqCursor and see each failure exactly
+  /// once. The aggregate sequence is the sum over shards.
+  [[nodiscard]] std::uint64_t wb_err_seq() const {
+    std::uint64_t s = 0;
+    for (const ErrSeq& e : wb_err_) s += e.seq();
+    return s;
+  }
+  [[nodiscard]] ErrSeqCursor wb_err_sample() const {
+    return ErrSeqCursor{wb_err_seq()};
+  }
+  /// Report-once check across all shards (see ErrSeq::check).
+  [[nodiscard]] Err wb_err_check(ErrSeqCursor& c) const {
+    const std::uint64_t s = wb_err_seq();
+    if (c.seen == s) return Err::Ok;
+    c.seen = s;
+    return wb_last_err_;
+  }
+  [[nodiscard]] const ErrSeq& wb_err_shard(std::size_t shard) const {
+    return wb_err_[shard];
+  }
+
   /// Write back every dirty buffer (timed) as one batched submission in
   /// ascending block order.
   void sync_all();
@@ -245,6 +270,9 @@ class BufferCache {
   std::set<std::uint64_t> dirty_index_;
   /// Dirty count per member device of a striped volume (size fan_out()).
   std::vector<std::size_t> shard_dirty_;
+  /// Per-member-device writeback error sequences (size fan_out()).
+  std::vector<ErrSeq> wb_err_;
+  Err wb_last_err_ = Err::Ok;
   std::unordered_map<std::uint64_t, std::unique_ptr<BufferHead>> map_;
   std::list<std::uint64_t> lru_;  // front = most recent
   std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> lru_pos_;

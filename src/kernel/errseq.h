@@ -1,0 +1,60 @@
+// errseq_t-style writeback error tracking (Linux lib/errseq.c analogue).
+//
+// A writeback failure on the flusher's clock has no caller to return to:
+// the error must be parked where the NEXT fsync(2)/sync(2) on the file
+// will see it — and be seen exactly once per file description, so two fds
+// on the same file each get their own EIO and a second fsync on the same
+// fd reports clean. The kernel solves this with errseq_t: a sequence
+// counter bumped per recorded error, sampled into a per-file cursor at
+// open, and compared at fsync. This is that mechanism, without the
+// bit-packed encoding (virtual time is single-threaded; a plain counter
+// carries the same information).
+#pragma once
+
+#include <cstdint>
+
+#include "kernel/errno.h"
+
+namespace bsim::kern {
+
+/// A consumer's position in an error sequence (struct file's f_wb_err).
+/// Sampled at open; advanced to the current sequence each time the
+/// consumer observes (and thereby consumes) the pending error.
+struct ErrSeqCursor {
+  std::uint64_t seen = 0;
+};
+
+/// One error stream: a sequence number that advances on every recorded
+/// failure, plus the most recent error value. Consumers holding a cursor
+/// see each advance exactly once.
+class ErrSeq {
+ public:
+  /// Record a failure (Ok is a no-op, so callers can record
+  /// unconditionally on the writeback result).
+  void record(Err e) {
+    if (e == Err::Ok) return;
+    seq_ += 1;
+    last_ = e;
+  }
+
+  /// Position for a fresh consumer: errors recorded before it opened are
+  /// not its to report.
+  [[nodiscard]] ErrSeqCursor sample() const { return ErrSeqCursor{seq_}; }
+
+  /// Report-once check: if errors were recorded since `c` last looked,
+  /// advance the cursor and return the latest one; otherwise Ok.
+  [[nodiscard]] Err check(ErrSeqCursor& c) const {
+    if (c.seen == seq_) return Err::Ok;
+    c.seen = seq_;
+    return last_;
+  }
+
+  [[nodiscard]] std::uint64_t seq() const { return seq_; }
+  [[nodiscard]] Err last() const { return last_; }
+
+ private:
+  std::uint64_t seq_ = 0;
+  Err last_ = Err::Ok;
+};
+
+}  // namespace bsim::kern

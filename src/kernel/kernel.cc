@@ -191,9 +191,41 @@ Err Kernel::mount(std::string_view fstype, std::string_view devname,
       dev->arm_trace(static_cast<std::size_t>(n), std::string{devname});
     }
   });
+  // Transient-error retry knobs: arm the device tree's bounded-retry
+  // policy before the file system touches it, so journal replay reads are
+  // covered too. "retries=0" (the default) keeps retry fully disabled.
+  {
+    blk::RetryPolicy rp = dev->queue().retry_policy();
+    bool armed = false;
+    blk::for_each_opt_token(opts, [&](std::string_view tok) {
+      std::uint64_t n = 0;
+      if (blk::opt_num_after(tok, "retries=", n)) {
+        rp.max_retries = static_cast<std::uint32_t>(n);
+        armed = true;
+      } else if (blk::opt_num_after(tok, "retry_backoff_us=", n)) {
+        rp.backoff = sim::usec(static_cast<sim::Nanos>(n));
+        armed = true;
+      } else if (blk::opt_num_after(tok, "io_deadline_ms=", n)) {
+        rp.deadline = sim::msec(static_cast<sim::Nanos>(n));
+        armed = true;
+      }
+    });
+    if (armed) dev->set_retry_policy(rp);
+  }
 
   auto sb = type->mount(*dev, opts);
   if (!sb.ok()) return sb.error();
+  // Error behaviour (ext4's errors= option, honored for every FS here):
+  // what a journal abort / unrecoverable FS error does to the mount.
+  blk::for_each_opt_token(opts, [&](std::string_view tok) {
+    if (tok == "errors=remount-ro") {
+      sb.value()->errors_mode = SuperBlock::ErrorsMode::RemountRo;
+    } else if (tok == "errors=continue") {
+      sb.value()->errors_mode = SuperBlock::ErrorsMode::Continue;
+    } else if (tok == "errors=panic") {
+      sb.value()->errors_mode = SuperBlock::ErrorsMode::Panic;
+    }
+  });
   mounts_.push_back(Mount{std::string{mountpoint}, sb.value(), type,
                           std::string{devname}});
   std::sort(mounts_.begin(), mounts_.end(), [](const Mount& a, const Mount& b) {
@@ -344,6 +376,10 @@ Result<int> Kernel::open(Process& p, std::string_view path, int flags,
       auto target = walk_parent(path);
       if (!target.ok()) return target.error();
       auto& t = target.value();
+      if (t.sb->read_only()) {
+        t.sb->iput(t.dir);
+        return Err::RoFs;
+      }
       t.dir->rwsem.lock();
       auto created = t.dir->iop->create(*t.dir, t.last, mode);
       t.dir->rwsem.unlock();
@@ -376,7 +412,15 @@ Result<int> Kernel::open(Process& p, std::string_view path, int flags,
       of->sb->iput(of->inode);
       return e;
     }
+    // Sample the writeback error sequences (f_wb_err): errors recorded
+    // before this open are not this fd's to report at fsync.
+    of->fh.wb_err = of->inode->mapping.wb_err().sample();
+    of->fh.bc_wb_err = of->sb->bufcache().wb_err_sample();
     if ((flags & kOTrunc) != 0 && of->inode->type == FileType::Regular) {
+      if (of->sb->read_only()) {
+        of->sb->iput(of->inode);
+        return Err::RoFs;
+      }
       SetAttr attr;
       attr.set_size = true;
       attr.size = 0;
@@ -429,6 +473,7 @@ Result<std::uint64_t> Kernel::file_write(OpenFile& f,
                                          std::span<const std::byte> in,
                                          std::uint64_t off) {
   if ((f.flags & kOAccMask) == kORdOnly) return Err::BadF;
+  if (f.sb->read_only()) return Err::RoFs;  // errors=remount-ro degradation
   f.inode->rwsem.lock();
   auto r = f.inode->fop->write(*f.inode, f.fh, off, in);
   f.inode->rwsem.unlock();
@@ -561,7 +606,16 @@ Err Kernel::do_fsync(OpenFile& of, bool datasync) {
   // here (not per-FS) so every deployment that attaches a flusher gets
   // the ordering for free. A no-op when writeback ran on this thread.
   sim::current().wait_until(of.inode->mapping.writeback_done_at());
-  return of.inode->fop->fsync(*of.inode, of.fh, datasync);
+  Err e = of.inode->fop->fsync(*of.inode, of.fh, datasync);
+  // Report-once writeback errors (file_check_and_advance_wb_err): a
+  // failure recorded against this inode's mapping or the mount's buffer
+  // cache since this fd last looked surfaces NOW — even when the fsync
+  // call itself succeeded — and advances the fd's cursor so the next
+  // fsync on this fd reports clean while other fds still see their own.
+  const Err we = of.inode->mapping.wb_err().check(of.fh.wb_err);
+  const Err be = of.sb->bufcache().wb_err_check(of.fh.bc_wb_err);
+  if (e == Err::Ok) e = we != Err::Ok ? we : be;
+  return e;
 }
 
 Err Kernel::mkdir(Process&, std::string_view path, std::uint32_t mode) {
@@ -569,6 +623,10 @@ Err Kernel::mkdir(Process&, std::string_view path, std::uint32_t mode) {
   auto target = walk_parent(path);
   if (!target.ok()) return target.error();
   auto& t = target.value();
+  if (t.sb->read_only()) {
+    t.sb->iput(t.dir);
+    return Err::RoFs;
+  }
   t.dir->rwsem.lock();
   auto r = t.dir->iop->mkdir(*t.dir, t.last, mode);
   t.dir->rwsem.unlock();
@@ -585,6 +643,10 @@ Err Kernel::unlink(Process&, std::string_view path) {
   auto target = walk_parent(path);
   if (!target.ok()) return target.error();
   auto& t = target.value();
+  if (t.sb->read_only()) {
+    t.sb->iput(t.dir);
+    return Err::RoFs;
+  }
   t.dir->rwsem.lock();
   Err e = t.dir->iop->unlink(*t.dir, t.last);
   t.dir->rwsem.unlock();
@@ -598,6 +660,10 @@ Err Kernel::rmdir(Process&, std::string_view path) {
   auto target = walk_parent(path);
   if (!target.ok()) return target.error();
   auto& t = target.value();
+  if (t.sb->read_only()) {
+    t.sb->iput(t.dir);
+    return Err::RoFs;
+  }
   t.dir->rwsem.lock();
   Err e = t.dir->iop->rmdir(*t.dir, t.last);
   t.dir->rwsem.unlock();
@@ -617,6 +683,11 @@ Err Kernel::rename(Process&, std::string_view from, std::string_view to) {
   }
   auto& s = src.value();
   auto& d = dst.value();
+  if (s.sb->read_only() || d.sb->read_only()) {
+    s.sb->iput(s.dir);
+    d.sb->iput(d.dir);
+    return Err::RoFs;
+  }
   Err e = Err::Inval;
   if (s.sb == d.sb) {
     s.dir->rwsem.lock();
@@ -651,6 +722,10 @@ Err Kernel::truncate(Process&, std::string_view path, std::uint64_t size) {
   SuperBlock* sb = nullptr;
   auto inode = walk_full(path, &sb);
   if (!inode.ok()) return inode.error();
+  if (sb->read_only()) {
+    sb->iput(inode.value());
+    return Err::RoFs;
+  }
   SetAttr attr;
   attr.set_size = true;
   attr.size = size;

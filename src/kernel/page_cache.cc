@@ -180,7 +180,8 @@ Err AddressSpace::writeback(Inode& inode, AddressSpaceOps& aops) {
                 static_cast<sim::Nanos>(npages) *
                     sim::costs().writepages_per_page);
     std::size_t completed = 0;
-    const Err e = aops.writepages(inode, runs, completed);
+    Err e = aops.writepages(inode, runs, completed);
+    wb_err_.record(e);  // park the failure for the next fsync's cursor
     assert(completed <= runs.size());
     assert((e != Err::Ok || completed == runs.size()) &&
            "writepages returned Ok without completing every run");
@@ -211,6 +212,7 @@ Err AddressSpace::writeback(Inode& inode, AddressSpaceOps& aops) {
     sim::charge(sim::costs().writepage_overhead);
     const Err e = aops.writepage(inode, pgoff, page.bytes());
     if (e != Err::Ok) {
+      wb_err_.record(e);
       stamp();
       return e;
     }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "kernel/errno.h"
+#include "kernel/errseq.h"
 #include "kernel/types.h"
 #include "sim/sync.h"
 
@@ -160,6 +161,13 @@ class AddressSpace {
   [[nodiscard]] sim::Nanos writeback_done_at() const {
     return writeback_done_at_;
   }
+
+  /// Writeback error sequence (mapping->wb_err): every failed writeback
+  /// of this mapping — foreground, throttled, or on the flusher's clock —
+  /// is recorded here; fsync reports it exactly once per open file via
+  /// the FileHandle's cursor.
+  [[nodiscard]] const ErrSeq& wb_err() const { return wb_err_; }
+
   [[nodiscard]] const AddressSpaceStats& stats() const { return stats_; }
 
   /// Per-file readahead state (one sequential stream per open pattern,
@@ -178,6 +186,7 @@ class AddressSpace {
   std::set<std::uint64_t> dirty_pages_;
   std::size_t nr_dirty_ = 0;
   ReadaheadState ra_;
+  ErrSeq wb_err_;
   sim::Nanos writeback_done_at_ = 0;
   sim::SimMutex tree_lock_{sim::SimMutex::Kind::Spin};
   AddressSpaceStats stats_;

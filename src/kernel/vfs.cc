@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "sim/cost_model.h"
@@ -57,6 +59,23 @@ void SuperBlock::poke_flushers(Inode* hint, std::size_t page_threshold) {
   Flusher* owner = flusher_for(hint);
   for (auto& f : flushers_) {
     f->poke(f.get() == owner ? hint : nullptr, page_threshold);
+  }
+}
+
+void SuperBlock::fs_error(Err e) {
+  if (e == Err::Ok) return;
+  s_wb_err_.record(e);
+  if (fs_error_ == Err::Ok) fs_error_ = e;
+  switch (errors_mode) {
+    case ErrorsMode::RemountRo:
+      read_only_ = true;
+      break;
+    case ErrorsMode::Continue:
+      break;
+    case ErrorsMode::Panic:
+      std::fprintf(stderr, "bsim: fs error (%d) on %s with errors=panic\n",
+                   static_cast<int>(e), fs_name.c_str());
+      std::abort();
   }
 }
 

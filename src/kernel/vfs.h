@@ -36,6 +36,12 @@ struct FileHandle;
 struct FileHandle {
   std::uint64_t fh = 0;  // FS-private cookie
   int flags = 0;
+  /// Writeback-error cursors (struct file's f_wb_err / f_sb_err): sampled
+  /// at open against the inode mapping's and the superblock buffer
+  /// cache's error sequences, advanced when fsync reports a pending
+  /// failure — so each fd sees a given writeback error exactly once.
+  ErrSeqCursor wb_err;
+  ErrSeqCursor bc_wb_err;
 };
 
 /// Inode operations (directory-level namespace ops live on the dir inode).
@@ -137,6 +143,30 @@ class SuperBlock {
   void* fs_info = nullptr;  // FS-private superblock state
   std::string fs_name;
 
+  // ---- error behaviour (the ext4 `errors=` mount option) ----
+  /// What a detected file-system error (journal abort, failed metadata
+  /// write the FS cannot recover) does to the mount.
+  enum class ErrorsMode : std::uint8_t {
+    RemountRo,  // flip read-only: reads keep serving, writes fail RoFs
+    Continue,   // record and keep going (errors still report via errseq)
+    Panic,      // abort the simulation (errors=panic)
+  };
+  ErrorsMode errors_mode = ErrorsMode::RemountRo;
+
+  /// Whether the mount has degraded to read-only (fs_error under
+  /// errors=remount-ro). Mutating syscalls check this at the VFS border.
+  [[nodiscard]] bool read_only() const { return read_only_; }
+  /// The first error that degraded the mount (Ok when healthy).
+  [[nodiscard]] Err fs_error_seen() const { return fs_error_; }
+  /// A file system detected an unrecoverable error (ext4_error /
+  /// xv6 journal abort): apply the configured errors= policy. Idempotent;
+  /// the first error wins.
+  void fs_error(Err e);
+
+  /// Errors recorded against the whole FS (journal aborts, fs_error
+  /// calls): fsync on ANY fd of this mount must report them once.
+  [[nodiscard]] const ErrSeq& s_wb_err() const { return s_wb_err_; }
+
   [[nodiscard]] BufferCache& bufcache() { return bufcache_; }
   [[nodiscard]] blk::BlockDevice& bdev() { return bufcache_.device(); }
 
@@ -226,6 +256,10 @@ class SuperBlock {
 
  private:
   static std::string dkey(Inode& dir, std::string_view name);
+
+  bool read_only_ = false;
+  Err fs_error_ = Err::Ok;
+  ErrSeq s_wb_err_;
 
   std::vector<std::unique_ptr<Flusher>> flushers_;
   std::vector<Inode*> dirty_inodes_;  // insertion (dirtying) order

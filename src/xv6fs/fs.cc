@@ -1130,6 +1130,7 @@ void Xv6FileSystem::dump_stats(sim::JsonWriter& w) const {
   w.field("pipelined_commits", s.pipelined_commits);
   w.field("empty_commits_skipped", s.empty_commits_skipped);
   w.field("flushes_skipped", s.flushes_skipped);
+  w.field("log_aborted", s.log_aborted);
   sim::dump_histogram(w, "logwrite_lat", s.logwrite_lat);
   sim::dump_histogram(w, "record_lat", s.record_lat);
   sim::dump_histogram(w, "checkpoint_lat", s.checkpoint_lat);

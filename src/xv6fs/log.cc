@@ -89,6 +89,7 @@ void Log::begin_op(SuperBlockCap& sb, std::uint32_t reserved) {
   while (pending_.size() +
              (static_cast<std::size_t>(outstanding_) + 1) * kMaxOpBlocks >
          kLogSize) {
+    if (aborted_) break;  // nothing will ever commit; admission is moot
     if (outstanding_ == 0) {
       (void)commit(sb);
     } else {
@@ -163,6 +164,10 @@ Err Log::force_commit(SuperBlockCap& sb) {
     sim::current().wait_until(sim::now() + sim::usec(10));
     lock_.acquire();
   }
+  if (aborted_) {
+    lock_.release();
+    return Err::Io;
+  }
   Err e = Err::Ok;
   if (!pending_.empty()) {
     e = commit(sb);
@@ -197,6 +202,7 @@ void Log::drain(SuperBlockCap& sb) {
 }
 
 Err Log::commit(SuperBlockCap& sb) {
+  if (aborted_) return Err::Io;
   if (pending_.empty()) return Err::Ok;
   // Bound the pipeline. Every write of an in-flight commit was already
   // SUBMITTED (media effects land at submission, in program order), so
@@ -219,6 +225,20 @@ Err Log::commit(SuperBlockCap& sb) {
     if (plugged) tickets.push_back(sb.unplug());
     for (const WriteTicket& t : tickets) sb.wait(t);
     return e;
+  };
+  // Journal abort: a write INSIDE the journal protocol failed on media, so
+  // this transaction can never become durable. Crucially the commit record
+  // is never issued — recovery finds an empty header and replays nothing,
+  // leaving the pre-abort image. The pending blocks stay journal-pinned in
+  // the cache (writing them home now would put uncommitted state on disk);
+  // the mount's errors= policy decides what happens to the FS.
+  auto abort_commit = [&](Err e) {
+    stats_.log_aborted += 1;
+    aborted_ = true;
+    pending_.clear();
+    ops_in_batch_ = 0;
+    sb.report_fs_error(e);
+    return fail(e);
   };
 
   // 1. Copy modified blocks into the log area and submit the whole run as
@@ -243,6 +263,7 @@ Err Log::commit(SuperBlockCap& sb) {
     tickets.push_back(sb.sync_batch_async(batch));
     sb.trace_journal(blk::TraceEv::JLogWrite, txn_seq_,
                      static_cast<std::uint32_t>(pending_.size()));
+    if (tickets.back().ticket.failed) return abort_commit(Err::Io);
     if (tickets.back().ticket.done > 0) {
       stats_.logwrite_lat.record(tickets.back().ticket.done - t0);
     }
@@ -262,6 +283,10 @@ Err Log::commit(SuperBlockCap& sb) {
   {
     const Err e = write_header_async(sb, header, tickets);
     if (e != Err::Ok) return fail(e);  // tickets already out: redeem them
+    // The commit record itself failed: the transaction never committed.
+    // Abort BEFORE installing — writing home locations without a durable
+    // commit record would put uncommitted state on media unprotected.
+    if (tickets.back().ticket.failed) return abort_commit(Err::Io);
     sb.trace_journal(blk::TraceEv::JCommitRecord, txn_seq_, 1);
     if (tickets.back().ticket.done > 0) {
       stats_.record_lat.record(tickets.back().ticket.done - t0);

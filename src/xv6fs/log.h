@@ -91,6 +91,7 @@ struct LogStats {
   std::uint64_t pipelined_commits = 0;  // returned with transfers in flight
   std::uint64_t empty_commits_skipped = 0;  // force_commit with nothing to do
   std::uint64_t flushes_skipped = 0;  // fsync barriers skipped (already clean)
+  std::uint64_t log_aborted = 0;  // journal aborts (failed journal write)
   // ---- commit-stage latency (from commit entry to each stage's transfer
   // completion; submission-order stages, so the histograms nest) ----
   sim::LatencyHistogram logwrite_lat;    // log-run batch durable-on-ticket
@@ -134,6 +135,10 @@ class Log {
   void note_flushed() { commits_since_flush_ = 0; }
 
   [[nodiscard]] const LogStats& stats() const { return stats_; }
+  /// Whether the journal has aborted (a journal write failed on media).
+  /// An aborted log never commits again: end_op/force_commit fail with
+  /// Err::Io and the mount's errors= policy has been applied.
+  [[nodiscard]] bool aborted() const { return aborted_; }
   [[nodiscard]] Durability durability() const { return durability_; }
   void set_durability(Durability d) { durability_ = d; }
   [[nodiscard]] const LogParams& params() const { return params_; }
@@ -180,6 +185,7 @@ class Log {
   Durability durability_ = Durability::Relaxed;
   LogParams params_;
   bento::Semaphore lock_;
+  bool aborted_ = false;
   int outstanding_ = 0;
   std::vector<std::uint32_t> pending_;
   /// Ops closed into the currently-pending (uncommitted) transaction.

@@ -422,6 +422,53 @@ TEST_F(ParityDeviceTest, ScrubDetectsAndRepairsStaleParity) {
   }
 }
 
+TEST_F(ParityDeviceTest, ScrubDuringDownWindowNeverRepairsGoodData) {
+  // Strict-mode audit (ISSUE 10): a scrub pass that overlaps a scheduled
+  // fault window reads garbage-on-error, and a naive pass would "repair"
+  // perfectly good parity from a failed read's buffer. The pass must
+  // instead skip unverified lines, repair nothing, and KEEP the sticky
+  // intent bits — the exposure was not verified away.
+  ParityDevice pd = make5();
+  std::vector<Bio> bios;
+  std::vector<std::array<std::byte, kBlockSize>> payloads(128);
+  for (std::uint64_t b = 0; b < 128; ++b) {
+    payloads[b] = pattern(static_cast<std::uint8_t>(b));
+    bios.push_back(Bio::single_write(b, payloads[b]));
+  }
+  pd.submit(bios);
+  ASSERT_TRUE(lines_consistent(pd));
+  const std::uint64_t dirty_before = pd.dirty_regions();
+  ASSERT_GT(dirty_before, 0u);
+  const auto before = snapshot(pd);
+
+  // Permanent down window: every member bio fails while armed.
+  FaultSchedule fs;
+  fs.up_interval = 0;
+  fs.down_interval = sim::msec(1);
+  fs.fail_p = 1.0;
+  pd.set_fault_schedule(fs);
+  pd.start_scrub();
+  pd.finish_scrub();
+  pd.clear_fault_schedule();
+
+  const ParityVolumeStats& vs = pd.volume_stats();
+  EXPECT_EQ(vs.scrub_repairs, 0u) << "repaired from a failed read's buffer";
+  EXPECT_EQ(vs.scrub_mismatches, 0u);
+  // Intent bits kept: nothing was verified, so the write-hole exposure
+  // the bits record must survive for the next (healthy) pass.
+  EXPECT_EQ(pd.dirty_regions(), dirty_before);
+  // Media untouched: data and parity bit-identical to before the pass.
+  EXPECT_EQ(snapshot(pd), before);
+  ASSERT_TRUE(lines_consistent(pd));
+
+  // The next pass on a healthy volume verifies everything and retires
+  // the exposure as usual.
+  pd.start_scrub();
+  pd.finish_scrub();
+  EXPECT_EQ(pd.volume_stats().scrub_repairs, 0u);
+  EXPECT_EQ(pd.dirty_regions(), 0u);
+}
+
 // ---- crash model ----
 
 TEST_F(ParityDeviceTest, GlobalKillCountsLogicalBiosLikeOneDevice) {

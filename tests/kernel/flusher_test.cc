@@ -197,6 +197,45 @@ TEST_F(FlusherTest, DefaultDrainPlugsBatchesIntoOneElevatorPass) {
   for (auto* bh : held) bc.brelse(bh);
 }
 
+TEST_F(FlusherTest, DrainWriteErrorLandsInTheErrorSequenceOnce) {
+  // An EIO on the flusher's own clock (the writer returned long ago) must
+  // surface through the buffer cache's writeback error sequence so the
+  // caller's NEXT fsync reports it — exactly once per sampled cursor.
+  SuperBlock sb(dev_, 0);
+  FlusherParams fp;
+  fp.drain_buffers = true;
+  fp.dirty_buffers_min = 4;
+  fp.dirty_pages_threshold = 1000;
+  sb.attach_flusher(std::make_unique<Flusher>(sb, fp));
+  Flusher* f = sb.flusher();
+
+  auto& bc = sb.bufcache();
+  kern::ErrSeqCursor cur = bc.wb_err_sample();  // "fd opened here"
+  dev_.inject_write_error(7);
+  std::vector<kern::BufferHead*> held;
+  for (std::uint64_t b = 5; b < 13; ++b) {
+    auto bh = bc.getblk(b);
+    ASSERT_TRUE(bh.ok());
+    bc.mark_dirty(bh.value());
+    held.push_back(bh.value());
+  }
+  f->poke(nullptr);
+
+  // Block 7's write failed; the rest drained. The failed buffer stays
+  // dirty (the write never happened) and the failure is sequenced.
+  EXPECT_EQ(bc.nr_dirty(), 1u);
+  EXPECT_EQ(bc.wb_err_seq(), 1u);
+  EXPECT_EQ(bc.wb_err_check(cur), Err::Io);  // reported at "fsync"...
+  EXPECT_EQ(bc.wb_err_check(cur), Err::Ok);  // ...exactly once
+
+  // A cursor sampled after the failure (a later open) sees nothing.
+  kern::ErrSeqCursor later = bc.wb_err_sample();
+  EXPECT_EQ(bc.wb_err_check(later), Err::Ok);
+
+  dev_.clear_write_error(7);
+  for (auto* bh : held) bc.brelse(bh);
+}
+
 TEST_F(FlusherTest, MultipleInodesAllDrain) {
   SuperBlock sb(dev_, 0);
   CountingAops aops;

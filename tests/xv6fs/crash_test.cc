@@ -37,10 +37,10 @@ std::unique_ptr<blk::BlockDevice> copy_device(blk::BlockDevice& src) {
 
 /// The volume layouts the sweeps run against. Every layout has the same
 /// LOGICAL size, so images compare bit-for-bit across layouts.
-enum class DevKind { Plain, Striped4, Mirror2 };
+enum class DevKind { Plain, Striped4, Mirror2, Parity4 };
 
 /// Register an 8192-block device under "ssd0": one plain device, a 4-way
-/// RAID0 volume, or a 2-way RAID1 mirror.
+/// RAID0 volume, a 2-way RAID1 mirror, or a 4+1 RAID5 parity volume.
 blk::BlockDevice& add_test_device(kern::Kernel& kernel, DevKind kind) {
   blk::DeviceParams params;
   params.nblocks = kBlocks;
@@ -58,6 +58,12 @@ blk::BlockDevice& add_test_device(kern::Kernel& kernel, DevKind kind) {
       blk::MirrorParams mp;
       mp.nmirrors = 2;
       return kernel.add_mirrored_device("ssd0", mp, params);
+    }
+    case DevKind::Parity4: {
+      blk::ParityParams pp;
+      pp.ndata = 4;
+      pp.chunk_blocks = 16;
+      return kernel.add_parity_device("ssd0", pp, params);
     }
   }
   __builtin_unreachable();
@@ -616,6 +622,117 @@ TEST(PipelinedTornConsistency, DefaultMountRecoversAtEveryKillPoint) {
     (void)recover_image(*survivor);  // asserts mount + fsck internally
   }
 }
+
+// ---- Journal abort, then power loss (ISSUE 10) ----
+//
+// A sticky write error in the journal area makes the doomed file's commit
+// fail at stage 1 — before the commit record is issued — so the journal
+// aborts and the mount flips read-only. Nothing of the aborted
+// transaction (or of the failed post-abort operations) may reach durable
+// media: crashing AFTER the abort and recovering must land bit-identical
+// to an oracle run of the same trace truncated just before the doomed
+// file. Swept across plain, 4-way striped, and 4+1 parity volumes.
+
+/// Run `abort_at` healthy fsync'd files; then, unless `oracle`, poison
+/// the journal and attempt three more files (they must fail), crash with
+/// total cache loss, and return the surviving logical image.
+std::unique_ptr<blk::BlockDevice> run_abort_trace(DevKind kind, int abort_at,
+                                                  bool oracle,
+                                                  std::uint64_t seed) {
+  kern::Kernel kernel;
+  auto& dev = add_test_device(kernel, kind);
+  const auto dsb = xv6::mkfs(dev, /*ninodes=*/512);
+  register_strict(kernel);
+  EXPECT_EQ(Err::Ok, kernel.mount("xv6_strict", "ssd0", "/mnt", "noflusher"));
+  dev.enable_crash_tracking();
+
+  auto& p = kernel.proc();
+  sim::Rng rng(seed);
+  (void)kernel.mkdir(p, "/mnt/dir");
+  int failed_ops = 0;
+  for (int i = 0; i < abort_at + 3; ++i) {
+    if (i == abort_at) {
+      if (oracle) break;
+      // Journal poisoned: the NEXT commit's log-run write fails.
+      dev.inject_write_error(dsb.logstart + 1);
+    }
+    const std::string path = "/mnt/dir/f" + std::to_string(i);
+    auto fd = kernel.open(p, path, kern::kOCreat | kern::kORdWr);
+    if (!fd.ok()) {
+      failed_ops += 1;  // post-abort: EROFS
+      continue;
+    }
+    std::string data(rng.range(100, 30000), 'q');
+    (void)kernel.write(p, fd.value(), as_bytes(data));
+    if (kernel.fsync(p, fd.value()) != Err::Ok) failed_ops += 1;
+    (void)kernel.close(p, fd.value());
+  }
+  if (!oracle) {
+    EXPECT_GE(failed_ops, 3) << "journal poison never bit";
+    kern::SuperBlock* sb = kernel.sb_at("/mnt");
+    EXPECT_TRUE(sb->read_only());
+    auto* module = bento::BentoModule::from(*sb);
+    EXPECT_EQ(static_cast<const xv6::Xv6FileSystem&>(module->fs())
+                  .log_stats()
+                  .log_aborted,
+              1u);
+  }
+  sim::Rng crash_rng(seed + 55);
+  dev.crash(/*survive_p=*/0.0, crash_rng);
+  return copy_device(dev);
+}
+
+struct AbortCase {
+  DevKind kind;
+  int abort_at;
+  std::uint64_t seed;
+};
+
+class AbortThenCrashDifferential
+    : public ::testing::TestWithParam<AbortCase> {};
+
+TEST_P(AbortThenCrashDifferential, RecoversToThePreAbortImage) {
+  const auto [kind, abort_at, seed] = GetParam();
+  sim::SimThread thread(0);
+  sim::ScopedThread in(thread);
+
+  auto aborted = run_abort_trace(kind, abort_at, /*oracle=*/false, seed);
+  auto oracle = run_abort_trace(kind, abort_at, /*oracle=*/true, seed);
+  // The aborted transaction never committed, so the surviving images
+  // agree before recovery…
+  EXPECT_TRUE(images_equal(*aborted, *oracle))
+      << "aborted run leaked uncommitted state (abort_at=" << abort_at
+      << ")";
+  // …and recovery (which must find an empty header: the commit record
+  // was never issued) lands both on the same consistent image.
+  auto rec_aborted = recover_image(*aborted);
+  auto rec_oracle = recover_image(*oracle);
+  EXPECT_TRUE(images_equal(*rec_aborted, *rec_oracle))
+      << "recovered images diverged (abort_at=" << abort_at << ")";
+}
+
+std::vector<AbortCase> abort_cases() {
+  std::vector<AbortCase> cases;
+  for (const DevKind kind :
+       {DevKind::Plain, DevKind::Striped4, DevKind::Parity4}) {
+    for (const int at : {1, 4, 8}) cases.push_back({kind, at, 31ULL});
+    cases.push_back({kind, 4, 32ULL});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AbortSweep, AbortThenCrashDifferential,
+                         ::testing::ValuesIn(abort_cases()),
+                         [](const auto& info) {
+                           const char* kind =
+                               info.param.kind == DevKind::Plain ? "plain"
+                               : info.param.kind == DevKind::Striped4
+                                   ? "striped4"
+                                   : "parity4";
+                           return std::string(kind) + "_a" +
+                                  std::to_string(info.param.abort_at) + "_s" +
+                                  std::to_string(info.param.seed);
+                         });
 
 // ---- Mirrored volumes: the same sweeps on a 2-way RAID1 mirror ----
 //
